@@ -1,0 +1,94 @@
+"""Ablation A: beamformer choice for ranging (design choice of Sec. V-B).
+
+The paper argues that correlating the *beamformed* signal (MVDR steered at
+the user's body) is more robust than correlating a raw microphone, because
+clutter echoes from other directions produce comparable peaks.  This bench
+quantifies that: ranging error statistics with MVDR vs delay-and-sum vs a
+single microphone, in a cluttered noisy laboratory.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.array.beamforming import DelayAndSumBeamformer, SingleMicrophone
+from repro.body.population import build_population
+from repro.core.distance import DistanceEstimationError, DistanceEstimator
+from repro.eval.dataset import CollectionSpec, DatasetBuilder
+from repro.eval.reporting import format_table
+
+TRUE_DISTANCE = 0.7
+#: The strongest echo comes from the frontal chest surface, which is
+#: roughly one torso half-depth closer than the nominal standing distance.
+EXPECTED_RANGE = (0.45, 0.80)
+
+
+def ranging_trials(beamformer_factory=None, trials=10):
+    builder = DatasetBuilder()
+    population = build_population(num_registered=5, num_spoofers=0)
+    estimator = DistanceEstimator(
+        builder.array,
+        beep=builder.config.beep,
+        config=builder.config.distance,
+        beamformer_factory=beamformer_factory,
+    )
+    spec = CollectionSpec(
+        distance_m=TRUE_DISTANCE, num_beeps=8,
+        noise_kind="music", noise_level_db=50.0,
+    )
+    estimates, failures = [], 0
+    for trial in range(trials):
+        subject = population.registered[trial % len(population.registered)]
+        recordings = builder.record_session(
+            subject, spec, session_key=500 + trial
+        )
+        try:
+            estimate = estimator.estimate(recordings)
+        except DistanceEstimationError:
+            failures += 1
+            continue
+        estimates.append(estimate.user_distance_m)
+        if not EXPECTED_RANGE[0] <= estimate.user_distance_m <= EXPECTED_RANGE[1]:
+            failures += 1
+    return np.array(estimates), failures
+
+
+def run_ablation():
+    mvdr_est, mvdr_fail = ranging_trials(None)
+    das_est, das_fail = ranging_trials(
+        lambda arr, cov: DelayAndSumBeamformer(array=arr)
+    )
+    single_est, single_fail = ranging_trials(
+        lambda arr, cov: SingleMicrophone(array=arr)
+    )
+    return {
+        "mvdr": (mvdr_est, mvdr_fail),
+        "delay-and-sum": (das_est, das_fail),
+        "single-mic": (single_est, single_fail),
+    }
+
+
+def test_ablation_beamformer(benchmark):
+    results = run_once(benchmark, run_ablation)
+    rows = []
+    for name, (estimates, failures) in results.items():
+        rows.append(
+            [
+                name,
+                float(np.mean(estimates)) if estimates.size else float("nan"),
+                float(np.std(estimates)) if estimates.size else float("nan"),
+                failures,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["beamformer", "mean D_p (m)", "std (m)", "bad trials"],
+            rows,
+            title="Ablation A — ranging at 0.7 m in a noisy cluttered lab "
+            "(10 trials each)",
+        )
+    )
+    mvdr_fail = results["mvdr"][1]
+    single_fail = results["single-mic"][1]
+    # Shape: the array (MVDR) should fail no more often than one mic.
+    assert mvdr_fail <= single_fail

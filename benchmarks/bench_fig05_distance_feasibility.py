@@ -1,0 +1,48 @@
+"""Figure 5: distance-estimation feasibility study.
+
+Paper setup: one volunteer 0.6 m in front of the array, 20 beeps; the
+averaged correlation envelope shows the chirp-period peak and the body echo
+at tau = 4 ms, giving D_f = 0.68 m and D_p = 0.58 m.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval.experiments import run_distance_feasibility
+from repro.eval.reporting import format_table
+
+
+def test_fig05_distance_feasibility(benchmark):
+    result = run_once(benchmark, run_distance_feasibility, num_beeps=20)
+    estimate = result.estimate
+
+    peaks = [
+        (f"{p.time_s * 1000:.2f} ms", f"{p.value:.3g}")
+        for p in estimate.max_set[:6]
+    ]
+    print()
+    print(
+        format_table(
+            ["peak time", "envelope value"],
+            peaks,
+            title="Figure 5 — MaxSet peaks of the averaged envelope E(t)",
+        )
+    )
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["ground-truth distance (m)", 0.600, result.true_distance_m],
+                ["slant distance D_f (m)", result.paper_d_f,
+                 estimate.slant_distance_m],
+                ["user distance D_p (m)", result.paper_d_p,
+                 estimate.user_distance_m],
+                ["echo delay (ms)", 4.000, estimate.echo_delay_s * 1000],
+            ],
+        )
+    )
+    # Shape assertions: the echo is found at a plausible delay and the
+    # distance lands in the right neighbourhood of the ground truth.
+    assert 2.5 < estimate.echo_delay_s * 1000 < 5.5
+    assert 0.35 < estimate.user_distance_m < 0.75
+    assert np.all(estimate.averaged_envelope >= 0)

@@ -1,0 +1,30 @@
+"""Figure 8: acoustic-image feasibility study.
+
+Paper setup: users A and B at 0.7 m, 2 beeps each; images of one user look
+alike while images of different users differ.  We quantify the visual claim
+with normalized image correlations.
+"""
+
+from conftest import run_once
+from repro.eval.experiments import run_image_feasibility
+from repro.eval.reporting import format_table
+
+
+def test_fig08_image_feasibility(benchmark):
+    result = run_once(benchmark, run_image_feasibility, num_beeps=2)
+    print()
+    print(
+        format_table(
+            ["pair type", "mean image correlation"],
+            [
+                ["same user (A-A', B-B')", result.intra_user_similarity],
+                ["different users (A-B)", result.inter_user_similarity],
+            ],
+            title="Figure 8 — acoustic-image similarity",
+        )
+    )
+    shapes = {im.shape for im in result.images.values()}
+    print(f"image shapes: {shapes}")
+    # The paper's qualitative claim, quantified.
+    assert result.intra_user_similarity > result.inter_user_similarity
+    assert result.intra_user_similarity > 0.9

@@ -1,0 +1,48 @@
+"""Figure 12: robustness to environments and background noises.
+
+Paper setup: 8 users at 0.7 m; laboratory / conference hall / outdoor,
+quiet vs played-back music, chatting (babble) and traffic noise at ~50 dB.
+All metrics stay above 0.9, with quiet conditions best.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval.experiments import run_environment_robustness
+from repro.eval.reporting import format_table
+
+
+def test_fig12_environment_robustness(benchmark):
+    result = run_once(benchmark, run_environment_robustness)
+    rows = []
+    for environment, by_noise in result.metrics.items():
+        for noise_kind, metrics in by_noise.items():
+            rows.append(
+                [
+                    environment,
+                    noise_kind,
+                    metrics["recall"],
+                    metrics["precision"],
+                    metrics["accuracy"],
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["environment", "noise", "recall", "precision", "accuracy"],
+            rows,
+            title="Figure 12 — metrics per environment and noise "
+            f"({result.num_users} users)",
+        )
+    )
+    # Shape assertions: quiet >= mean of noisy per environment, and overall
+    # accuracy well above chance everywhere.
+    for environment, by_noise in result.metrics.items():
+        noisy = [
+            m["accuracy"] for kind, m in by_noise.items() if kind != "quiet"
+        ]
+        assert by_noise["quiet"]["accuracy"] >= np.mean(noisy) - 0.05, (
+            environment
+        )
+        for kind, metrics in by_noise.items():
+            assert metrics["accuracy"] > 0.7, (environment, kind)

@@ -1,0 +1,51 @@
+"""Figure 13: impact of the user-array distance.
+
+Paper setup: laboratory, 8 users, distances 0.6–1.5 m.  F-measure stays
+above 0.95 below 1 m (quiet) and drops significantly past 1 m as echoes
+weaken.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval.experiments import run_distance_sweep
+from repro.eval.reporting import format_series
+
+
+def test_fig13_distance_sweep(benchmark):
+    result = run_once(benchmark, run_distance_sweep)
+    from repro.eval.plotting import ascii_line_chart
+
+    print()
+    print(
+        format_series(
+            "distance (m)",
+            list(result.distances_m),
+            {kind: values for kind, values in result.f_measures.items()},
+            title="Figure 13 — F-measure vs user-array distance",
+        )
+    )
+    print()
+    print(
+        ascii_line_chart(
+            list(result.distances_m),
+            dict(result.f_measures),
+            title="Figure 13 (chart)",
+            y_range=(0.0, 1.0),
+        )
+    )
+    quiet = np.array(result.f_measures["quiet"])
+    distances = np.array(result.distances_m)
+    near_mask = distances <= 1.0
+    far_mask = distances >= 2.0
+    # Shape: near-range quiet performance is high.
+    assert quiet[near_mask].mean() > 0.75
+    # The noisy condition reproduces the paper's degradation-with-distance
+    # knee (our quiet knee is pushed outward by the louder probe; see the
+    # runner's docstring).
+    for kind, values in result.f_measures.items():
+        values = np.array(values)
+        if kind != "quiet":
+            assert values[near_mask].mean() > values[far_mask].mean()
+            # Quiet beats the noisy curve on average.
+            assert quiet.mean() >= values.mean() - 0.05

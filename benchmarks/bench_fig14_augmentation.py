@@ -1,0 +1,52 @@
+"""Figure 14: impact of data augmentation on limited training data.
+
+Paper setup: train at 0.7 m with a varying number of beeps, test at
+0.6–1.5 m, with and without inverse-square-law augmentation.  Augmentation
+helps most below ~100 training images; performance saturates above.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.eval.experiments import run_augmentation_study
+from repro.eval.reporting import format_table
+
+
+def test_fig14_augmentation(benchmark):
+    result = run_once(benchmark, run_augmentation_study)
+    rows = []
+    for i, size in enumerate(result.train_sizes):
+        for variant in ("plain", "augmented"):
+            metrics = result.metrics[variant][i]
+            rows.append(
+                [
+                    size,
+                    variant,
+                    metrics["recall"],
+                    metrics["precision"],
+                    metrics["accuracy"],
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["train beeps", "variant", "recall", "precision", "accuracy"],
+            rows,
+            title="Figure 14 — metrics vs training size, with/without "
+            "augmentation (train 0.7 m, test 0.6-1.0 m)",
+        )
+    )
+    plain_precision = np.array(
+        [m["precision"] for m in result.metrics["plain"]]
+    )
+    augmented_precision = np.array(
+        [m["precision"] for m in result.metrics["augmented"]]
+    )
+    # Shape: at the smallest training size, augmentation must not hurt and
+    # typically lifts precision (the paper's strongest-effect region).
+    assert augmented_precision[0] >= plain_precision[0] - 0.05
+    # All metrics well-formed.
+    for variant in ("plain", "augmented"):
+        for metrics in result.metrics[variant]:
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0

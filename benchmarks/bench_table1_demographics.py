@@ -1,0 +1,45 @@
+"""Table I: demographics of the experiment population.
+
+Regenerates the paper's subject table and materialises the synthetic
+population built from it (12 registered users + 8 spoofers).
+"""
+
+from conftest import run_once
+from repro.body.population import TABLE_I_DEMOGRAPHICS, build_population
+from repro.eval.reporting import format_table
+
+
+def test_table1_demographics(benchmark):
+    population = run_once(benchmark, build_population)
+
+    rows = []
+    for entry in TABLE_I_DEMOGRAPHICS:
+        role = (
+            "registered"
+            if entry.user_id <= len(population.registered)
+            else "spoofer"
+        )
+        subject = next(
+            s for s in population.all_subjects
+            if s.subject_id == entry.user_id
+        )
+        rows.append(
+            [
+                entry.user_id,
+                entry.gender,
+                entry.age_range,
+                entry.occupation,
+                role,
+                f"{subject.anthropometrics.height_m:.2f} m",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["user", "gender", "age", "occupation", "role", "synth height"],
+            rows,
+            title="Table I — demographics (paper columns + synthetic body)",
+        )
+    )
+    assert len(population.registered) == 12
+    assert len(population.spoofers) == 8

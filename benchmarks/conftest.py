@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one table or figure of the paper; results are
+printed as ASCII tables (captured with ``pytest -s`` or ``tee``).  Runs are
+single-shot (``rounds=1``) because each experiment is itself minutes of
+simulated data collection — the interesting output is the reproduced
+numbers, not the wall-clock distribution.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,67 @@
+"""EchoImage: user authentication on smart speakers using acoustic images.
+
+Reproduction of Ren et al., "EchoImage: User Authentication on Smart
+Speakers Using Acoustic Signals" (ICDCS 2023).  The package bundles:
+
+* a physical acoustic-scene simulator (:mod:`repro.acoustics`) standing in
+  for the ReSpeaker microphone-array hardware,
+* synthetic human subjects (:mod:`repro.body`),
+* array signal processing — steering, MVDR beamforming
+  (:mod:`repro.array`) — and the signal substrate (:mod:`repro.signal`),
+* a from-scratch ML stack — SMO SVMs, SVDD, a frozen NumPy CNN
+  (:mod:`repro.ml`),
+* the paper's pipeline — ranging, acoustic imaging, augmentation,
+  authentication (:mod:`repro.core`), and
+* the evaluation harness regenerating every table and figure
+  (:mod:`repro.eval`).
+"""
+
+from repro.body.population import build_population
+from repro.config import (
+    AuthenticationConfig,
+    BeepConfig,
+    DistanceEstimationConfig,
+    EchoImageConfig,
+    FeatureConfig,
+    ImagingConfig,
+)
+from repro.core.authenticator import (
+    SPOOFER_LABEL,
+    MultiUserAuthenticator,
+    SingleUserAuthenticator,
+)
+from repro.core.distance import (
+    DistanceEstimate,
+    DistanceEstimationError,
+    DistanceEstimator,
+)
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import AcousticImager, ImagingPlane
+from repro.core.pipeline import AuthenticationResult, EchoImagePipeline
+from repro.eval.dataset import CollectionSpec, DatasetBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EchoImagePipeline",
+    "AuthenticationResult",
+    "EchoImageConfig",
+    "BeepConfig",
+    "DistanceEstimationConfig",
+    "ImagingConfig",
+    "FeatureConfig",
+    "AuthenticationConfig",
+    "DistanceEstimator",
+    "DistanceEstimate",
+    "DistanceEstimationError",
+    "AcousticImager",
+    "ImagingPlane",
+    "FeatureExtractor",
+    "SingleUserAuthenticator",
+    "MultiUserAuthenticator",
+    "SPOOFER_LABEL",
+    "DatasetBuilder",
+    "CollectionSpec",
+    "build_population",
+    "__version__",
+]

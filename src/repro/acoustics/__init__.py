@@ -1,0 +1,24 @@
+"""Acoustic scene simulator: propagation, reflectors, rooms, noise."""
+
+from repro.acoustics.medium import Air
+from repro.acoustics.noise import NoiseModel, spl_to_amplitude
+from repro.acoustics.paths import PropagationPath, direct_paths, reflection_paths
+from repro.acoustics.reflectors import ReflectorCloud, clutter_cloud
+from repro.acoustics.render import render_paths
+from repro.acoustics.room import ShoeboxRoom
+from repro.acoustics.scene import AcousticScene, BeepRecording
+
+__all__ = [
+    "Air",
+    "NoiseModel",
+    "spl_to_amplitude",
+    "PropagationPath",
+    "direct_paths",
+    "reflection_paths",
+    "ReflectorCloud",
+    "clutter_cloud",
+    "render_paths",
+    "ShoeboxRoom",
+    "AcousticScene",
+    "BeepRecording",
+]

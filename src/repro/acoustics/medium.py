@@ -1,0 +1,34 @@
+"""The propagation medium (air)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Air:
+    """Air at a given temperature.
+
+    Attributes:
+        temperature_c: Temperature in degrees Celsius.
+    """
+
+    temperature_c: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.temperature_c < -273.15:
+            raise ValueError(
+                f"temperature below absolute zero: {self.temperature_c}"
+            )
+
+    @property
+    def speed_of_sound(self) -> float:
+        """Speed of sound in m/s via ``c = 331.3 sqrt(1 + T/273.15)``."""
+        return 331.3 * math.sqrt(1.0 + self.temperature_c / 273.15)
+
+    def wavelength(self, frequency_hz: float) -> float:
+        """Wavelength of a tone at the given frequency, in metres."""
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        return self.speed_of_sound / frequency_hz

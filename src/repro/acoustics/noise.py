@@ -1,0 +1,175 @@
+"""Ambient-noise models for the three experimental environments.
+
+Section VI-A tests in quiet rooms (~30 dB SPL) and under played-back music,
+people-chatting (babble) and traffic noise at ~50 dB SPL.  All of these are
+"mostly concentrated below 2000 Hz" (Section V-A), which is exactly why the
+paper band-passes to 2–3 kHz.  We reproduce that structure: each noise type
+is white noise shaped by a type-specific spectral profile, scaled so its
+in-band RMS corresponds to the requested sound pressure level.
+
+Amplitude calibration: emitted chirp amplitude 1.0 is defined to produce
+``REFERENCE_SPL_DB`` (70 dB SPL) at 1 m, which is a typical smart-speaker
+prompt loudness.  ``spl_to_amplitude`` converts any SPL to the simulator's
+linear units under that convention.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+#: SPL produced at 1 m by a unit-amplitude source, by convention.
+REFERENCE_SPL_DB: float = 70.0
+
+#: Spectral profiles: list of (low_hz, high_hz, relative_power) bands.
+_PROFILES: dict[str, list[tuple[float, float, float]]] = {
+    "quiet": [(20.0, 1_200.0, 1.0), (1_200.0, 6_000.0, 0.05)],
+    "music": [
+        (40.0, 1_000.0, 1.0),
+        (1_000.0, 2_000.0, 0.40),
+        (2_000.0, 3_000.0, 0.055),
+        (3_000.0, 8_000.0, 0.03),
+    ],
+    "babble": [
+        (100.0, 1_000.0, 1.0),
+        (1_000.0, 2_000.0, 0.30),
+        (2_000.0, 4_000.0, 0.035),
+    ],
+    "traffic": [
+        (20.0, 500.0, 1.0),
+        (500.0, 1_500.0, 0.25),
+        (1_500.0, 4_000.0, 0.02),
+    ],
+}
+
+
+def spl_to_amplitude(
+    spl_db: float, reference_spl_db: float = REFERENCE_SPL_DB
+) -> float:
+    """Convert a sound pressure level to simulator amplitude units.
+
+    Args:
+        spl_db: Target level in dB SPL.
+        reference_spl_db: The SPL assigned to amplitude 1.0.
+
+    Returns:
+        RMS amplitude in linear simulator units.
+    """
+    return float(10.0 ** ((spl_db - reference_spl_db) / 20.0))
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Shaped ambient noise at a given level.
+
+    Attributes:
+        kind: One of "quiet", "music", "babble", "traffic", or "none".
+        level_db_spl: Overall RMS level of the noise.
+        sensor_noise_amplitude: RMS of additional independent white
+            microphone self-noise.
+    """
+
+    kind: str = "quiet"
+    level_db_spl: float = 30.0
+    sensor_noise_amplitude: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.kind not in (*_PROFILES, "none"):
+            raise ValueError(
+                f"unknown noise kind {self.kind!r}; choose from "
+                f"{sorted(_PROFILES)} or 'none'"
+            )
+        if self.sensor_noise_amplitude < 0:
+            raise ValueError("sensor_noise_amplitude must be non-negative")
+
+    @classmethod
+    def silent(cls) -> "NoiseModel":
+        """A noise-free environment (for unit tests and calibration)."""
+        return cls(kind="none", level_db_spl=-200.0, sensor_noise_amplitude=0.0)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        num_channels: int,
+        num_samples: int,
+        sample_rate: float,
+    ) -> np.ndarray:
+        """Generate a noise realisation for all microphones.
+
+        Ambient noise is diffuse; its inter-microphone coherence at the
+        chirp band over 5–10 cm spacings is moderate (sinc-law, roughly
+        0.3–0.4), which we approximate by mixing a shared field with
+        per-microphone independent components at fixed weights, then adding
+        sensor self-noise.  Getting this coherence right matters: were the
+        noise fully coherent, the MVDR noise covariance would direct a null
+        at in-phase arrivals and wrongly cancel the direct speaker→mic
+        chirp.
+
+        Args:
+            rng: Random generator.
+            num_channels: Number of microphones M.
+            num_samples: Number of time samples N.
+            sample_rate: Sampling rate in Hz.
+
+        Returns:
+            Real array of shape ``(M, N)``.
+        """
+        if num_channels < 1 or num_samples < 1:
+            raise ValueError("need at least one channel and one sample")
+        noise = np.zeros((num_channels, num_samples))
+        if self.kind != "none":
+            target_rms = spl_to_amplitude(self.level_db_spl)
+            shared = _shaped_noise(rng, self.kind, num_samples, sample_rate)
+            independent = np.stack(
+                [
+                    _shaped_noise(rng, self.kind, num_samples, sample_rate)
+                    for _ in range(num_channels)
+                ]
+            )
+            mixed = 0.6 * shared[None, :] + 0.8 * independent
+            rms = float(np.sqrt(np.mean(mixed**2)))
+            if rms > 0:
+                noise += mixed * (target_rms / rms)
+        if self.sensor_noise_amplitude > 0:
+            noise += rng.normal(
+                0.0, self.sensor_noise_amplitude, size=noise.shape
+            )
+        return noise
+
+
+@functools.lru_cache(maxsize=64)
+def _band_sos(low_hz: float, high_hz: float, sample_rate: float) -> np.ndarray:
+    """Cached band-pass design (filter design dominates noise synthesis)."""
+    nyquist = sample_rate / 2.0
+    return sp_signal.butter(
+        3, [low_hz / nyquist, high_hz / nyquist], btype="bandpass",
+        output="sos",
+    )
+
+
+def _shaped_noise(
+    rng: np.random.Generator,
+    kind: str,
+    num_samples: int,
+    sample_rate: float,
+) -> np.ndarray:
+    """White noise shaped by the banded spectral profile of ``kind``."""
+    profile = _PROFILES[kind]
+    nyquist = sample_rate / 2.0
+    total = np.zeros(num_samples)
+    for low_hz, high_hz, power in profile:
+        high_hz = min(high_hz, 0.95 * nyquist)
+        if high_hz <= low_hz:
+            continue
+        white = rng.standard_normal(num_samples)
+        band = sp_signal.sosfilt(
+            _band_sos(low_hz, high_hz, sample_rate), white
+        )
+        band_rms = float(np.sqrt(np.mean(band**2)))
+        if band_rms > 0:
+            total += np.sqrt(power) * band / band_rms
+    rms = float(np.sqrt(np.mean(total**2)))
+    return total / rms if rms > 0 else total

@@ -1,0 +1,133 @@
+"""Propagation paths from the speaker to the microphones.
+
+Two kinds of routes exist in a monostatic sensing scene:
+
+* the **direct path** speaker → microphone (the "chirp period" signal of
+  Section V-B), and
+* **reflection paths** speaker → reflector → microphone, attenuated by
+  spherical spreading on both legs (amplitude ``1 / (d1 * d2)``) times the
+  reflector's amplitude reflectivity.
+
+For a reflector at distance ``D`` from a co-located speaker/array the
+received *amplitude* therefore scales as ``1 / D^2`` — exactly the
+inverse-square model the paper's data-augmentation scheme (Eqs. 13–15)
+assumes for pixel values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.reflectors import ReflectorCloud
+from repro.array.geometry import MicrophoneArray
+
+#: Spreading-loss legs shorter than this are clamped to avoid singular gains.
+_MIN_LEG_M = 1e-2
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """A bundle of per-microphone delays and gains for one route family.
+
+    Attributes:
+        delays_s: Array of shape ``(P, M)`` of propagation delays.
+        gains: Array of shape ``(P, M)`` of amplitude gains.
+        label: Route family tag.
+    """
+
+    delays_s: np.ndarray
+    gains: np.ndarray
+    label: str = "path"
+
+    def __post_init__(self) -> None:
+        delays = np.asarray(self.delays_s, dtype=float)
+        gains = np.asarray(self.gains, dtype=float)
+        if delays.shape != gains.shape or delays.ndim != 2:
+            raise ValueError(
+                f"delays {delays.shape} and gains {gains.shape} must be "
+                f"matching 2-D arrays"
+            )
+        if np.any(delays < 0):
+            raise ValueError("delays must be non-negative")
+        object.__setattr__(self, "delays_s", delays)
+        object.__setattr__(self, "gains", gains)
+
+    @property
+    def num_routes(self) -> int:
+        """Number of routes P in the bundle."""
+        return self.delays_s.shape[0]
+
+
+def direct_paths(
+    speaker_position: np.ndarray,
+    array: MicrophoneArray,
+    speed_of_sound: float,
+    gain: float = 1.0,
+) -> PropagationPath:
+    """Direct speaker → microphone paths.
+
+    Args:
+        speaker_position: 3-vector of the loudspeaker location.
+        array: The microphone array.
+        speed_of_sound: Speed of sound in m/s.
+        gain: Source amplitude scale (1.0 = unit source at 1 m).
+
+    Returns:
+        A ``PropagationPath`` with one route (``P = 1``).
+    """
+    speaker_position = _as_point(speaker_position)
+    legs = np.linalg.norm(array.positions - speaker_position, axis=1)
+    legs = np.maximum(legs, _MIN_LEG_M)
+    delays = (legs / speed_of_sound)[None, :]
+    gains = (gain / legs)[None, :]
+    return PropagationPath(delays_s=delays, gains=gains, label="direct")
+
+
+def reflection_paths(
+    speaker_position: np.ndarray,
+    cloud: ReflectorCloud,
+    array: MicrophoneArray,
+    speed_of_sound: float,
+    gain: float = 1.0,
+) -> PropagationPath:
+    """Speaker → reflector → microphone paths for a whole cloud.
+
+    Args:
+        speaker_position: 3-vector of the loudspeaker location.
+        cloud: The reflector cloud (J reflectors).
+        array: The microphone array (M microphones).
+        speed_of_sound: Speed of sound in m/s.
+        gain: Source amplitude scale.
+
+    Returns:
+        A ``PropagationPath`` with ``P = J`` routes.
+    """
+    speaker_position = _as_point(speaker_position)
+    if cloud.num_reflectors == 0:
+        return PropagationPath(
+            delays_s=np.zeros((0, array.num_mics)),
+            gains=np.zeros((0, array.num_mics)),
+            label=cloud.label,
+        )
+    to_reflector = np.linalg.norm(
+        cloud.positions - speaker_position, axis=1
+    )  # (J,)
+    to_mics = np.linalg.norm(
+        cloud.positions[:, None, :] - array.positions[None, :, :], axis=-1
+    )  # (J, M)
+    to_reflector = np.maximum(to_reflector, _MIN_LEG_M)
+    to_mics = np.maximum(to_mics, _MIN_LEG_M)
+    delays = (to_reflector[:, None] + to_mics) / speed_of_sound
+    gains = gain * cloud.reflectivities[:, None] / (
+        to_reflector[:, None] * to_mics
+    )
+    return PropagationPath(delays_s=delays, gains=gains, label=cloud.label)
+
+
+def _as_point(position: np.ndarray) -> np.ndarray:
+    position = np.asarray(position, dtype=float).ravel()
+    if position.shape != (3,):
+        raise ValueError(f"expected a 3-vector, got shape {position.shape}")
+    return position

@@ -1,0 +1,156 @@
+"""Frequency-domain rendering of propagation paths.
+
+Every route contributes a delayed, scaled copy of the emitted waveform.
+Delays are generally a non-integer number of samples (a 1 cm path difference
+is 1.4 samples at 48 kHz), and sub-sample accuracy is what carries the
+inter-microphone phase information the beamformers exploit — so the renderer
+applies delays as exact linear phase ramps in the frequency domain instead
+of rounding to sample boundaries:
+
+.. math::
+
+    R_m(f) = \\sum_p g_{p,m} \\; S(f) \\; e^{-2\\pi i f \\tau_{p,m}}
+
+Because the probing chirp is narrow-band (2–3 kHz out of a 24 kHz Nyquist
+range), phase ramps are only evaluated on the bins where the chirp spectrum
+carries energy; everything else is exactly zero after the product with
+``S(f)`` anyway.  This cuts the rendering cost by roughly the band fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.paths import PropagationPath
+
+#: Maximum number of routes processed per chunk (bounds peak memory).
+_CHUNK_ROUTES = 512
+
+
+def render_paths_spectrum(
+    emitted: np.ndarray,
+    paths: list[PropagationPath],
+    sample_rate: float,
+    num_samples: int,
+    band_hz: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Received multichannel spectrum over a set of path bundles.
+
+    Args:
+        emitted: 1-D emitted waveform (the chirp), starting at t = 0.
+        paths: Path bundles (direct, body, clutter, walls, ...); all must
+            share the same number of microphones.
+        sample_rate: Sampling rate in Hz.
+        num_samples: Length N of the rendered capture window.
+        band_hz: Optional ``(low, high)`` rendering band.  Phase ramps are
+            evaluated only on bins inside the band and the rest of the
+            spectrum is zeroed.  Because the receiver band-passes the
+            recording to the chirp band anyway (Section V-B), restricting
+            rendering to a superset of that band changes nothing downstream
+            while cutting the rendering cost by the band fraction.
+
+    Returns:
+        Complex array of shape ``(M, N // 2 + 1)`` — the one-sided spectrum
+        of the received signals; invert with ``np.fft.irfft(..., n=N)``.
+
+    Raises:
+        ValueError: On inconsistent microphone counts or an empty path list.
+    """
+    emitted = np.asarray(emitted, dtype=float).ravel()
+    if emitted.size == 0:
+        raise ValueError("emitted waveform must be non-empty")
+    if emitted.size > num_samples:
+        raise ValueError(
+            f"capture window ({num_samples}) shorter than the emitted "
+            f"waveform ({emitted.size})"
+        )
+    if not paths:
+        raise ValueError("need at least one path bundle")
+    num_mics = paths[0].delays_s.shape[1]
+    for bundle in paths:
+        if bundle.delays_s.shape[1] != num_mics:
+            raise ValueError(
+                "all path bundles must share the same microphone count"
+            )
+
+    spectrum = np.fft.rfft(emitted, n=num_samples)
+    freqs = np.fft.rfftfreq(num_samples, d=1.0 / sample_rate)
+    if band_hz is None:
+        band = np.ones(freqs.size, dtype=bool)
+        weight = None
+    else:
+        low, high = band_hz
+        if not 0 <= low < high:
+            raise ValueError(f"invalid rendering band {band_hz}")
+        # Raised-cosine taper rolling off *outside* the requested band: a
+        # brick-wall cut would ring (non-causal sinc tails wrapping into
+        # the pre-silence); the taper confines the leakage.
+        taper = max(0.15 * (high - low), 4 * sample_rate / num_samples)
+        band = (freqs >= low - taper) & (freqs <= high + taper)
+        if not band.any():
+            raise ValueError(f"rendering band {band_hz} contains no FFT bins")
+        band_edge = np.ones(band.sum())
+        edge_freqs = freqs[band]
+        below = edge_freqs < low
+        above = edge_freqs > high
+        band_edge[below] = 0.5 * (
+            1 + np.cos(np.pi * (low - edge_freqs[below]) / taper)
+        )
+        band_edge[above] = 0.5 * (
+            1 + np.cos(np.pi * (edge_freqs[above] - high) / taper)
+        )
+        weight = band_edge
+    band_freqs = freqs[band]
+
+    received_band = np.zeros((num_mics, band_freqs.size), dtype=complex)
+    max_delay = num_samples / sample_rate
+    for bundle in paths:
+        delays = bundle.delays_s
+        gains = bundle.gains
+        # Routes arriving entirely after the window contribute nothing.
+        keep = delays.min(axis=1) < max_delay
+        delays = delays[keep]
+        gains = gains[keep]
+        for start in range(0, delays.shape[0], _CHUNK_ROUTES):
+            chunk_delays = delays[start : start + _CHUNK_ROUTES]
+            chunk_gains = gains[start : start + _CHUNK_ROUTES]
+            # (P, M, F) phase ramps summed over routes.
+            phase = np.exp(
+                (-2j * np.pi)
+                * band_freqs[None, None, :]
+                * chunk_delays[:, :, None]
+            )
+            received_band += np.einsum(
+                "pm,pmf->mf", chunk_gains, phase, optimize=True
+            )
+    received = np.zeros((num_mics, freqs.size), dtype=complex)
+    band_spectrum = spectrum[band]
+    if weight is not None:
+        band_spectrum = band_spectrum * weight
+    received[:, band] = received_band * band_spectrum[None, :]
+    return received
+
+
+def render_paths(
+    emitted: np.ndarray,
+    paths: list[PropagationPath],
+    sample_rate: float,
+    num_samples: int,
+    band_hz: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Render the multichannel time-domain signal for a set of path bundles.
+
+    Args:
+        emitted: 1-D emitted waveform (the chirp), starting at t = 0.
+        paths: Path bundles; see :func:`render_paths_spectrum`.
+        sample_rate: Sampling rate in Hz.
+        num_samples: Length N of the rendered capture window.
+        band_hz: Optional rendering band; see :func:`render_paths_spectrum`.
+
+    Returns:
+        Real array of shape ``(M, N)``.
+    """
+    received = render_paths_spectrum(
+        emitted, paths, sample_rate, num_samples, band_hz
+    )
+    return np.fft.irfft(received, n=num_samples, axis=-1)

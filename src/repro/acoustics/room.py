@@ -1,0 +1,141 @@
+"""Shoebox rooms and first-order image-source multipath.
+
+The paper's first design challenge is that "the received signal is a mixture
+of echoes which arrive at the microphone array via multiple paths after
+bouncing various reflectors".  We model the dominant part of that mixture:
+first-order reflections of the emitted chirp off the six surfaces of a
+shoebox room, realised by mirroring the loudspeaker across each surface and
+attenuating by the surface's absorption.  An *outdoor* scene simply has no
+room (only the ground surface, if desired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShoeboxRoom:
+    """An axis-aligned rectangular room.
+
+    The room spans ``[-size/2, size/2]`` in x and y and ``[floor_z,
+    floor_z + height]`` in z, with the array assumed near the origin.
+
+    Attributes:
+        width_m: Extent along x.
+        depth_m: Extent along y.
+        height_m: Extent along z.
+        floor_z_m: z coordinate of the floor (negative: array above floor).
+        absorption: Energy absorption coefficient of the surfaces in
+            ``[0, 1]``; the amplitude reflection factor is
+            ``sqrt(1 - absorption)``.
+        surfaces: Which surfaces reflect; subset of
+            {"floor", "ceiling", "north", "south", "east", "west"}.
+    """
+
+    width_m: float = 6.0
+    depth_m: float = 8.0
+    height_m: float = 3.0
+    floor_z_m: float = -1.2
+    absorption: float = 0.5
+    surfaces: tuple[str, ...] = (
+        "floor",
+        "ceiling",
+        "north",
+        "south",
+        "east",
+        "west",
+    )
+
+    _VALID_SURFACES = frozenset(
+        {"floor", "ceiling", "north", "south", "east", "west"}
+    )
+
+    def __post_init__(self) -> None:
+        if min(self.width_m, self.depth_m, self.height_m) <= 0:
+            raise ValueError("room dimensions must be positive")
+        if not 0.0 <= self.absorption <= 1.0:
+            raise ValueError(
+                f"absorption must lie in [0, 1], got {self.absorption}"
+            )
+        unknown = set(self.surfaces) - self._VALID_SURFACES
+        if unknown:
+            raise ValueError(f"unknown surfaces: {sorted(unknown)}")
+
+    @property
+    def reflection_factor(self) -> float:
+        """Amplitude reflection coefficient of each surface."""
+        return float(np.sqrt(1.0 - self.absorption))
+
+    def contains(self, point: np.ndarray) -> bool:
+        """True when a point lies inside the room volume."""
+        point = np.asarray(point, dtype=float).ravel()
+        if point.shape != (3,):
+            raise ValueError(f"expected a 3-vector, got {point.shape}")
+        half_w, half_d = self.width_m / 2.0, self.depth_m / 2.0
+        ceiling = self.floor_z_m + self.height_m
+        return bool(
+            -half_w <= point[0] <= half_w
+            and -half_d <= point[1] <= half_d
+            and self.floor_z_m <= point[2] <= ceiling
+        )
+
+    def image_sources(
+        self, source_position: np.ndarray
+    ) -> list[tuple[np.ndarray, float]]:
+        """First-order image sources of a point source.
+
+        Args:
+            source_position: 3-vector of the real source.
+
+        Returns:
+            One ``(mirrored_position, amplitude_factor)`` pair per active
+            surface.
+        """
+        source = np.asarray(source_position, dtype=float).ravel()
+        if source.shape != (3,):
+            raise ValueError(f"expected a 3-vector, got {source.shape}")
+        half_w, half_d = self.width_m / 2.0, self.depth_m / 2.0
+        ceiling = self.floor_z_m + self.height_m
+        planes = {
+            "floor": (2, self.floor_z_m),
+            "ceiling": (2, ceiling),
+            "west": (0, -half_w),
+            "east": (0, half_w),
+            "south": (1, -half_d),
+            "north": (1, half_d),
+        }
+        factor = self.reflection_factor
+        images: list[tuple[np.ndarray, float]] = []
+        for surface in self.surfaces:
+            axis, plane = planes[surface]
+            mirrored = source.copy()
+            mirrored[axis] = 2.0 * plane - mirrored[axis]
+            images.append((mirrored, factor))
+        return images
+
+    @classmethod
+    def laboratory(cls) -> "ShoeboxRoom":
+        """A small laboratory room (Section VI-A environment 1)."""
+        return cls(
+            width_m=5.0, depth_m=7.0, height_m=3.0, floor_z_m=-1.2,
+            absorption=0.45,
+        )
+
+    @classmethod
+    def conference_hall(cls) -> "ShoeboxRoom":
+        """A large conference hall (environment 2): distant, livelier walls."""
+        return cls(
+            width_m=15.0, depth_m=20.0, height_m=6.0, floor_z_m=-1.2,
+            absorption=0.30,
+        )
+
+    @classmethod
+    def outdoor(cls) -> "ShoeboxRoom":
+        """Outdoor place (environment 3): only the ground reflects."""
+        return cls(
+            width_m=100.0, depth_m=100.0, height_m=50.0, floor_z_m=-1.2,
+            absorption=0.7, surfaces=("floor",),
+        )

@@ -1,0 +1,279 @@
+"""The full acoustic scene: speaker + array + body + room + clutter + noise.
+
+``AcousticScene`` is the simulator's top-level object.  One call to
+:meth:`AcousticScene.record_beep` emits the probing chirp, propagates it
+along every route (direct, body reflections, clutter reflections, and
+first-order wall reflections of the chirp), adds ambient and sensor noise,
+and returns the multichannel capture — the exact input the EchoImage
+pipeline would receive from ReSpeaker hardware.
+
+Time convention: each capture starts with ``pre_silence_s`` of noise-only
+samples (used downstream to estimate the noise covariance for MVDR), after
+which the chirp is emitted.  ``BeepRecording.emit_index`` marks the emission
+sample so delays can be measured relative to t = 0 of the emission, as in
+Section V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.medium import Air
+from repro.acoustics.noise import NoiseModel
+from repro.acoustics.paths import (
+    PropagationPath,
+    direct_paths,
+    reflection_paths,
+)
+from repro.acoustics.reflectors import ReflectorCloud
+from repro.acoustics.render import render_paths_spectrum
+from repro.acoustics.room import ShoeboxRoom
+from repro.array.geometry import MicrophoneArray, respeaker_array
+from repro.signal.chirp import LFMChirp
+
+
+@dataclass(frozen=True)
+class BeepRecording:
+    """One multichannel capture of a single probing beep.
+
+    Attributes:
+        samples: Real array of shape ``(M, N)``.
+        sample_rate: Sampling rate in Hz.
+        emit_index: Sample index at which the chirp emission starts.
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    emit_index: int
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 2:
+            raise ValueError(f"samples must be 2-D (M, N), got {samples.shape}")
+        if not 0 <= self.emit_index < samples.shape[1]:
+            raise ValueError(
+                f"emit_index {self.emit_index} outside the capture of "
+                f"{samples.shape[1]} samples"
+            )
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def num_mics(self) -> int:
+        """Number of microphone channels M."""
+        return self.samples.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        """Capture length N in samples."""
+        return self.samples.shape[1]
+
+
+@dataclass
+class AcousticScene:
+    """A static sensing scene around a smart speaker.
+
+    Attributes:
+        array: The microphone array (defaults to the ReSpeaker geometry).
+        speaker_position: Loudspeaker location; the paper places an
+            omni-directional speaker right beside the array.
+        room: Optional shoebox room providing first-order wall multipath.
+        clutter: Optional static clutter cloud (furniture etc.).
+        noise: Ambient + sensor noise model.
+        medium: The propagation medium.
+        capture_window_s: Length of each beep capture.  50 ms covers round
+            trips to ~8 m, so the 0.5 s beep interval of Section V-A need
+            not be simulated sample-for-sample.
+        pre_silence_s: Noise-only lead-in before the chirp emission.
+        render_band_margin: Fractional widening of the chirp band used as
+            the rendering band (see ``render_paths_spectrum``); ``None``
+            renders the full spectrum.
+    """
+
+    array: MicrophoneArray = field(default_factory=respeaker_array)
+    speaker_position: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, -0.08])
+    )
+    room: ShoeboxRoom | None = None
+    clutter: ReflectorCloud | None = None
+    noise: NoiseModel = field(default_factory=NoiseModel.silent)
+    medium: Air = field(default_factory=Air)
+    capture_window_s: float = 0.05
+    pre_silence_s: float = 0.005
+    render_band_margin: float | None = 0.6
+    _static_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.speaker_position = np.asarray(
+            self.speaker_position, dtype=float
+        ).ravel()
+        if self.speaker_position.shape != (3,):
+            raise ValueError("speaker_position must be a 3-vector")
+        if self.capture_window_s <= 0:
+            raise ValueError("capture_window_s must be positive")
+        if self.pre_silence_s < 0:
+            raise ValueError("pre_silence_s must be non-negative")
+        if self.pre_silence_s >= self.capture_window_s:
+            raise ValueError("pre-silence must be shorter than the capture")
+
+    @property
+    def speed_of_sound(self) -> float:
+        """Speed of sound of the scene's medium."""
+        return self.medium.speed_of_sound
+
+    def static_paths(self) -> list[PropagationPath]:
+        """Route bundles that do not depend on the user: direct chirp,
+        clutter reflections, and first-order wall images."""
+        c = self.speed_of_sound
+        bundles = [direct_paths(self.speaker_position, self.array, c)]
+        if self.clutter is not None and self.clutter.num_reflectors > 0:
+            bundles.append(
+                reflection_paths(
+                    self.speaker_position, self.clutter, self.array, c
+                )
+            )
+        if self.room is not None:
+            for image_position, factor in self.room.image_sources(
+                self.speaker_position
+            ):
+                bundles.append(
+                    direct_paths(
+                        image_position, self.array, c, gain=factor
+                    )
+                )
+        return bundles
+
+    def propagation_paths(
+        self, body: ReflectorCloud | None
+    ) -> list[PropagationPath]:
+        """All route bundles active in the scene for a given body cloud."""
+        bundles = self.static_paths()
+        if body is not None and body.num_reflectors > 0:
+            bundles.insert(
+                1,
+                reflection_paths(
+                    self.speaker_position, body, self.array,
+                    self.speed_of_sound,
+                ),
+            )
+        return bundles
+
+    def _render_band(self, chirp: LFMChirp) -> tuple[float, float] | None:
+        """Rendering band: the chirp band widened by ``render_band_margin``."""
+        if self.render_band_margin is None:
+            return None
+        low = min(chirp.start_hz, chirp.end_hz)
+        high = max(chirp.start_hz, chirp.end_hz)
+        span = high - low
+        margin = self.render_band_margin * max(span, high - low, 1.0)
+        return (max(0.0, low - margin), high + margin)
+
+    def _static_spectrum_shifted(
+        self,
+        emitted: np.ndarray,
+        sample_rate: float,
+        num_samples: int,
+        offset_s: float,
+        band: tuple[float, float] | None,
+    ) -> np.ndarray:
+        """Cached received spectrum of the static (user-independent) routes.
+
+        The static geometry never changes between beeps, so its rendered
+        spectrum is computed once per (waveform, window, offset) combination.
+        """
+        key = (
+            emitted.tobytes(),
+            float(sample_rate),
+            int(num_samples),
+            float(offset_s),
+            band,
+        )
+        cached = self._static_cache.get(key)
+        if cached is None:
+            shifted = [
+                PropagationPath(
+                    delays_s=b.delays_s + offset_s,
+                    gains=b.gains,
+                    label=b.label,
+                )
+                for b in self.static_paths()
+            ]
+            cached = render_paths_spectrum(
+                emitted, shifted, sample_rate, num_samples, band
+            )
+            self._static_cache.clear()
+            self._static_cache[key] = cached
+        return cached
+
+    def record_beep(
+        self,
+        chirp: LFMChirp,
+        body: ReflectorCloud | None,
+        rng: np.random.Generator,
+    ) -> BeepRecording:
+        """Emit one chirp and capture the scene's response.
+
+        Args:
+            chirp: The probing beep.
+            body: Reflector cloud of the user standing in front of the
+                array, or ``None`` for an empty scene.
+            rng: Random generator driving the noise realisation.
+
+        Returns:
+            The multichannel capture.
+        """
+        sample_rate = float(chirp.sample_rate)
+        num_samples = round(self.capture_window_s * sample_rate)
+        emit_index = round(self.pre_silence_s * sample_rate)
+        if chirp.num_samples + emit_index > num_samples:
+            raise ValueError(
+                "capture window too short for the chirp plus pre-silence"
+            )
+
+        emitted = chirp.samples()
+        offset = emit_index / sample_rate
+        band = self._render_band(chirp)
+
+        spectrum = self._static_spectrum_shifted(
+            emitted, sample_rate, num_samples, offset, band
+        ).copy()
+        if body is not None and body.num_reflectors > 0:
+            body_bundle = reflection_paths(
+                self.speaker_position, body, self.array, self.speed_of_sound
+            )
+            shifted = PropagationPath(
+                delays_s=body_bundle.delays_s + offset,
+                gains=body_bundle.gains,
+                label=body_bundle.label,
+            )
+            spectrum += render_paths_spectrum(
+                emitted, [shifted], sample_rate, num_samples, band
+            )
+        clean = np.fft.irfft(spectrum, n=num_samples, axis=-1)
+        noise = self.noise.sample(
+            rng, self.array.num_mics, num_samples, sample_rate
+        )
+        return BeepRecording(
+            samples=clean + noise,
+            sample_rate=sample_rate,
+            emit_index=emit_index,
+        )
+
+    def record_beeps(
+        self,
+        chirp: LFMChirp,
+        bodies: list[ReflectorCloud | None],
+        rng: np.random.Generator,
+    ) -> list[BeepRecording]:
+        """Capture one beep per body realisation.
+
+        Args:
+            chirp: The probing beep.
+            bodies: One (possibly jittered) body cloud per beep.
+            rng: Random generator.
+
+        Returns:
+            One recording per entry of ``bodies``.
+        """
+        return [self.record_beep(chirp, body, rng) for body in bodies]

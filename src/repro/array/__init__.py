@@ -1,0 +1,61 @@
+"""Microphone-array substrate: geometries, steering, beamforming."""
+
+from repro.array.beamforming import (
+    Beamformer,
+    DelayAndSumBeamformer,
+    MVDRBeamformer,
+    SingleMicrophone,
+)
+from repro.array.beampattern import (
+    BeamPattern,
+    azimuth_beam_pattern,
+    grating_lobe_onset_hz,
+    has_grating_lobes,
+    rayleigh_beamwidth_rad,
+)
+from repro.array.covariance import (
+    diagonal_loading,
+    estimate_noise_covariance,
+    sample_covariance,
+)
+from repro.array.geometry import (
+    MicrophoneArray,
+    circular_array,
+    far_field_distance,
+    linear_array,
+    rectangular_array,
+    respeaker_array,
+)
+from repro.array.steering import (
+    propagation_vector,
+    steering_vector,
+    steering_vectors,
+    tdoa,
+    wavenumber_vector,
+)
+
+__all__ = [
+    "MicrophoneArray",
+    "circular_array",
+    "linear_array",
+    "rectangular_array",
+    "respeaker_array",
+    "far_field_distance",
+    "propagation_vector",
+    "tdoa",
+    "wavenumber_vector",
+    "steering_vector",
+    "steering_vectors",
+    "sample_covariance",
+    "diagonal_loading",
+    "estimate_noise_covariance",
+    "Beamformer",
+    "MVDRBeamformer",
+    "DelayAndSumBeamformer",
+    "SingleMicrophone",
+    "BeamPattern",
+    "azimuth_beam_pattern",
+    "grating_lobe_onset_hz",
+    "has_grating_lobes",
+    "rayleigh_beamwidth_rad",
+]

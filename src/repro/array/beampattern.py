@@ -1,0 +1,209 @@
+"""Beam-pattern analysis for array design (Section V-A's constraints).
+
+The paper's frequency-band choice is driven by two array properties this
+module quantifies: **grating lobes** appear when the microphone spacing
+exceeds half a wavelength (pushing the probe below ~3 kHz for 5 cm
+spacings), and the **beamwidth** of a small array at low frequency bounds
+the angular resolution of the acoustic image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.array.beamforming import Beamformer, DelayAndSumBeamformer
+from repro.array.geometry import MicrophoneArray
+from repro.array.steering import steering_vector, steering_vectors
+
+
+@dataclass(frozen=True)
+class BeamPattern:
+    """Beam response over azimuth at fixed elevation.
+
+    Attributes:
+        azimuths_rad: Scan angles.
+        response: Magnitude response (1.0 at the look direction).
+        look_azimuth_rad: The steered azimuth.
+    """
+
+    azimuths_rad: np.ndarray
+    response: np.ndarray
+    look_azimuth_rad: float
+
+    def beamwidth_rad(self, level: float = 0.5) -> float:
+        """Width of the main lobe at the given relative magnitude.
+
+        Args:
+            level: Relative magnitude defining the lobe edges (0.5 ~ -6 dB
+                in power for a magnitude pattern).
+
+        Returns:
+            The angular width in radians (2*pi when the pattern never
+            falls below the level — i.e. no directivity).
+        """
+        if not 0 < level < 1:
+            raise ValueError(f"level must lie in (0, 1), got {level}")
+        look = int(np.argmin(np.abs(self.azimuths_rad - self.look_azimuth_rad)))
+        n = self.response.size
+        # Walk outward from the look direction until dropping below level.
+        right = 0
+        while right < n and self.response[(look + right) % n] >= level:
+            right += 1
+        left = 0
+        while left < n and self.response[(look - left) % n] >= level:
+            left += 1
+        if right >= n or left >= n:
+            return 2.0 * np.pi
+        step = float(self.azimuths_rad[1] - self.azimuths_rad[0])
+        return (left + right) * step
+
+    def peak_sidelobe(self) -> float:
+        """Largest response outside the main lobe (grating-lobe detector).
+
+        Returns:
+            The peak relative magnitude beyond the first null on either
+            side of the main lobe; 0.0 when the pattern has no null (pure
+            main lobe).
+        """
+        look = int(np.argmin(np.abs(self.azimuths_rad - self.look_azimuth_rad)))
+        n = self.response.size
+        # Find the first local minima flanking the look direction.
+        right = look
+        while (
+            right + 1 < look + n
+            and self.response[(right + 1) % n] <= self.response[right % n]
+        ):
+            right += 1
+        left = look
+        while (
+            left - 1 > look - n
+            and self.response[(left - 1) % n] <= self.response[left % n]
+        ):
+            left -= 1
+        outside = [
+            self.response[i % n]
+            for i in range(right + 1, left - 1 + n)
+        ]
+        return float(max(outside)) if outside else 0.0
+
+
+def azimuth_beam_pattern(
+    array: MicrophoneArray,
+    frequency_hz: float,
+    look_azimuth_rad: float = np.pi / 2,
+    elevation_rad: float = np.pi / 2,
+    beamformer: Beamformer | None = None,
+    num_points: int = 721,
+) -> BeamPattern:
+    """Compute the azimuth beam pattern of a beamformer.
+
+    Args:
+        array: The microphone array.
+        frequency_hz: Analysis frequency.
+        look_azimuth_rad: Steered azimuth.
+        elevation_rad: Fixed elevation of the scan.
+        beamformer: Beamformer to analyse (default: delay-and-sum at the
+            analysis frequency).
+        num_points: Scan resolution over the full circle.
+
+    Returns:
+        The :class:`BeamPattern` (response normalised to the look
+        direction).
+    """
+    if num_points < 8:
+        raise ValueError(f"num_points must be >= 8, got {num_points}")
+    beamformer = beamformer or DelayAndSumBeamformer(
+        array=array, frequency_hz=frequency_hz
+    )
+    weights = beamformer.weights(look_azimuth_rad, elevation_rad)
+    azimuths = np.linspace(0.0, 2.0 * np.pi, num_points, endpoint=False)
+    manifold = steering_vectors(
+        array, azimuths, np.full(num_points, elevation_rad), frequency_hz
+    )
+    response = np.abs(manifold @ weights.conj())
+    look_gain = abs(
+        np.vdot(
+            weights,
+            steering_vector(
+                array, look_azimuth_rad, elevation_rad, frequency_hz
+            ),
+        )
+    )
+    if look_gain <= 0:
+        raise ValueError("beamformer has zero gain at the look direction")
+    return BeamPattern(
+        azimuths_rad=azimuths,
+        response=response / look_gain,
+        look_azimuth_rad=look_azimuth_rad,
+    )
+
+
+def grating_lobe_onset_hz(
+    array: MicrophoneArray, speed_of_sound: float | None = None
+) -> float:
+    """Frequency above which grating lobes can appear (Section V-A).
+
+    Equal to the array's ``max_unaliased_frequency`` — spacing exceeds
+    lambda/2 beyond this point.
+
+    Args:
+        array: The microphone array.
+        speed_of_sound: Speed of sound in m/s (default 343).
+
+    Returns:
+        The onset frequency in Hz.
+    """
+    return array.max_unaliased_frequency(speed_of_sound)
+
+
+def has_grating_lobes(
+    array: MicrophoneArray,
+    frequency_hz: float,
+    threshold: float = 0.9,
+    **kwargs,
+) -> bool:
+    """Empirically test for grating lobes at a frequency.
+
+    A grating lobe is a sidelobe nearly as strong as the main lobe; the
+    paper avoids them by keeping the probe band below the spacing limit.
+
+    Args:
+        array: The microphone array.
+        frequency_hz: Analysis frequency.
+        threshold: Relative sidelobe magnitude that counts as a grating
+            lobe.
+        **kwargs: Forwarded to :func:`azimuth_beam_pattern`.
+
+    Returns:
+        True when a sidelobe exceeds the threshold.
+    """
+    pattern = azimuth_beam_pattern(array, frequency_hz, **kwargs)
+    return pattern.peak_sidelobe() >= threshold
+
+
+def rayleigh_beamwidth_rad(
+    array: MicrophoneArray,
+    frequency_hz: float,
+    speed_of_sound: float | None = None,
+) -> float:
+    """Diffraction-limited beamwidth estimate ``lambda / D``.
+
+    Args:
+        array: The microphone array.
+        frequency_hz: Analysis frequency.
+        speed_of_sound: Speed of sound in m/s (default 343).
+
+    Returns:
+        The approximate main-lobe width in radians; ``inf`` for a point
+        array.
+    """
+    c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    aperture = array.aperture
+    if aperture == 0:
+        return float("inf")
+    return (c / frequency_hz) / aperture

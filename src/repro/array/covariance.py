@@ -1,0 +1,90 @@
+"""Covariance estimation for MVDR beamforming.
+
+The MVDR weights of Eq. (8) require ``rho_n``, the normalized covariance
+matrix of the background noise across the M microphones.  In practice the
+covariance is estimated from noise-only snapshots (the samples preceding the
+chirp emission) and regularised with diagonal loading so the inverse stays
+well conditioned even with few snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
+    """Sample covariance of multi-channel snapshots.
+
+    Args:
+        snapshots: Complex or real array of shape ``(M, N)`` — M channels,
+            N time samples.
+
+    Returns:
+        Hermitian complex matrix of shape ``(M, M)``.
+    """
+    snapshots = np.asarray(snapshots)
+    if snapshots.ndim != 2:
+        raise ValueError(f"snapshots must be 2-D (M, N), got {snapshots.shape}")
+    num_channels, num_samples = snapshots.shape
+    if num_samples < 1:
+        raise ValueError("need at least one snapshot")
+    cov = (snapshots @ snapshots.conj().T) / num_samples
+    # Enforce exact Hermitian symmetry against floating-point drift.
+    return (cov + cov.conj().T) / 2.0
+
+
+def diagonal_loading(cov: np.ndarray, loading: float) -> np.ndarray:
+    """Add scaled-identity loading to a covariance matrix.
+
+    Args:
+        cov: Hermitian matrix of shape ``(M, M)``.
+        loading: Loading factor relative to the mean diagonal power; the
+            returned matrix is ``cov + loading * mean(diag(cov)) * I`` (an
+            absolute floor is used when the matrix is all-zero).
+
+    Returns:
+        The loaded matrix.
+    """
+    cov = np.asarray(cov)
+    if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+        raise ValueError(f"cov must be square, got {cov.shape}")
+    if loading < 0:
+        raise ValueError(f"loading must be non-negative, got {loading}")
+    scale = float(np.real(np.trace(cov)) / cov.shape[0])
+    if scale <= 0:
+        scale = 1.0
+    return cov + loading * scale * np.eye(cov.shape[0], dtype=cov.dtype)
+
+
+def estimate_noise_covariance(
+    recordings: np.ndarray,
+    noise_samples: int,
+    loading: float = 1e-3,
+) -> np.ndarray:
+    """Estimate the normalized noise covariance from a leading quiet period.
+
+    Args:
+        recordings: Complex analytic recordings of shape ``(M, N)``.
+        noise_samples: Number of leading samples assumed to contain only
+            background noise (before the chirp onset).
+        loading: Diagonal loading factor for regularisation.
+
+    Returns:
+        Normalized (unit mean diagonal power), loaded Hermitian matrix of
+        shape ``(M, M)``.  When too few noise samples are available, the
+        identity matrix is returned — MVDR then degrades gracefully to
+        delay-and-sum behaviour.
+    """
+    recordings = np.asarray(recordings)
+    if recordings.ndim != 2:
+        raise ValueError(f"recordings must be 2-D (M, N), got {recordings.shape}")
+    num_channels = recordings.shape[0]
+    if noise_samples < 2 * num_channels:
+        return np.eye(num_channels, dtype=complex)
+    segment = recordings[:, :noise_samples]
+    cov = sample_covariance(segment)
+    power = float(np.real(np.trace(cov)) / num_channels)
+    if power <= 0:
+        return np.eye(num_channels, dtype=complex)
+    cov = cov / power
+    return diagonal_loading(cov, loading)

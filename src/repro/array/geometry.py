@@ -1,0 +1,226 @@
+"""Microphone array geometries.
+
+The coordinate convention follows Section III-C (Figure 1): the array centre
+sits at the origin, microphone ``m`` at position ``p_m = [p_xm, p_ym, p_zm]``.
+A wave arriving with azimuth ``theta`` and elevation ``phi`` propagates along
+``-[sin(phi) cos(theta), sin(phi) sin(theta), cos(phi)]`` (Eq. 5), i.e. the
+user standing in front of the array at eye level is at
+``theta = pi/2, phi = pi/2`` and positive ``y``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class MicrophoneArray:
+    """An array of M microphones with fixed known positions.
+
+    Attributes:
+        positions: Array of shape ``(M, 3)`` with microphone coordinates in
+            metres, relative to the array centre (Eq. 3/4).
+        name: Human-readable identifier.
+    """
+
+    positions: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(
+                f"positions must have shape (M, 3), got {positions.shape}"
+            )
+        if positions.shape[0] < 1:
+            raise ValueError("array needs at least one microphone")
+        if not np.all(np.isfinite(positions)):
+            raise ValueError("microphone positions must be finite")
+        object.__setattr__(self, "positions", positions)
+
+    @property
+    def num_mics(self) -> int:
+        """Number of microphones M."""
+        return self.positions.shape[0]
+
+    @property
+    def aperture(self) -> float:
+        """Largest inter-microphone distance, in metres."""
+        if self.num_mics == 1:
+            return 0.0
+        diffs = self.positions[:, None, :] - self.positions[None, :, :]
+        return float(np.linalg.norm(diffs, axis=-1).max())
+
+    @property
+    def min_spacing(self) -> float:
+        """Smallest non-zero inter-microphone distance, in metres."""
+        if self.num_mics == 1:
+            return 0.0
+        diffs = self.positions[:, None, :] - self.positions[None, :, :]
+        dists = np.linalg.norm(diffs, axis=-1)
+        off_diagonal = dists[~np.eye(self.num_mics, dtype=bool)]
+        return float(off_diagonal.min())
+
+    def centered(self) -> "MicrophoneArray":
+        """Return a copy translated so the centroid is at the origin."""
+        return MicrophoneArray(
+            positions=self.positions - self.positions.mean(axis=0),
+            name=self.name,
+        )
+
+    def max_unaliased_frequency(self, speed_of_sound: float | None = None) -> float:
+        """Highest frequency free of grating lobes for this geometry.
+
+        Section V-A: spatial aliasing (grating lobes) is avoided when the
+        microphone spacing stays below half a wavelength, so the bound is
+        ``c / (2 * min_spacing)``.
+
+        Args:
+            speed_of_sound: Speed of sound in m/s (default: 343).
+
+        Returns:
+            The maximum safe frequency in Hz; ``inf`` for a single mic.
+        """
+        c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+        spacing = self.min_spacing
+        if spacing == 0.0:
+            return math.inf
+        return c / (2.0 * spacing)
+
+    def is_far_field(
+        self,
+        distance_m: float,
+        frequency_hz: float,
+        speed_of_sound: float | None = None,
+    ) -> bool:
+        """Check the far-field condition of Eq. (1) for a source distance.
+
+        Args:
+            distance_m: Source distance L in metres.
+            frequency_hz: Signal frequency in Hz.
+            speed_of_sound: Speed of sound in m/s (default: 343).
+
+        Returns:
+            True when ``L >= 2 d^2 / lambda`` with d the array aperture.
+        """
+        return distance_m >= far_field_distance(
+            self.aperture, frequency_hz, speed_of_sound
+        )
+
+
+def far_field_distance(
+    aperture_m: float,
+    frequency_hz: float,
+    speed_of_sound: float | None = None,
+) -> float:
+    """Minimum far-field distance ``L = 2 d^2 / lambda`` of Eq. (1).
+
+    Args:
+        aperture_m: Array dimension ``d`` in metres.
+        frequency_hz: Signal frequency in Hz.
+        speed_of_sound: Speed of sound in m/s (default: 343).
+
+    Returns:
+        The far-field onset distance in metres.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    if aperture_m < 0:
+        raise ValueError(f"aperture must be non-negative, got {aperture_m}")
+    c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+    wavelength = c / frequency_hz
+    return 2.0 * aperture_m**2 / wavelength
+
+
+def circular_array(
+    num_mics: int,
+    radius_m: float,
+    name: str = "circular",
+) -> MicrophoneArray:
+    """Uniform circular array in the x-y plane, centred at the origin.
+
+    Args:
+        num_mics: Number of microphones placed on the circle.
+        radius_m: Circle radius in metres.
+        name: Identifier for the geometry.
+
+    Returns:
+        The populated :class:`MicrophoneArray`.
+    """
+    if num_mics < 1:
+        raise ValueError(f"num_mics must be >= 1, got {num_mics}")
+    if radius_m <= 0:
+        raise ValueError(f"radius must be positive, got {radius_m}")
+    angles = 2.0 * np.pi * np.arange(num_mics) / num_mics
+    positions = np.stack(
+        [radius_m * np.cos(angles), radius_m * np.sin(angles), np.zeros(num_mics)],
+        axis=1,
+    )
+    return MicrophoneArray(positions=positions, name=name)
+
+
+def respeaker_array() -> MicrophoneArray:
+    """The ReSpeaker-like 6-mic circular array of Section VI-A.
+
+    Six microphones uniformly distributed on a circle with an adjacent
+    spacing of about 5 cm; for a regular hexagon the adjacent spacing equals
+    the circumradius, so the radius is 5 cm.
+    """
+    return circular_array(
+        num_mics=constants.RESPEAKER_NUM_MICS,
+        radius_m=constants.RESPEAKER_ADJACENT_SPACING_M,
+        name="respeaker",
+    )
+
+
+def linear_array(
+    num_mics: int,
+    spacing_m: float,
+    name: str = "linear",
+) -> MicrophoneArray:
+    """Uniform linear array along the x axis, centred at the origin.
+
+    Args:
+        num_mics: Number of microphones.
+        spacing_m: Distance between adjacent microphones in metres.
+        name: Identifier for the geometry.
+    """
+    if num_mics < 1:
+        raise ValueError(f"num_mics must be >= 1, got {num_mics}")
+    if spacing_m <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing_m}")
+    xs = spacing_m * (np.arange(num_mics) - (num_mics - 1) / 2.0)
+    positions = np.stack([xs, np.zeros(num_mics), np.zeros(num_mics)], axis=1)
+    return MicrophoneArray(positions=positions, name=name)
+
+
+def rectangular_array(
+    num_x: int,
+    num_z: int,
+    spacing_m: float,
+    name: str = "rectangular",
+) -> MicrophoneArray:
+    """Planar rectangular grid in the x-z plane, centred at the origin.
+
+    Args:
+        num_x: Grid size along x.
+        num_z: Grid size along z.
+        spacing_m: Grid pitch in metres.
+        name: Identifier for the geometry.
+    """
+    if num_x < 1 or num_z < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    if spacing_m <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing_m}")
+    xs = spacing_m * (np.arange(num_x) - (num_x - 1) / 2.0)
+    zs = spacing_m * (np.arange(num_z) - (num_z - 1) / 2.0)
+    grid_x, grid_z = np.meshgrid(xs, zs, indexing="ij")
+    positions = np.stack(
+        [grid_x.ravel(), np.zeros(num_x * num_z), grid_z.ravel()], axis=1
+    )
+    return MicrophoneArray(positions=positions, name=name)

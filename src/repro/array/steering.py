@@ -1,0 +1,159 @@
+"""Far-field steering model of Section III-C.
+
+Given the incident direction ``Omega = (theta, phi)`` (azimuth, elevation)
+the sound propagation vector is (Eq. 5)
+
+.. math::
+
+    v(\\Omega) = -[\\sin\\varphi\\cos\\theta,\\;
+                   \\sin\\varphi\\sin\\theta,\\;
+                   \\cos\\varphi]^T
+
+``v`` points along the direction of travel (away from the source), so a
+microphone displaced *along* the travel direction is reached later: the
+physical delay relative to the array origin is ``tau_m = +v^T p_m / c`` and
+the narrow-band phase shift at centre angular frequency ``omega_0`` is
+``-k^T p_m`` with the wavenumber vector ``k = omega_0 v / c``, giving the
+array manifold ``p_s = [exp(-j k^T p_1), ..., exp(-j k^T p_M)]``.
+
+Note: the paper's Eq. (6) carries the opposite sign on ``tau_m`` while its
+Eq. (7) then negates it again; the two are mutually inconsistent as
+printed.  We use the physically consistent convention above (delays and
+phases both referenced to the travel direction), which we validated
+against the frequency-domain scene renderer: beam scans peak at the true
+source azimuth rather than its mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.array.geometry import MicrophoneArray
+
+
+def propagation_vector(azimuth_rad: float, elevation_rad: float) -> np.ndarray:
+    """Unit propagation vector ``v(Omega)`` of Eq. (5).
+
+    Args:
+        azimuth_rad: Azimuth angle theta.
+        elevation_rad: Elevation angle phi (0 = +z axis, pi/2 = horizon).
+
+    Returns:
+        Length-3 unit vector pointing *from* the source *towards* the array.
+    """
+    sin_phi = np.sin(elevation_rad)
+    return -np.array(
+        [
+            sin_phi * np.cos(azimuth_rad),
+            sin_phi * np.sin(azimuth_rad),
+            np.cos(elevation_rad),
+        ]
+    )
+
+
+def tdoa(
+    array: MicrophoneArray,
+    azimuth_rad: float,
+    elevation_rad: float,
+    speed_of_sound: float | None = None,
+) -> np.ndarray:
+    """Per-microphone delay relative to the origin (Eq. 6).
+
+    Args:
+        array: The microphone array.
+        azimuth_rad: Azimuth of the incident wave.
+        elevation_rad: Elevation of the incident wave.
+        speed_of_sound: Speed of sound in m/s (default: 343).
+
+    Returns:
+        Array of shape ``(M,)`` with delays in seconds; positive values mean
+        the wavefront reaches the microphone *after* the origin.
+    """
+    c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+    v = propagation_vector(azimuth_rad, elevation_rad)
+    return (array.positions @ v) / c
+
+
+def wavenumber_vector(
+    azimuth_rad: float,
+    elevation_rad: float,
+    frequency_hz: float,
+    speed_of_sound: float | None = None,
+) -> np.ndarray:
+    """Wavenumber vector ``k(Omega) = omega_0 v(Omega) / c`` of Eq. (7)."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+    omega0 = 2.0 * np.pi * frequency_hz
+    return omega0 * propagation_vector(azimuth_rad, elevation_rad) / c
+
+
+def steering_vector(
+    array: MicrophoneArray,
+    azimuth_rad: float,
+    elevation_rad: float,
+    frequency_hz: float,
+    speed_of_sound: float | None = None,
+) -> np.ndarray:
+    """Narrow-band steering vector ``p_s`` used in the MVDR weights (Eq. 8).
+
+    Args:
+        array: The microphone array.
+        azimuth_rad: Look-direction azimuth.
+        elevation_rad: Look-direction elevation.
+        frequency_hz: Narrow-band centre frequency.
+        speed_of_sound: Speed of sound in m/s (default: 343).
+
+    Returns:
+        Complex unit-modulus array of shape ``(M,)``.
+    """
+    k = wavenumber_vector(
+        azimuth_rad, elevation_rad, frequency_hz, speed_of_sound
+    )
+    return np.exp(-1j * (array.positions @ k))
+
+
+def steering_vectors(
+    array: MicrophoneArray,
+    azimuths_rad: np.ndarray,
+    elevations_rad: np.ndarray,
+    frequency_hz: float,
+    speed_of_sound: float | None = None,
+) -> np.ndarray:
+    """Vectorized steering vectors for a batch of look directions.
+
+    Args:
+        array: The microphone array.
+        azimuths_rad: Shape ``(K,)`` azimuths.
+        elevations_rad: Shape ``(K,)`` elevations.
+        frequency_hz: Narrow-band centre frequency.
+        speed_of_sound: Speed of sound in m/s (default: 343).
+
+    Returns:
+        Complex array of shape ``(K, M)``; row k is the steering vector of
+        direction k.
+    """
+    azimuths_rad = np.asarray(azimuths_rad, dtype=float).ravel()
+    elevations_rad = np.asarray(elevations_rad, dtype=float).ravel()
+    if azimuths_rad.shape != elevations_rad.shape:
+        raise ValueError(
+            f"azimuths {azimuths_rad.shape} and elevations "
+            f"{elevations_rad.shape} must match"
+        )
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    c = constants.SPEED_OF_SOUND if speed_of_sound is None else speed_of_sound
+    omega0 = 2.0 * np.pi * frequency_hz
+
+    sin_phi = np.sin(elevations_rad)
+    directions = -np.stack(
+        [
+            sin_phi * np.cos(azimuths_rad),
+            sin_phi * np.sin(azimuths_rad),
+            np.cos(elevations_rad),
+        ],
+        axis=1,
+    )  # (K, 3)
+    phases = (omega0 / c) * (directions @ array.positions.T)  # (K, M)
+    return np.exp(-1j * phases)

@@ -1,0 +1,163 @@
+"""Attack toolkit: the physical postures an adversary can present.
+
+Section I's threat model (replay, impersonation, voice synthesis, dolphin
+attacks) shares one property: the adversary controls the *audio* but not
+the *sonar return* of whatever stands in front of the speaker.  This module
+materialises the physical side of those attacks as reflector clouds, so
+examples and tests can measure what the spoofer gate actually sees:
+
+* ``remote_replay`` — nobody present (command injected from elsewhere);
+* ``impostor`` — a different person standing in (replay through a pocket
+  speaker, impersonation, synthesis — acoustically all the same body);
+* ``flat_board_decoy`` — a naive physical decoy propped where the victim
+  would stand;
+* ``mannequin_decoy`` — a decoy shaped like a person but with uniform
+  surface reflectivity (no clothing texture, no relief identity);
+* ``recorded_replay_of_body`` — the strongest modelled adversary: a
+  perfect *geometric* copy of the victim's body with reflectivity scaled
+  by the decoy material.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.reflectors import ReflectorCloud
+from repro.body.subject import SyntheticSubject
+
+
+def remote_replay() -> None:
+    """The empty-room attack: no body present at all.
+
+    Returns:
+        ``None`` — the scene's body argument for an empty room.  Distance
+        estimation fails (no echo), so the pipeline rejects before
+        classification.
+    """
+    return None
+
+
+def impostor(
+    subject: SyntheticSubject, distance_m: float = 0.7
+) -> ReflectorCloud:
+    """A different person standing in front of the speaker.
+
+    Args:
+        subject: The attacker's body.
+        distance_m: Standing distance they choose.
+
+    Returns:
+        The attacker's body cloud.
+    """
+    return subject.cloud_at(distance_m)
+
+
+def flat_board_decoy(
+    distance_m: float = 0.7,
+    width_m: float = 0.6,
+    height_m: float = 0.9,
+    center_z_m: float = 0.0,
+    reflectivity: float = 0.08,
+    spacing_m: float = 0.05,
+) -> ReflectorCloud:
+    """A flat rigid board on a stand — the cheapest physical decoy.
+
+    Args:
+        distance_m: Board distance from the array.
+        width_m: Board width.
+        height_m: Board height.
+        center_z_m: Board centre height relative to the array.
+        reflectivity: Per-patch amplitude reflectivity (rigid boards
+            reflect strongly and specularly).
+        spacing_m: Patch sampling pitch.
+
+    Returns:
+        The board's reflector cloud.
+    """
+    if min(width_m, height_m, spacing_m) <= 0:
+        raise ValueError("board dimensions and spacing must be positive")
+    nx = max(2, round(width_m / spacing_m))
+    nz = max(2, round(height_m / spacing_m))
+    xs, zs = np.meshgrid(
+        np.linspace(-width_m / 2, width_m / 2, nx),
+        center_z_m + np.linspace(-height_m / 2, height_m / 2, nz),
+    )
+    positions = np.stack(
+        [xs.ravel(), np.full(xs.size, distance_m), zs.ravel()], axis=1
+    )
+    return ReflectorCloud(
+        positions=positions,
+        reflectivities=np.full(xs.size, reflectivity),
+        label="board-decoy",
+    )
+
+
+def mannequin_decoy(
+    victim: SyntheticSubject,
+    distance_m: float = 0.7,
+    reflectivity: float = 0.03,
+) -> ReflectorCloud:
+    """A body-shaped decoy without the victim's surface identity.
+
+    Keeps the victim's silhouette (an attacker could estimate height and
+    build from observation) but has a uniform hard surface: no clothing
+    texture, no relief field.
+
+    Args:
+        victim: Whose silhouette the mannequin copies.
+        distance_m: Where the mannequin is placed.
+        reflectivity: Uniform amplitude reflectivity of the surface.
+
+    Returns:
+        The mannequin's cloud.
+    """
+    body = victim.cloud_at(distance_m)
+    return ReflectorCloud(
+        positions=body.positions,
+        reflectivities=np.full(body.num_reflectors, reflectivity),
+        label="mannequin-decoy",
+    )
+
+
+def recorded_replay_of_body(
+    victim: SyntheticSubject,
+    distance_m: float = 0.7,
+    fidelity: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> ReflectorCloud:
+    """The strongest modelled adversary: a near-copy of the victim's body.
+
+    Represents an attacker who somehow reproduces the victim's geometry
+    and reflectivity pattern (e.g. a sophisticated physical replica).
+    ``fidelity`` in [0, 1] interpolates the reflectivity pattern between a
+    uniform surface (0) and the victim's exact pattern (1), with position
+    errors shrinking accordingly.
+
+    Args:
+        victim: The copied subject.
+        distance_m: Replica placement.
+        fidelity: Copy quality.
+        rng: Random generator for the residual copying errors.
+
+    Returns:
+        The replica's cloud.
+    """
+    if not 0.0 <= fidelity <= 1.0:
+        raise ValueError(f"fidelity must lie in [0, 1], got {fidelity}")
+    rng = rng or np.random.default_rng(0)
+    body = victim.cloud_at(distance_m)
+    uniform = np.full(
+        body.num_reflectors, float(np.mean(body.reflectivities))
+    )
+    reflectivities = (
+        fidelity * body.reflectivities + (1.0 - fidelity) * uniform
+    )
+    position_error = (1.0 - fidelity) * 0.02
+    positions = body.positions + rng.normal(
+        0.0, position_error, size=body.positions.shape
+    )
+    return ReflectorCloud(
+        positions=positions,
+        reflectivities=reflectivities,
+        label=f"replica-f{fidelity:.2f}",
+    )

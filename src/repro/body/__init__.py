@@ -1,0 +1,21 @@
+"""Synthetic human subjects: anthropometrics, reflector clouds, populations."""
+
+from repro.body.anthropometrics import Anthropometrics, sample_anthropometrics
+from repro.body.population import (
+    TABLE_I_DEMOGRAPHICS,
+    DemographicEntry,
+    Population,
+    build_population,
+)
+from repro.body.subject import SessionConditions, SyntheticSubject
+
+__all__ = [
+    "Anthropometrics",
+    "sample_anthropometrics",
+    "SyntheticSubject",
+    "SessionConditions",
+    "DemographicEntry",
+    "TABLE_I_DEMOGRAPHICS",
+    "Population",
+    "build_population",
+]

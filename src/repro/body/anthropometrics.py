@@ -1,0 +1,116 @@
+"""Anthropometric parameters of synthetic subjects.
+
+The acoustic image of Section V-C captures the spatial reflectivity pattern
+of the user's frontal surface, so the parameters that matter are the ones
+that shape that surface: stature, shoulder breadth, torso depth and the
+fine-grained relief/reflectivity texture (clothing, physique).  Values are
+drawn from gender-conditioned normal distributions with means and spreads
+in the range of published anthropometric surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Anthropometrics:
+    """Body-shape parameters of one subject.
+
+    Attributes:
+        height_m: Standing height.
+        shoulder_width_m: Biacromial breadth.
+        hip_width_m: Body width at the hips.
+        torso_depth_m: Chest depth (front-back).
+        head_radius_m: Radius of the (spherical) head model.
+        reflectivity: Mean amplitude reflectivity of the body surface
+            (clothing dependent).
+    """
+
+    height_m: float
+    shoulder_width_m: float
+    hip_width_m: float
+    torso_depth_m: float
+    head_radius_m: float
+    reflectivity: float
+
+    def __post_init__(self) -> None:
+        for name, value, lo, hi in [
+            ("height_m", self.height_m, 1.2, 2.2),
+            ("shoulder_width_m", self.shoulder_width_m, 0.25, 0.65),
+            ("hip_width_m", self.hip_width_m, 0.2, 0.6),
+            ("torso_depth_m", self.torso_depth_m, 0.1, 0.45),
+            ("head_radius_m", self.head_radius_m, 0.06, 0.15),
+            ("reflectivity", self.reflectivity, 0.05, 5.0),
+        ]:
+            if not lo <= value <= hi:
+                raise ValueError(
+                    f"{name}={value} outside plausible range [{lo}, {hi}]"
+                )
+
+    @property
+    def shoulder_height_m(self) -> float:
+        """Height of the shoulder line (~0.82 of stature)."""
+        return 0.82 * self.height_m
+
+    @property
+    def hip_height_m(self) -> float:
+        """Height of the hip line (~0.5 of stature)."""
+        return 0.50 * self.height_m
+
+
+#: (mean, std) per parameter, keyed by gender.
+_DISTRIBUTIONS = {
+    "male": {
+        "height_m": (1.75, 0.09),
+        "shoulder_width_m": (0.46, 0.04),
+        "hip_width_m": (0.35, 0.03),
+        "torso_depth_m": (0.24, 0.03),
+        "head_radius_m": (0.095, 0.006),
+        # Reflectivity spread is dominated by clothing (a padded jacket
+        # returns several times the echo of a thin shirt).
+        "reflectivity": (1.0, 0.30),
+    },
+    "female": {
+        "height_m": (1.62, 0.08),
+        "shoulder_width_m": (0.40, 0.035),
+        "hip_width_m": (0.37, 0.03),
+        "torso_depth_m": (0.22, 0.028),
+        "head_radius_m": (0.090, 0.006),
+        "reflectivity": (1.0, 0.30),
+    },
+}
+
+#: Hard clamps keeping sampled values inside Anthropometrics' valid ranges.
+_CLAMPS = {
+    "height_m": (1.45, 2.05),
+    "shoulder_width_m": (0.30, 0.58),
+    "hip_width_m": (0.26, 0.50),
+    "torso_depth_m": (0.15, 0.36),
+    "head_radius_m": (0.075, 0.12),
+    "reflectivity": (0.40, 2.20),
+}
+
+
+def sample_anthropometrics(
+    rng: np.random.Generator, gender: str = "male"
+) -> Anthropometrics:
+    """Draw one subject's anthropometrics.
+
+    Args:
+        rng: Random generator (seeded per subject for reproducibility).
+        gender: "male" or "female"; selects the parameter distributions.
+
+    Returns:
+        A plausible, clamped :class:`Anthropometrics`.
+    """
+    gender = gender.lower()
+    if gender not in _DISTRIBUTIONS:
+        raise ValueError(f"gender must be 'male' or 'female', got {gender!r}")
+    params = {}
+    for name, (mean, std) in _DISTRIBUTIONS[gender].items():
+        lo, hi = _CLAMPS[name]
+        params[name] = float(np.clip(rng.normal(mean, std), lo, hi))
+    return Anthropometrics(**params)

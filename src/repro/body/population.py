@@ -1,0 +1,138 @@
+"""Experiment populations reproducing Table I of the paper.
+
+Twenty volunteers: users 1–5 male undergraduates, 6 female undergraduate,
+7–15 male graduate students, 16–19 female graduate students, 20 a male
+faculty/staff/engineer.  Of the 20, 12 register with the system and the
+remaining 8 act as spoofers (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.body.subject import SyntheticSubject
+
+
+@dataclass(frozen=True)
+class DemographicEntry:
+    """One row of Table I.
+
+    Attributes:
+        user_id: 1-based user identifier.
+        gender: "Male" or "Female".
+        age_range: Age bracket string as printed in the table.
+        occupation: Occupation string as printed in the table.
+    """
+
+    user_id: int
+    gender: str
+    age_range: str
+    occupation: str
+
+
+def _table_i() -> tuple[DemographicEntry, ...]:
+    entries: list[DemographicEntry] = []
+    for user_id in range(1, 6):
+        entries.append(
+            DemographicEntry(user_id, "Male", "10-20", "Undergraduate Student")
+        )
+    entries.append(
+        DemographicEntry(6, "Female", "10-20", "Undergraduate Student")
+    )
+    for user_id in range(7, 16):
+        entries.append(
+            DemographicEntry(user_id, "Male", "20-30", "Graduate Student")
+        )
+    for user_id in range(16, 20):
+        entries.append(
+            DemographicEntry(user_id, "Female", "20-30", "Graduate Student")
+        )
+    entries.append(
+        DemographicEntry(20, "Male", "30-40", "Faculty, Staff and Engineer")
+    )
+    return tuple(entries)
+
+
+#: The demographics table of the paper, verbatim.
+TABLE_I_DEMOGRAPHICS: tuple[DemographicEntry, ...] = _table_i()
+
+
+@dataclass
+class Population:
+    """A set of synthetic subjects split into registered users and spoofers.
+
+    Attributes:
+        registered: Subjects enrolled with the authenticator.
+        spoofers: Subjects attacking the authenticator.
+        demographics: The demographic rows backing each subject, indexed by
+            ``subject.subject_id``.
+    """
+
+    registered: list[SyntheticSubject]
+    spoofers: list[SyntheticSubject]
+    demographics: dict[int, DemographicEntry] = field(default_factory=dict)
+
+    @property
+    def all_subjects(self) -> list[SyntheticSubject]:
+        """Registered users followed by spoofers."""
+        return [*self.registered, *self.spoofers]
+
+    def __post_init__(self) -> None:
+        registered_ids = {s.subject_id for s in self.registered}
+        spoofer_ids = {s.subject_id for s in self.spoofers}
+        overlap = registered_ids & spoofer_ids
+        if overlap:
+            raise ValueError(
+                f"subjects cannot be both registered and spoofers: {overlap}"
+            )
+
+
+def build_population(
+    num_registered: int = 12,
+    num_spoofers: int = 8,
+    seed_base: int = 20230048,
+) -> Population:
+    """Instantiate the paper's population from Table I.
+
+    Subjects are materialised in user-id order; the first
+    ``num_registered`` register, the next ``num_spoofers`` act as spoofers.
+    Each subject's body is a deterministic function of
+    ``(seed_base, user_id)``.
+
+    Args:
+        num_registered: Number of enrolled users (paper: 12).
+        num_spoofers: Number of attacking users (paper: 8).
+        seed_base: Global experiment seed.
+
+    Returns:
+        The assembled population.
+
+    Raises:
+        ValueError: If more subjects are requested than Table I contains.
+    """
+    total = num_registered + num_spoofers
+    if num_registered < 1 or num_spoofers < 0:
+        raise ValueError(
+            "need at least one registered user and a non-negative number of "
+            "spoofers"
+        )
+    if total > len(TABLE_I_DEMOGRAPHICS):
+        raise ValueError(
+            f"Table I has {len(TABLE_I_DEMOGRAPHICS)} subjects, requested "
+            f"{total}"
+        )
+    subjects = []
+    demographics = {}
+    for entry in TABLE_I_DEMOGRAPHICS[:total]:
+        subject = SyntheticSubject(
+            subject_id=entry.user_id,
+            gender=entry.gender.lower(),
+            seed_base=seed_base,
+        )
+        subjects.append(subject)
+        demographics[entry.user_id] = entry
+    return Population(
+        registered=subjects[:num_registered],
+        spoofers=subjects[num_registered:total],
+        demographics=demographics,
+    )

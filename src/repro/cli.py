@@ -1,0 +1,210 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig5 fig8
+    python -m repro.cli run fig11 --scale 0.5
+    python -m repro.cli run all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.eval import experiments
+from repro.eval.reporting import (
+    format_confusion_matrix,
+    format_series,
+    format_table,
+)
+
+
+def _print_fig5(scale: float) -> None:
+    result = experiments.run_distance_feasibility(num_beeps=20)
+    estimate = result.estimate
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["slant distance D_f (m)", result.paper_d_f,
+                 estimate.slant_distance_m],
+                ["user distance D_p (m)", result.paper_d_p,
+                 estimate.user_distance_m],
+                ["echo delay (ms)", 4.0, estimate.echo_delay_s * 1000],
+            ],
+            title="Figure 5 — distance-estimation feasibility (truth 0.6 m)",
+        )
+    )
+
+
+def _print_fig8(scale: float) -> None:
+    result = experiments.run_image_feasibility()
+    print(
+        format_table(
+            ["pair type", "mean correlation"],
+            [
+                ["same user", result.intra_user_similarity],
+                ["different users", result.inter_user_similarity],
+            ],
+            title="Figure 8 — acoustic-image similarity",
+        )
+    )
+
+
+def _print_table1(scale: float) -> None:
+    from repro.body.population import TABLE_I_DEMOGRAPHICS
+
+    print(
+        format_table(
+            ["user", "gender", "age", "occupation"],
+            [
+                [e.user_id, e.gender, e.age_range, e.occupation]
+                for e in TABLE_I_DEMOGRAPHICS
+            ],
+            title="Table I — demographics",
+        )
+    )
+
+
+def _print_fig11(scale: float) -> None:
+    result = experiments.run_overall_performance(scale=scale)
+    print(
+        format_confusion_matrix(
+            result.matrix,
+            [str(label) for label in result.labels],
+            title="Figure 11 — confusion matrix (label -1 = spoofer)",
+        )
+    )
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["registered-user accuracy", 0.98, result.user_accuracy],
+                ["spoofer detection", 0.97, result.spoofer_accuracy],
+                ["identification (accepted)", 0.98,
+                 result.identification_accuracy],
+            ],
+        )
+    )
+
+
+def _print_fig12(scale: float) -> None:
+    result = experiments.run_environment_robustness(scale=scale)
+    rows = []
+    for environment, by_noise in result.metrics.items():
+        for noise_kind, metrics in by_noise.items():
+            rows.append(
+                [environment, noise_kind, metrics["recall"],
+                 metrics["precision"], metrics["accuracy"]]
+            )
+    print(
+        format_table(
+            ["environment", "noise", "recall", "precision", "accuracy"],
+            rows,
+            title="Figure 12 — environment robustness",
+        )
+    )
+
+
+def _print_fig13(scale: float) -> None:
+    result = experiments.run_distance_sweep(scale=scale)
+    print(
+        format_series(
+            "distance (m)",
+            list(result.distances_m),
+            result.f_measures,
+            title="Figure 13 — F-measure vs distance",
+        )
+    )
+
+
+def _print_fig14(scale: float) -> None:
+    result = experiments.run_augmentation_study(scale=scale)
+    rows = []
+    for i, size in enumerate(result.train_sizes):
+        for variant in ("plain", "augmented"):
+            metrics = result.metrics[variant][i]
+            rows.append([size, variant, metrics["accuracy"]])
+    print(
+        format_table(
+            ["train beeps", "variant", "accuracy"],
+            rows,
+            title="Figure 14 — data augmentation",
+        )
+    )
+
+
+EXPERIMENTS = {
+    "table1": _print_table1,
+    "fig5": _print_fig5,
+    "fig8": _print_fig8,
+    "fig11": _print_fig11,
+    "fig12": _print_fig12,
+    "fig13": _print_fig13,
+    "fig14": _print_fig14,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EchoImage (ICDCS 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one or more experiments")
+    runner.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    runner.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale relative to the paper's chirp counts "
+        "(default: REPRO_SCALE env or 0.25)",
+    )
+    runner.add_argument(
+        "--seed", type=int, default=20230048, help="experiment seed base"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(args.names)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    scale = args.scale
+    if scale is None:
+        from repro.eval.protocols import repro_scale
+
+        scale = repro_scale()
+    for name in names:
+        started = time.time()
+        print(f"\n=== {name} (scale {scale}) ===")
+        EXPERIMENTS[name](scale)
+        print(f"[{name} finished in {time.time() - started:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

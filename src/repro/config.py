@@ -1,0 +1,248 @@
+"""Configuration dataclasses for the EchoImage pipeline.
+
+Every stage of the pipeline (probing signal, distance estimation, image
+construction, feature extraction, authentication) is parameterised by a small
+frozen dataclass.  ``EchoImageConfig`` bundles them together and is the single
+object users hand to :class:`repro.core.pipeline.EchoImagePipeline`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class BeepConfig:
+    """Parameters of the probing beep signal (Section V-A).
+
+    Attributes:
+        low_hz: Lower edge of the chirp band.
+        high_hz: Upper edge of the chirp band.
+        duration_s: Length of one beep.
+        interval_s: Time between consecutive beeps.
+        amplitude: Peak amplitude of the emitted chirp.  In the simulator's
+            calibration (amplitude 1.0 = 70 dB SPL at 1 m) the default of
+            3.0 corresponds to ~79.5 dB at 1 m — a typical smart-speaker
+            prompt loudness, which keeps body echoes above the ~50 dB
+            playback noise of the testing conditions.
+        sample_rate: Sampling rate used for synthesis and capture.
+    """
+
+    low_hz: float = constants.CHIRP_LOW_HZ
+    high_hz: float = constants.CHIRP_HIGH_HZ
+    duration_s: float = constants.CHIRP_DURATION_S
+    interval_s: float = constants.BEEP_INTERVAL_S
+    amplitude: float = 3.0
+    sample_rate: int = constants.DEFAULT_SAMPLE_RATE
+
+    def __post_init__(self) -> None:
+        if self.low_hz <= 0 or self.high_hz <= self.low_hz:
+            raise ValueError(
+                f"chirp band must satisfy 0 < low < high, got "
+                f"[{self.low_hz}, {self.high_hz}]"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.sample_rate < 2 * self.high_hz:
+            raise ValueError(
+                f"sample rate {self.sample_rate} violates Nyquist for "
+                f"{self.high_hz} Hz"
+            )
+
+    @property
+    def center_hz(self) -> float:
+        """Centre frequency of the chirp band."""
+        return (self.low_hz + self.high_hz) / 2.0
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Swept bandwidth of the chirp."""
+        return self.high_hz - self.low_hz
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in one beep."""
+        return max(1, round(self.duration_s * self.sample_rate))
+
+
+@dataclass(frozen=True)
+class DistanceEstimationConfig:
+    """Parameters of the distance estimator (Section V-B).
+
+    Attributes:
+        steer_azimuth_rad: Azimuth the array is steered to (paper: pi/2,
+            i.e. straight ahead of the array).
+        steer_elevation_rad: Elevation steered to (paper: in [pi/3, 2pi/3]).
+        echo_period_s: Length of the echo search window after the chirp
+            period.
+        peak_min_separation_s: Minimum separation ``d`` between local maxima.
+        peak_threshold_ratio: Peaks below this fraction of the global maximum
+            of the averaged envelope are discarded (the paper's threshold
+            ``th`` expressed relative to the strongest peak).
+        envelope_smoothing_hz: Cut-off of the low-pass smoother applied to
+            the rectified matched-filter output when extracting envelopes.
+        direct_search_window_s: The direct speaker→mic arrival ``tau_1``
+            must fall within this window after the emission; when the
+            beamformer suppresses the direct peak below threshold, the
+            (known) emission instant is used as the time origin instead.
+    """
+
+    steer_azimuth_rad: float = math.pi / 2
+    steer_elevation_rad: float = math.pi / 3
+    echo_period_s: float = constants.ECHO_PERIOD_S
+    peak_min_separation_s: float = 4e-4
+    peak_threshold_ratio: float = 0.05
+    envelope_smoothing_hz: float = 2_000.0
+    direct_search_window_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.steer_elevation_rad < math.pi:
+            raise ValueError("steer_elevation_rad must lie in (0, pi)")
+        if self.echo_period_s <= 0:
+            raise ValueError("echo_period_s must be positive")
+        if not 0 <= self.peak_threshold_ratio < 1:
+            raise ValueError("peak_threshold_ratio must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ImagingConfig:
+    """Parameters of the acoustic image constructor (Section V-C).
+
+    Attributes:
+        plane_side_m: Side length of the square virtual imaging plane.  The
+            paper uses 180 grids of 1 cm, i.e. 1.8 m.
+        grid_resolution: Number of grids along each side (paper: 180; the
+            default is reduced so a pure-NumPy build stays interactive).
+        safeguard_s: Safeguard time ``d'`` around the expected round-trip
+            delay when extracting the per-grid segment.
+        diagonal_loading: Loading factor added to the noise covariance before
+            inversion in the MVDR weights.
+        distance_step_m: Optional snapping of the estimated plane distance
+            to a grid before the plane is built.  Disabled (0) by default:
+            continuous placement tracks the ranging estimate, and snapping
+            introduces bin-straddling artefacts for users whose estimates
+            sit near a bin edge.
+        subbands: Number of sub-bands for frequency-compounded imaging
+            (an extension beyond the paper): the chirp band is split, each
+            sub-band is beamformed and range-gated separately, and pixel
+            energies are averaged incoherently — the classic speckle
+            reduction of ultrasound imaging.  1 reproduces the paper's
+            single-band imager.
+    """
+
+    plane_side_m: float = 1.8
+    grid_resolution: int = 48
+    safeguard_s: float = 3e-4
+    diagonal_loading: float = 1e-3
+    distance_step_m: float = 0.0
+    subbands: int = 1
+
+    def __post_init__(self) -> None:
+        if self.plane_side_m <= 0:
+            raise ValueError("plane_side_m must be positive")
+        if self.grid_resolution < 2:
+            raise ValueError("grid_resolution must be at least 2")
+        if self.safeguard_s <= 0:
+            raise ValueError("safeguard_s must be positive")
+        if self.distance_step_m < 0:
+            raise ValueError("distance_step_m must be non-negative")
+        if self.subbands < 1:
+            raise ValueError("subbands must be >= 1")
+
+    def snap_distance(self, distance_m: float) -> float:
+        """Snap an estimated distance to the plane-distance grid."""
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        if self.distance_step_m == 0:
+            return distance_m
+        step = self.distance_step_m
+        return max(step, round(distance_m / step) * step)
+
+    @property
+    def num_grids(self) -> int:
+        """Total number of grids K on the imaging plane."""
+        return self.grid_resolution**2
+
+    @property
+    def grid_size_m(self) -> float:
+        """Side length of a single grid cell."""
+        return self.plane_side_m / self.grid_resolution
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Parameters of the frozen-CNN feature extractor (Section V-D).
+
+    Attributes:
+        input_size: Images are resized to ``input_size x input_size`` before
+            entering the network (the paper resizes to the VGGish input).
+        widths: Output channel counts of the five convolutional stages.
+        seed: Seed of the deterministic "pre-trained" weight initialisation.
+    """
+
+    input_size: int = 64
+    widths: tuple[int, ...] = (8, 16, 32, 64, 64)
+    seed: int = 1811
+
+    def __post_init__(self) -> None:
+        if self.input_size < 2 ** len(self.widths):
+            raise ValueError(
+                f"input_size {self.input_size} too small for "
+                f"{len(self.widths)} pooling stages"
+            )
+        if any(w <= 0 for w in self.widths):
+            raise ValueError("all stage widths must be positive")
+
+
+@dataclass(frozen=True)
+class AuthenticationConfig:
+    """Parameters of the SVDD + SVM cascade (Section V-E).
+
+    Attributes:
+        svdd_c: Box constraint of the one-class SVDD.
+        svm_c: Box constraint of the n-class SVM.
+        kernel_gamma: RBF kernel width; ``None`` selects the median
+            heuristic at fit time.
+        svdd_gamma_scale: Multiplier applied to the median-heuristic gamma
+            of the SVDD only (the spoofer gate benefits from a tighter
+            kernel than the multiclass SVM).
+        svdd_margin: Fractional slack added to the SVDD radius at decision
+            time (positive values loosen the spoofer gate).
+        svdd_radius_quantile: Quantile of the enrollment distances used as
+            the SVDD decision radius; pins the enrollment-time false
+            rejection rate.
+    """
+
+    svdd_c: float = 0.05
+    svm_c: float = 10.0
+    kernel_gamma: float | None = None
+    svdd_gamma_scale: float = 2.0
+    svdd_margin: float = 0.02
+    svdd_radius_quantile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.svdd_c <= 0 or self.svm_c <= 0:
+            raise ValueError("box constraints must be positive")
+        if self.svdd_gamma_scale <= 0:
+            raise ValueError("svdd_gamma_scale must be positive")
+
+
+@dataclass(frozen=True)
+class EchoImageConfig:
+    """Bundle of all stage configurations for the EchoImage pipeline."""
+
+    beep: BeepConfig = field(default_factory=BeepConfig)
+    distance: DistanceEstimationConfig = field(
+        default_factory=DistanceEstimationConfig
+    )
+    imaging: ImagingConfig = field(default_factory=ImagingConfig)
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    auth: AuthenticationConfig = field(default_factory=AuthenticationConfig)
+
+    @property
+    def sample_rate(self) -> int:
+        """Sampling rate shared by every pipeline stage."""
+        return self.beep.sample_rate

@@ -1,0 +1,42 @@
+"""Physical and system-wide constants used throughout EchoImage.
+
+The values mirror Section V-A of the paper ("Parameter Setting of the Beep
+Signal") and the hardware description of Section VI-A (ReSpeaker 6-mic
+circular array sampled at 48 kHz).
+"""
+
+from __future__ import annotations
+
+#: Speed of sound in air at 20 degrees Celsius, in metres per second.
+SPEED_OF_SOUND: float = 343.0
+
+#: Sampling rate of the microphone array, in Hz (Section V-B).
+DEFAULT_SAMPLE_RATE: int = 48_000
+
+#: Lower edge of the probing chirp band, in Hz (Section V-A).
+CHIRP_LOW_HZ: float = 2_000.0
+
+#: Upper edge of the probing chirp band, in Hz (Section V-A).
+CHIRP_HIGH_HZ: float = 3_000.0
+
+#: Centre frequency of the probing chirp, in Hz.
+CHIRP_CENTER_HZ: float = (CHIRP_LOW_HZ + CHIRP_HIGH_HZ) / 2.0
+
+#: Duration of one beep, in seconds ("empirically set as about 0.002 s").
+CHIRP_DURATION_S: float = 0.002
+
+#: Interval between consecutive beeps, in seconds (Section V-A).
+BEEP_INTERVAL_S: float = 0.5
+
+#: Duration of the echo period searched after the chirp period, in seconds
+#: (Section V-B: "the 0.01 s period after the chirp period").
+ECHO_PERIOD_S: float = 0.01
+
+#: Number of microphones on the ReSpeaker circular array (Section VI-A).
+RESPEAKER_NUM_MICS: int = 6
+
+#: Distance between adjacent microphones on the ReSpeaker, in metres.
+RESPEAKER_ADJACENT_SPACING_M: float = 0.05
+
+#: Reference sound pressure for dB SPL computations, in pascals.
+REFERENCE_PRESSURE_PA: float = 20e-6

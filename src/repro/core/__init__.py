@@ -1,0 +1,31 @@
+"""EchoImage core: the paper's primary contribution."""
+
+from repro.core.augmentation import augment_images, transform_image
+from repro.core.authenticator import (
+    SPOOFER_LABEL,
+    MultiUserAuthenticator,
+    SingleUserAuthenticator,
+)
+from repro.core.distance import (
+    DistanceEstimate,
+    DistanceEstimationError,
+    DistanceEstimator,
+)
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import AcousticImager, ImagingPlane
+from repro.core.pipeline import EchoImagePipeline
+
+__all__ = [
+    "DistanceEstimator",
+    "DistanceEstimate",
+    "DistanceEstimationError",
+    "ImagingPlane",
+    "AcousticImager",
+    "transform_image",
+    "augment_images",
+    "FeatureExtractor",
+    "SingleUserAuthenticator",
+    "MultiUserAuthenticator",
+    "SPOOFER_LABEL",
+    "EchoImagePipeline",
+]

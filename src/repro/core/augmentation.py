@@ -1,0 +1,100 @@
+"""Inverse-square-law data augmentation (Section V-F).
+
+Collecting training images at every possible standing distance would burden
+the user, so registration collects at one distance and synthesizes the
+rest: for a grid at ``(x_k, z_k)`` the ranges at two plane distances are
+
+.. math::
+
+    D_k = \\sqrt{x_k^2 + D_p^2 + z_k^2}, \\qquad
+    D'_k = \\sqrt{x_k^2 + {D'_p}^2 + z_k^2}
+
+and by the inverse-square law of sound propagation the pixel transforms as
+``P'_k = (D_k / D'_k)^2 P_k`` (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.imaging import ImagingPlane
+
+
+def pixel_scale_factors(
+    plane: ImagingPlane, to_distance_m: float
+) -> np.ndarray:
+    """Per-pixel factors ``(D_k / D'_k)^2`` of Eq. (15).
+
+    Args:
+        plane: The plane the source image was constructed on (its distance
+            is ``D_p``).
+        to_distance_m: The synthesized plane distance ``D'_p``.
+
+    Returns:
+        Factor image of shape ``(resolution, resolution)``.
+    """
+    if to_distance_m <= 0:
+        raise ValueError(
+            f"target distance must be positive, got {to_distance_m}"
+        )
+    x_k, z_k = plane.grid_coordinates()
+    d_sq = x_k**2 + z_k**2
+    from_ranges_sq = d_sq + plane.distance_m**2
+    to_ranges_sq = d_sq + to_distance_m**2
+    factors = from_ranges_sq / to_ranges_sq
+    return factors.reshape(plane.resolution, plane.resolution)
+
+
+def transform_image(
+    image: np.ndarray,
+    plane: ImagingPlane,
+    to_distance_m: float,
+) -> np.ndarray:
+    """Synthesize the acoustic image the user would produce at a new
+    distance (Eq. 15).
+
+    Args:
+        image: Source acoustic image collected at ``plane.distance_m``.
+        plane: Geometry of the source image.
+        to_distance_m: Target distance ``D'_p``.
+
+    Returns:
+        The synthesized image, same shape as the input.
+    """
+    image = np.asarray(image, dtype=float)
+    expected = (plane.resolution, plane.resolution)
+    if image.shape != expected:
+        raise ValueError(
+            f"image shape {image.shape} does not match the plane grid "
+            f"{expected}"
+        )
+    return image * pixel_scale_factors(plane, to_distance_m)
+
+
+def augment_images(
+    images: list[np.ndarray],
+    plane: ImagingPlane,
+    distances_m: list[float],
+    include_original: bool = True,
+) -> list[np.ndarray]:
+    """Populate a training set with distance-synthesized copies.
+
+    Args:
+        images: Real images collected at ``plane.distance_m``.
+        plane: Geometry of the real images.
+        distances_m: Target distances to synthesize at.
+        include_original: Keep the real images in the output.
+
+    Returns:
+        The augmented image list (originals first, then per-distance
+        synthesized copies in order).
+    """
+    if not images:
+        raise ValueError("need at least one source image")
+    augmented: list[np.ndarray] = []
+    if include_original:
+        augmented.extend(np.asarray(im, dtype=float) for im in images)
+    for distance in distances_m:
+        factors = pixel_scale_factors(plane, distance)
+        augmented.extend(np.asarray(im, dtype=float) * factors for im in images)
+    return augmented

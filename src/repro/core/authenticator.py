@@ -1,0 +1,169 @@
+"""SVM-based user authentication (Section V-E).
+
+Two operating modes mirror the paper:
+
+* **single-user** — only the legitimate user's enrollment data exists, so a
+  one-class SVDD decides accept/reject;
+* **multi-user** — an SVDD trained on *all* registered users' data gates
+  out spoofers, and an n-class (one-vs-one) SVM then identifies which
+  registered user is present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numpy as _np
+
+from repro.config import AuthenticationConfig
+from repro.ml.kernels import Kernel, median_heuristic_gamma
+from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.scaler import StandardScaler
+from repro.ml.svdd import SVDD
+
+#: Label returned for samples the spoofer gate rejects.
+SPOOFER_LABEL: int = -1
+
+
+def _svm_kernel(config: AuthenticationConfig) -> Kernel:
+    return Kernel("rbf", gamma=config.kernel_gamma)
+
+
+def _svdd_kernel(
+    config: AuthenticationConfig, features: _np.ndarray
+) -> Kernel:
+    """SVDD kernel with the scaled median-heuristic gamma."""
+    if config.kernel_gamma is not None:
+        gamma = config.kernel_gamma
+    else:
+        gamma = config.svdd_gamma_scale * median_heuristic_gamma(features)
+    return Kernel("rbf", gamma=gamma)
+
+
+class SingleUserAuthenticator:
+    """One-class authenticator for the single-user scenario.
+
+    Args:
+        config: SVDD hyper-parameters.
+    """
+
+    def __init__(self, config: AuthenticationConfig | None = None) -> None:
+        self.config = config or AuthenticationConfig()
+        self._scaler = StandardScaler()
+        self._svdd: SVDD | None = None
+        self._fitted = False
+
+    def fit(self, features: np.ndarray) -> "SingleUserAuthenticator":
+        """Enroll the legitimate user from their feature matrix.
+
+        Args:
+            features: Shape ``(n, d)`` feature matrix of the single user.
+
+        Returns:
+            ``self``.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        scaled = self._scaler.fit_transform(features)
+        self._svdd = SVDD(
+            c=self.config.svdd_c,
+            kernel=_svdd_kernel(self.config, scaled),
+            margin=self.config.svdd_margin,
+            radius_quantile=self.config.svdd_radius_quantile,
+        )
+        self._svdd.fit(scaled)
+        self._fitted = True
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Positive for accepted samples (inside the user's description)."""
+        if not self._fitted or self._svdd is None:
+            raise RuntimeError("authenticator not fitted; call fit(...) first")
+        return self._svdd.decision_function(self._scaler.transform(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """``True`` per sample when accepted as the legitimate user."""
+        return self.decision_function(features) >= 0.0
+
+
+class MultiUserAuthenticator:
+    """SVDD spoofer gate + n-class SVM cascade for n registered users.
+
+    Args:
+        config: SVDD / SVM hyper-parameters.
+    """
+
+    def __init__(self, config: AuthenticationConfig | None = None) -> None:
+        self.config = config or AuthenticationConfig()
+        self._scaler = StandardScaler()
+        self._svdd: SVDD | None = None
+        self._svm = OneVsOneSVC(
+            c=self.config.svm_c, kernel=_svm_kernel(self.config)
+        )
+        self.user_labels_: np.ndarray | None = None
+
+    def fit(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> "MultiUserAuthenticator":
+        """Enroll all registered users.
+
+        Args:
+            features: Shape ``(n, d)`` feature matrix of all users' data.
+            labels: Shape ``(n,)`` user identifiers (must not contain
+                ``SPOOFER_LABEL``).
+
+        Returns:
+            ``self``.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        labels = np.asarray(labels).ravel()
+        if features.shape[0] != labels.size:
+            raise ValueError(
+                f"{features.shape[0]} samples but {labels.size} labels"
+            )
+        if np.any(labels == SPOOFER_LABEL):
+            raise ValueError(
+                f"label {SPOOFER_LABEL} is reserved for spoofers"
+            )
+        scaled = self._scaler.fit_transform(features)
+        # Gate: all legitimate users' data as a single class.
+        self._svdd = SVDD(
+            c=self.config.svdd_c,
+            kernel=_svdd_kernel(self.config, scaled),
+            margin=self.config.svdd_margin,
+            radius_quantile=self.config.svdd_radius_quantile,
+        )
+        self._svdd.fit(scaled)
+        if np.unique(labels).size >= 2:
+            self._svm.fit(scaled, labels)
+            self._svm_active = True
+        else:
+            # Degenerate single-registered-user case: the gate suffices.
+            self._svm_active = False
+        self.user_labels_ = np.unique(labels)
+        return self
+
+    def spoofer_scores(self, features: np.ndarray) -> np.ndarray:
+        """SVDD decision values (positive = looks like a registered user)."""
+        if self.user_labels_ is None or self._svdd is None:
+            raise RuntimeError("authenticator not fitted; call fit(...) first")
+        return self._svdd.decision_function(self._scaler.transform(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Authenticate a batch of samples.
+
+        Returns:
+            Per-sample label: the identified user id, or ``SPOOFER_LABEL``
+            when the SVDD gate rejects the sample.
+        """
+        if self.user_labels_ is None or self._svdd is None:
+            raise RuntimeError("authenticator not fitted; call fit(...) first")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        scaled = self._scaler.transform(features)
+        accepted = self._svdd.decision_function(scaled) >= 0.0
+        result = np.full(features.shape[0], SPOOFER_LABEL, dtype=object)
+        if accepted.any():
+            if self._svm_active:
+                result[accepted] = self._svm.predict(scaled[accepted])
+            else:
+                result[accepted] = self.user_labels_[0]
+        return result

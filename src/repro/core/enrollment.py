@@ -1,0 +1,57 @@
+"""Enrollment helpers: images -> (augmented) training feature matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.augmentation import augment_images
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import ImagingPlane
+
+
+def build_training_features(
+    images: list[np.ndarray],
+    plane: ImagingPlane,
+    extractor: FeatureExtractor,
+    augment_distances_m: list[float] | None = None,
+) -> np.ndarray:
+    """Turn one user's enrollment images into a training feature matrix.
+
+    Args:
+        images: Real acoustic images collected at ``plane.distance_m``.
+        plane: Geometry of the collected images.
+        extractor: The frozen feature extractor.
+        augment_distances_m: Optional distances for inverse-square-law
+            augmentation (Section V-F); ``None`` disables augmentation.
+
+    Returns:
+        Feature matrix of shape ``(n_total, feature_dim)`` where
+        ``n_total = len(images) * (1 + len(augment_distances_m or []))``.
+    """
+    if augment_distances_m:
+        images = augment_images(
+            images, plane, augment_distances_m, include_original=True
+        )
+    return extractor.extract(images)
+
+
+def stack_user_features(
+    per_user: dict,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-user feature matrices into (features, labels) arrays.
+
+    Args:
+        per_user: Mapping from user label to feature matrix ``(n_i, d)``.
+
+    Returns:
+        ``(features, labels)`` with features of shape ``(sum n_i, d)``.
+    """
+    if not per_user:
+        raise ValueError("need at least one user")
+    feature_blocks = []
+    label_blocks = []
+    for label, features in per_user.items():
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        feature_blocks.append(features)
+        label_blocks.append(np.full(features.shape[0], label))
+    return np.concatenate(feature_blocks), np.concatenate(label_blocks)

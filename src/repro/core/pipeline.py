@@ -1,0 +1,224 @@
+"""End-to-end EchoImage pipeline facade.
+
+``EchoImagePipeline`` glues the three components of Figure 3 together:
+distance estimation → image construction → user authentication.  It is the
+object application code interacts with; the individual components remain
+available for research use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.geometry import MicrophoneArray, respeaker_array
+from repro.acoustics.scene import BeepRecording
+from repro.config import EchoImageConfig
+from repro.core.authenticator import (
+    SPOOFER_LABEL,
+    MultiUserAuthenticator,
+    SingleUserAuthenticator,
+)
+from repro.core.distance import DistanceEstimate, DistanceEstimator
+from repro.core.enrollment import build_training_features, stack_user_features
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import AcousticImager, ImagingPlane
+
+
+@dataclass(frozen=True)
+class AuthenticationResult:
+    """Outcome of one authentication attempt.
+
+    Attributes:
+        label: The identified user label, or ``SPOOFER_LABEL`` when
+            rejected.
+        accepted: Convenience flag (``label != SPOOFER_LABEL``).
+        distance: The distance estimate the imaging plane was placed at.
+        per_beep_labels: Raw per-beep decisions before majority voting.
+    """
+
+    label: object
+    accepted: bool
+    distance: DistanceEstimate
+    per_beep_labels: tuple
+
+
+class EchoImagePipeline:
+    """The full EchoImage system (Figure 3).
+
+    Args:
+        config: Bundled stage configurations.
+        array: Microphone geometry (defaults to the ReSpeaker array).
+        speed_of_sound: Speed of sound in m/s.
+        feature_mode: "cnn" (paper design) or "raw" (ablation).
+    """
+
+    def __init__(
+        self,
+        config: EchoImageConfig | None = None,
+        array: MicrophoneArray | None = None,
+        speed_of_sound: float = 343.0,
+        feature_mode: str = "cnn",
+    ) -> None:
+        self.config = config or EchoImageConfig()
+        self.array = array or respeaker_array()
+        self.distance_estimator = DistanceEstimator(
+            array=self.array,
+            beep=self.config.beep,
+            config=self.config.distance,
+            speed_of_sound=speed_of_sound,
+        )
+        self.imager = AcousticImager(
+            array=self.array,
+            beep=self.config.beep,
+            config=self.config.imaging,
+            speed_of_sound=speed_of_sound,
+        )
+        self.feature_extractor = FeatureExtractor(
+            self.config.features, mode=feature_mode
+        )
+        self._multi_auth: MultiUserAuthenticator | None = None
+        self._single_auth: SingleUserAuthenticator | None = None
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def estimate_distance(
+        self, recordings: list[BeepRecording]
+    ) -> DistanceEstimate:
+        """Estimate the user–array distance from beep captures."""
+        return self.distance_estimator.estimate(recordings)
+
+    def imaging_plane(self, distance_m: float) -> ImagingPlane:
+        """The imaging plane for a (typically estimated) user distance."""
+        return ImagingPlane.from_config(distance_m, self.config.imaging)
+
+    def construct_images(
+        self,
+        recordings: list[BeepRecording],
+        distance_m: float | None = None,
+    ) -> tuple[list[np.ndarray], ImagingPlane]:
+        """Distance-estimate (unless given) and image every beep.
+
+        Args:
+            recordings: Beep captures of one authentication attempt.
+            distance_m: Optional known distance; estimated when omitted.
+
+        Returns:
+            ``(images, plane)`` — one image per beep plus the plane used.
+        """
+        if distance_m is None:
+            distance_m = self.estimate_distance(recordings).user_distance_m
+        plane = self.imaging_plane(distance_m)
+        return self.imager.images(recordings, plane), plane
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+
+    def enroll_user(
+        self,
+        recordings: list[BeepRecording],
+        augment_distances_m: list[float] | None = None,
+    ) -> SingleUserAuthenticator:
+        """Single-user enrollment (Section V-E, one-class SVDD).
+
+        Args:
+            recordings: The legitimate user's enrollment captures.
+            augment_distances_m: Optional augmentation distances.
+
+        Returns:
+            The fitted single-user authenticator (also stored internally).
+        """
+        images, plane = self.construct_images(recordings)
+        features = build_training_features(
+            images, plane, self.feature_extractor, augment_distances_m
+        )
+        auth = SingleUserAuthenticator(self.config.auth).fit(features)
+        self._single_auth = auth
+        self._multi_auth = None
+        return auth
+
+    def enroll_users(
+        self,
+        per_user_recordings: dict,
+        augment_distances_m: list[float] | None = None,
+    ) -> MultiUserAuthenticator:
+        """Multi-user enrollment (SVDD gate + n-class SVM).
+
+        Args:
+            per_user_recordings: Mapping from user label to that user's
+                enrollment captures.
+            augment_distances_m: Optional augmentation distances.
+
+        Returns:
+            The fitted multi-user authenticator (also stored internally).
+        """
+        per_user_features = {}
+        for label, recordings in per_user_recordings.items():
+            images, plane = self.construct_images(recordings)
+            per_user_features[label] = build_training_features(
+                images, plane, self.feature_extractor, augment_distances_m
+            )
+        features, labels = stack_user_features(per_user_features)
+        auth = MultiUserAuthenticator(self.config.auth).fit(features, labels)
+        self._multi_auth = auth
+        self._single_auth = None
+        return auth
+
+    # ------------------------------------------------------------------
+    # Authentication
+    # ------------------------------------------------------------------
+
+    def authenticate(
+        self, recordings: list[BeepRecording]
+    ) -> AuthenticationResult:
+        """Authenticate one attempt (several beeps) by majority vote.
+
+        Args:
+            recordings: Beep captures of the attempt.
+
+        Returns:
+            The :class:`AuthenticationResult`.
+
+        Raises:
+            RuntimeError: When no enrollment has happened yet.
+        """
+        distance = self.estimate_distance(recordings)
+        plane = self.imaging_plane(distance.user_distance_m)
+        images = self.imager.images(recordings, plane)
+        features = self.feature_extractor.extract(images)
+
+        if self._multi_auth is not None:
+            per_beep = tuple(self._multi_auth.predict(features).tolist())
+        elif self._single_auth is not None:
+            accepted = self._single_auth.predict(features)
+            per_beep = tuple(
+                "user" if flag else SPOOFER_LABEL for flag in accepted
+            )
+        else:
+            raise RuntimeError(
+                "no users enrolled; call enroll_user or enroll_users first"
+            )
+
+        label = _majority(per_beep)
+        return AuthenticationResult(
+            label=label,
+            accepted=label != SPOOFER_LABEL,
+            distance=distance,
+            per_beep_labels=per_beep,
+        )
+
+
+def _majority(labels: tuple) -> object:
+    """Most frequent label; ties break toward rejection, then order."""
+    counts: dict = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    best = max(counts.values())
+    winners = [label for label, count in counts.items() if count == best]
+    if SPOOFER_LABEL in winners:
+        return SPOOFER_LABEL
+    return winners[0]

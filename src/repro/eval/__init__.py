@@ -1,0 +1,16 @@
+"""Evaluation harness reproducing the paper's experiments."""
+
+from repro.eval.dataset import CollectionSpec, DatasetBuilder, SessionImages
+from repro.eval.protocols import repro_scale, scaled
+from repro.eval.reporting import format_confusion_matrix, format_series, format_table
+
+__all__ = [
+    "CollectionSpec",
+    "DatasetBuilder",
+    "SessionImages",
+    "repro_scale",
+    "scaled",
+    "format_table",
+    "format_series",
+    "format_confusion_matrix",
+]

@@ -1,0 +1,149 @@
+"""Terminal plotting: line charts and heatmaps in plain ASCII.
+
+The paper communicates its evaluation through figures; these helpers let
+the benches and examples render the same curves directly in a terminal, so
+the reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Characters from faint to bright for heatmaps.
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_line_chart(
+    xs: list[float],
+    series: dict[str, list[float]],
+    width: int = 60,
+    height: int = 14,
+    title: str | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render one or more y-series as an ASCII line chart.
+
+    Args:
+        xs: Shared x coordinates (ascending).
+        series: Mapping from series name to y values (same length as xs).
+        width: Plot width in characters.
+        height: Plot height in rows.
+        title: Optional heading.
+        y_range: Explicit (min, max) of the y axis; auto when omitted.
+
+    Returns:
+        The rendered multi-line string, with one marker letter per series
+        and a legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [float(x) for x in xs]
+    if len(xs) < 2:
+        raise ValueError("need at least two x points")
+    if sorted(xs) != xs:
+        raise ValueError("xs must be ascending")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} xs"
+            )
+
+    all_y = np.array([v for ys in series.values() for v in ys], dtype=float)
+    if y_range is None:
+        lo, hi = float(all_y.min()), float(all_y.max())
+        if hi == lo:
+            hi = lo + 1.0
+        pad = 0.05 * (hi - lo)
+        lo, hi = lo - pad, hi + pad
+    else:
+        lo, hi = y_range
+        if hi <= lo:
+            raise ValueError(f"invalid y_range {y_range}")
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    x_lo, x_hi = xs[0], xs[-1]
+
+    def col_of(x: float) -> int:
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row_of(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return int(round((1.0 - frac) * (height - 1)))
+
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        # Linear interpolation between sample points for a continuous line.
+        for col in range(width):
+            x = x_lo + col / (width - 1) * (x_hi - x_lo)
+            y = float(np.interp(x, xs, ys))
+            row = min(max(row_of(y), 0), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+        # Overdraw the sample points with capitals so they stand out.
+        for x, y in zip(xs, ys):
+            row = min(max(row_of(float(y)), 0), height - 1)
+            grid[row][col_of(x)] = marker.upper()
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:8.3f} |"
+        elif r == height - 1:
+            label = f"{lo:8.3f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.3g}{'':^{max(0, width - 20)}}{x_hi:>10.3g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)].upper()}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    title: str | None = None,
+    max_width: int = 72,
+    log_compress: bool = False,
+) -> str:
+    """Render a non-negative matrix as an ASCII heatmap.
+
+    Args:
+        matrix: 2-D array of values.
+        title: Optional heading.
+        max_width: Downsample wider matrices to this many columns.
+        log_compress: Apply ``log1p`` scaling (useful for acoustic images
+            with a large dynamic range).
+
+    Returns:
+        The rendered multi-line string.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got {matrix.shape}")
+    if matrix.shape[1] > max_width:
+        from repro.ml.nn.image_ops import resize_bilinear
+
+        scale = max_width / matrix.shape[1]
+        matrix = resize_bilinear(
+            matrix, max(1, round(matrix.shape[0] * scale)), max_width
+        )
+    values = matrix - matrix.min()
+    if log_compress:
+        values = np.log1p(values / (np.median(values) + 1e-12))
+    peak = values.max()
+    if peak > 0:
+        values = values / peak
+    lines = []
+    if title:
+        lines.append(title)
+    for row in values:
+        indices = (row * (len(_SHADES) - 1)).astype(int)
+        lines.append("".join(_SHADES[i] for i in indices))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Evaluation protocol constants and workload scaling.
+
+The paper's protocol (Section VI-A): per user and location, 200 chirps from
+Session 1 (days 0–2) train the system; 300 chirps from Sessions 1 and 3
+(day 8–10) test it.  A pure-NumPy single-core build cannot regenerate that
+volume interactively, so every experiment runner scales its chirp counts by
+``REPRO_SCALE`` (a positive float environment variable, default 0.25).
+EXPERIMENTS.md records which scale produced the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Paper chirp counts (Section VI-A).
+PAPER_TRAIN_CHIRPS: int = 200
+PAPER_TEST_CHIRPS: int = 300
+
+#: Session keys of the protocol: Session 1 trains (multiple visits across
+#: days 0-2); Sessions 1' (held-out visit of session 1) and 3 test.
+TRAIN_SESSION_KEYS: tuple[int, ...] = (10, 11, 12)
+TEST_SESSION_KEYS: tuple[int, ...] = (13, 30)
+
+#: Default workload scale when REPRO_SCALE is unset.
+DEFAULT_SCALE: float = 0.25
+
+
+def repro_scale() -> float:
+    """The workload scale factor from the ``REPRO_SCALE`` env variable."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled(count: int, scale: float | None = None, minimum: int = 4) -> int:
+    """Scale a paper chirp count down to the configured workload.
+
+    Args:
+        count: The paper's count.
+        scale: Explicit scale; defaults to :func:`repro_scale`.
+        minimum: Floor so tiny scales still produce a usable block.
+
+    Returns:
+        ``max(minimum, round(count * scale))``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    factor = repro_scale() if scale is None else scale
+    return max(minimum, round(count * factor))

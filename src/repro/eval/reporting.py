@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Render an ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row values (stringified; floats printed with 3 decimals).
+        title: Optional heading line.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[render(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: list,
+    series: dict[str, list[float]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def format_confusion_matrix(
+    matrix: np.ndarray,
+    labels: list,
+    title: str | None = None,
+    normalize: bool = True,
+) -> str:
+    """Render a confusion matrix with optional row normalisation."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (len(labels), len(labels)):
+        raise ValueError(
+            f"matrix {matrix.shape} does not match {len(labels)} labels"
+        )
+    if normalize:
+        sums = matrix.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        matrix = matrix / sums
+    headers = ["true\\pred", *(str(label) for label in labels)]
+    rows = [
+        [str(label), *(float(v) for v in matrix[i])]
+        for i, label in enumerate(labels)
+    ]
+    return format_table(headers, rows, title=title)

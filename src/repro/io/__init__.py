@@ -1,0 +1,5 @@
+"""Dataset persistence."""
+
+from repro.io.storage import load_image_dataset, save_image_dataset
+
+__all__ = ["save_image_dataset", "load_image_dataset"]

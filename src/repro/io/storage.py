@@ -1,0 +1,87 @@
+"""Saving and loading acoustic-image datasets.
+
+Collections are expensive to simulate (and, on hardware, expensive to
+record), so the harness can persist labelled image sets as a compressed
+``.npz`` plus a JSON metadata side-car.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def save_image_dataset(
+    path: str | Path,
+    images: list[np.ndarray],
+    labels: list,
+    metadata: dict | None = None,
+) -> Path:
+    """Persist a labelled image dataset.
+
+    Args:
+        path: Target path; a ``.npz`` suffix is appended when missing.
+        images: Equal-shaped 2-D acoustic images.
+        labels: One label per image (stringified for storage).
+        metadata: Optional JSON-serialisable experiment description,
+            written next to the archive as ``<path>.json``.
+
+    Returns:
+        The path of the written archive.
+
+    Raises:
+        ValueError: On empty or inconsistent inputs.
+    """
+    if not images:
+        raise ValueError("need at least one image")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"{len(images)} images but {len(labels)} labels provided"
+        )
+    shapes = {np.asarray(im).shape for im in images}
+    if len(shapes) != 1:
+        raise ValueError(f"images must share one shape, got {shapes}")
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stack = np.stack([np.asarray(im, dtype=float) for im in images])
+    np.savez_compressed(
+        path,
+        images=stack,
+        labels=np.array([str(label) for label in labels]),
+    )
+    if metadata is not None:
+        side_car = path.with_suffix(".json")
+        side_car.write_text(json.dumps(metadata, indent=2, sort_keys=True))
+    return path
+
+
+def load_image_dataset(
+    path: str | Path,
+) -> tuple[list[np.ndarray], list[str], dict | None]:
+    """Load a dataset written by :func:`save_image_dataset`.
+
+    Args:
+        path: Archive path (with or without the ``.npz`` suffix).
+
+    Returns:
+        ``(images, labels, metadata)``; metadata is ``None`` when no JSON
+        side-car exists.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        raise FileNotFoundError(f"no dataset at {path}")
+    with np.load(path) as archive:
+        stack = archive["images"]
+        labels = [str(v) for v in archive["labels"]]
+    metadata = None
+    side_car = path.with_suffix(".json")
+    if side_car.exists():
+        metadata = json.loads(side_car.read_text())
+    return [stack[i] for i in range(stack.shape[0])], labels, metadata

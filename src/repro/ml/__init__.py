@@ -1,0 +1,32 @@
+"""From-scratch machine-learning substrate: SVM, SVDD, kernels, metrics."""
+
+from repro.ml.kernels import Kernel, linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.metrics import (
+    BinaryMetrics,
+    accuracy_score,
+    confusion_matrix,
+    f_measure,
+    precision_score,
+    recall_score,
+)
+from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.scaler import StandardScaler
+from repro.ml.svdd import SVDD
+from repro.ml.svm import BinarySVC
+
+__all__ = [
+    "Kernel",
+    "linear_kernel",
+    "rbf_kernel",
+    "polynomial_kernel",
+    "BinarySVC",
+    "OneVsOneSVC",
+    "SVDD",
+    "StandardScaler",
+    "BinaryMetrics",
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f_measure",
+]

@@ -1,0 +1,125 @@
+"""Kernel functions for the SVM / SVDD classifiers (Section V-E).
+
+A kernel here is a callable ``kernel(X, Y) -> Gram`` mapping two sample
+matrices of shapes ``(n, d)`` and ``(m, d)`` to an ``(n, m)`` Gram matrix.
+The :class:`Kernel` helpers construct the standard families and carry the
+hyper-parameters with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate_pair(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.atleast_2d(np.asarray(y, dtype=float))
+    if x.shape[1] != y.shape[1]:
+        raise ValueError(
+            f"feature dimensions differ: {x.shape[1]} vs {y.shape[1]}"
+        )
+    return x, y
+
+
+def linear_kernel(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Linear kernel ``K(x, y) = <x, y>``."""
+    x, y = _validate_pair(x, y)
+    return x @ y.T
+
+
+def rbf_kernel(x: np.ndarray, y: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian RBF kernel ``K(x, y) = exp(-gamma ||x - y||^2)``."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    x, y = _validate_pair(x, y)
+    x_norms = np.sum(x**2, axis=1)[:, None]
+    y_norms = np.sum(y**2, axis=1)[None, :]
+    sq_dists = np.maximum(x_norms + y_norms - 2.0 * (x @ y.T), 0.0)
+    return np.exp(-gamma * sq_dists)
+
+
+def polynomial_kernel(
+    x: np.ndarray, y: np.ndarray, degree: int, coef0: float = 1.0
+) -> np.ndarray:
+    """Polynomial kernel ``K(x, y) = (<x, y> + coef0)^degree``."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    x, y = _validate_pair(x, y)
+    return (x @ y.T + coef0) ** degree
+
+
+def median_heuristic_gamma(x: np.ndarray) -> float:
+    """RBF gamma from the median pairwise squared distance.
+
+    Args:
+        x: Sample matrix of shape ``(n, d)``.
+
+    Returns:
+        ``1 / median(||xi - xj||^2)`` over distinct pairs; ``1/d`` when all
+        samples coincide.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    n = x.shape[0]
+    if n < 2:
+        return 1.0 / max(x.shape[1], 1)
+    # Subsample for very large sets; the median is stable under sampling.
+    if n > 512:
+        rng = np.random.default_rng(0)
+        x = x[rng.choice(n, size=512, replace=False)]
+        n = 512
+    norms = np.sum(x**2, axis=1)
+    sq = np.maximum(norms[:, None] + norms[None, :] - 2.0 * (x @ x.T), 0.0)
+    upper = sq[np.triu_indices(n, k=1)]
+    median = float(np.median(upper))
+    if median <= 0:
+        return 1.0 / max(x.shape[1], 1)
+    return 1.0 / median
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named kernel with bound hyper-parameters.
+
+    Attributes:
+        name: "linear", "rbf" or "poly".
+        gamma: RBF width (required for "rbf").
+        degree: Polynomial degree (for "poly").
+        coef0: Polynomial offset (for "poly").
+    """
+
+    name: str = "rbf"
+    gamma: float | None = None
+    degree: int = 3
+    coef0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.name not in ("linear", "rbf", "poly"):
+            raise ValueError(f"unknown kernel {self.name!r}")
+        if self.name == "rbf" and self.gamma is not None and self.gamma <= 0:
+            raise ValueError("rbf gamma must be positive")
+
+    def with_gamma_from(self, x: np.ndarray) -> "Kernel":
+        """Return a copy whose missing RBF gamma is set by the median
+        heuristic on the given data; other kernels are returned as-is."""
+        if self.name != "rbf" or self.gamma is not None:
+            return self
+        return Kernel(
+            name=self.name,
+            gamma=median_heuristic_gamma(x),
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Evaluate the Gram matrix between two sample sets."""
+        if self.name == "linear":
+            return linear_kernel(x, y)
+        if self.name == "rbf":
+            if self.gamma is None:
+                raise ValueError(
+                    "rbf kernel gamma unset; call with_gamma_from(...) first"
+                )
+            return rbf_kernel(x, y, self.gamma)
+        return polynomial_kernel(x, y, self.degree, self.coef0)

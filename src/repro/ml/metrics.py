@@ -1,0 +1,162 @@
+"""Evaluation metrics of Section VI-A.2.
+
+Recall, precision, accuracy and F-measure (Eq. 16), plus confusion matrices
+for the multi-user experiments.  The binary metrics treat one designated
+label as "positive" (the intended user); the aggregate helpers macro-average
+over users, which matches how the paper reports per-system numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_labels(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values).ravel()
+    if values.size == 0:
+        raise ValueError("label arrays must be non-empty")
+    return values
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: list | None = None,
+) -> tuple[np.ndarray, list]:
+    """Confusion matrix with rows = true labels, columns = predictions.
+
+    Args:
+        y_true: Ground-truth labels.
+        y_pred: Predicted labels (same length).
+        labels: Label ordering; defaults to the sorted union of both sets.
+
+    Returns:
+        ``(matrix, labels)`` where ``matrix[i, j]`` counts samples of true
+        label ``labels[i]`` predicted as ``labels[j]``.
+    """
+    y_true = _as_labels(y_true)
+    y_pred = _as_labels(y_pred)
+    if y_true.size != y_pred.size:
+        raise ValueError(
+            f"length mismatch: {y_true.size} true vs {y_pred.size} predicted"
+        )
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for truth, pred in zip(y_true.tolist(), y_pred.tolist()):
+        if truth not in index or pred not in index:
+            raise ValueError(f"label {truth!r} or {pred!r} not in {labels}")
+        matrix[index[truth], index[pred]] += 1
+    return matrix, labels
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Counts and derived metrics for one positive class.
+
+    Attributes:
+        tp: True positives.
+        tn: True negatives.
+        fp: False positives.
+        fn: False negatives.
+    """
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @classmethod
+    def from_labels(
+        cls, y_true: np.ndarray, y_pred: np.ndarray, positive
+    ) -> "BinaryMetrics":
+        """Count outcomes treating ``positive`` as the positive class."""
+        y_true = _as_labels(y_true)
+        y_pred = _as_labels(y_pred)
+        if y_true.size != y_pred.size:
+            raise ValueError("length mismatch between truth and predictions")
+        true_pos = y_true == positive
+        pred_pos = y_pred == positive
+        return cls(
+            tp=int(np.sum(true_pos & pred_pos)),
+            tn=int(np.sum(~true_pos & ~pred_pos)),
+            fp=int(np.sum(~true_pos & pred_pos)),
+            fn=int(np.sum(true_pos & ~pred_pos)),
+        )
+
+    @property
+    def recall(self) -> float:
+        """``tp / (tp + fn)``; zero when no positives exist."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        """``tp / (tp + fp)``; zero when nothing was predicted positive."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """``(tp + tn) / total``."""
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall (Eq. 16)."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true = _as_labels(y_true)
+    y_pred = _as_labels(y_pred)
+    if y_true.size != y_pred.size:
+        raise ValueError("length mismatch between truth and predictions")
+    return float(np.mean(y_true == y_pred))
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, positive) -> float:
+    """Recall of the designated positive class."""
+    return BinaryMetrics.from_labels(y_true, y_pred, positive).recall
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, positive) -> float:
+    """Precision of the designated positive class."""
+    return BinaryMetrics.from_labels(y_true, y_pred, positive).precision
+
+
+def f_measure(y_true: np.ndarray, y_pred: np.ndarray, positive) -> float:
+    """F-measure (Eq. 16) of the designated positive class."""
+    return BinaryMetrics.from_labels(y_true, y_pred, positive).f_measure
+
+
+def macro_average(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list
+) -> dict[str, float]:
+    """Macro-averaged recall / precision / accuracy / F over the labels.
+
+    Args:
+        y_true: Ground-truth labels.
+        y_pred: Predicted labels.
+        labels: The classes to average over (each treated as positive once).
+
+    Returns:
+        Mapping with keys "recall", "precision", "accuracy", "f_measure".
+    """
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    per_class = [
+        BinaryMetrics.from_labels(y_true, y_pred, label) for label in labels
+    ]
+    return {
+        "recall": float(np.mean([m.recall for m in per_class])),
+        "precision": float(np.mean([m.precision for m in per_class])),
+        "accuracy": float(np.mean([m.accuracy for m in per_class])),
+        "f_measure": float(np.mean([m.f_measure for m in per_class])),
+    }

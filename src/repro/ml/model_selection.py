@@ -1,0 +1,148 @@
+"""Small model-selection helpers: splits, k-fold, grid search."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split, stratified by label by default.
+
+    Args:
+        x: Sample matrix of shape ``(n, d)``.
+        y: Labels of shape ``(n,)``.
+        test_fraction: Fraction of samples assigned to the test set.
+        rng: Random generator (default: seeded 0 for reproducibility).
+        stratify: Preserve per-class proportions.
+
+    Returns:
+        ``(x_train, x_test, y_train, y_test)``.
+    """
+    x = np.atleast_2d(np.asarray(x))
+    y = np.asarray(y).ravel()
+    if x.shape[0] != y.size:
+        raise ValueError(f"{x.shape[0]} samples but {y.size} labels")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = rng or np.random.default_rng(0)
+
+    test_indices: list[int] = []
+    if stratify:
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = rng.permutation(members)
+            count = max(1, round(test_fraction * members.size))
+            if count >= members.size:
+                count = members.size - 1
+            if count > 0:
+                test_indices.extend(members[:count].tolist())
+    else:
+        order = rng.permutation(y.size)
+        count = max(1, round(test_fraction * y.size))
+        test_indices = order[:count].tolist()
+    test_mask = np.zeros(y.size, dtype=bool)
+    test_mask[test_indices] = True
+    return x[~test_mask], x[test_mask], y[~test_mask], y[test_mask]
+
+
+def k_fold_indices(
+    num_samples: int, num_folds: int, rng: np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, test_idx) pairs.
+
+    Args:
+        num_samples: Dataset size.
+        num_folds: Number of folds (2..num_samples).
+        rng: Random generator (default: seeded 0).
+
+    Returns:
+        One ``(train_indices, test_indices)`` pair per fold.
+    """
+    if not 2 <= num_folds <= num_samples:
+        raise ValueError(
+            f"num_folds must lie in [2, {num_samples}], got {num_folds}"
+        )
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(num_samples)
+    folds = np.array_split(order, num_folds)
+    pairs = []
+    for k in range(num_folds):
+        test_idx = folds[k]
+        train_idx = np.concatenate(
+            [folds[i] for i in range(num_folds) if i != k]
+        )
+        pairs.append((train_idx, test_idx))
+    return pairs
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of a grid search.
+
+    Attributes:
+        best_params: Parameter assignment with the highest mean score.
+        best_score: Its mean cross-validated score.
+        all_scores: Mapping from parameter tuples to mean scores.
+    """
+
+    best_params: dict
+    best_score: float
+    all_scores: dict
+
+
+def grid_search(
+    fit_score: Callable[..., float],
+    param_grid: dict[str, list],
+    x: np.ndarray,
+    y: np.ndarray,
+    num_folds: int = 3,
+    rng: np.random.Generator | None = None,
+) -> GridSearchResult:
+    """Exhaustive cross-validated grid search.
+
+    Args:
+        fit_score: Callable
+            ``fit_score(x_train, y_train, x_test, y_test, **params)``
+            returning a scalar score (higher is better).
+        param_grid: Mapping from parameter name to candidate values.
+        x: Sample matrix.
+        y: Labels.
+        num_folds: Cross-validation folds.
+        rng: Random generator for the fold shuffle.
+
+    Returns:
+        The :class:`GridSearchResult`.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must be non-empty")
+    x = np.atleast_2d(np.asarray(x))
+    y = np.asarray(y).ravel()
+    folds = k_fold_indices(y.size, num_folds, rng)
+    names = sorted(param_grid)
+    best_params: dict = {}
+    best_score = -np.inf
+    all_scores: dict = {}
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        scores = [
+            fit_score(x[tr], y[tr], x[te], y[te], **params)
+            for tr, te in folds
+        ]
+        mean_score = float(np.mean(scores))
+        all_scores[combo] = mean_score
+        if mean_score > best_score:
+            best_score = mean_score
+            best_params = params
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, all_scores=all_scores
+    )

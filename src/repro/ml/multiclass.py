@@ -1,0 +1,96 @@
+"""One-vs-one multiclass SVM (the n-class classifier of Section V-E)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.ml.kernels import Kernel
+from repro.ml.svm import BinarySVC
+
+
+class OneVsOneSVC:
+    """Multiclass SVC by pairwise voting.
+
+    One binary machine is trained per unordered class pair; at prediction
+    time each machine votes and the class with the most votes wins.  Vote
+    ties are broken by the summed absolute decision margins.
+
+    Args:
+        c: Box constraint shared by all pairwise machines.
+        kernel: Kernel shared by all pairwise machines (an unset RBF gamma
+            is resolved per machine on its own pair's data).
+        tol: SMO convergence tolerance.
+        max_iter: SMO iteration cap.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: Kernel | None = None,
+        tol: float = 1e-3,
+        max_iter: int = 20_000,
+    ) -> None:
+        self.c = c
+        self.kernel = kernel or Kernel("rbf")
+        self.tol = tol
+        self.max_iter = max_iter
+        self.classes_: np.ndarray | None = None
+        self._machines: dict[tuple, BinarySVC] = {}
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsOneSVC":
+        """Train all pairwise machines.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)``.
+            y: Labels of shape ``(n,)`` with at least two distinct values.
+
+        Returns:
+            ``self``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError(
+                f"{x.shape[0]} samples but {y.size} labels provided"
+            )
+        classes = np.unique(y)
+        if classes.size < 2:
+            raise ValueError("need at least two classes")
+        self.classes_ = classes
+        self._machines = {}
+        for first, second in itertools.combinations(classes.tolist(), 2):
+            mask = (y == first) | (y == second)
+            machine = BinarySVC(
+                c=self.c,
+                kernel=self.kernel,
+                tol=self.tol,
+                max_iter=self.max_iter,
+            )
+            machine.fit(x[mask], y[mask])
+            self._machines[(first, second)] = machine
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict by pairwise voting with margin tie-breaking."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier not fitted; call fit(...) first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        classes = self.classes_.tolist()
+        index = {label: k for k, label in enumerate(classes)}
+        votes = np.zeros((x.shape[0], len(classes)))
+        margins = np.zeros((x.shape[0], len(classes)))
+        for (first, second), machine in self._machines.items():
+            scores = machine.decision_function(x)
+            # machine.classes_ is sorted; scores >= 0 vote for the larger.
+            lo, hi = machine.classes_[0], machine.classes_[1]
+            hi_wins = scores >= 0.0
+            votes[hi_wins, index[hi]] += 1
+            votes[~hi_wins, index[lo]] += 1
+            margins[:, index[hi]] += scores
+            margins[:, index[lo]] -= scores
+        # Lexicographic: votes first, margins second.
+        combined = votes + 1e-9 * np.tanh(margins)
+        winners = np.argmax(combined, axis=1)
+        return self.classes_[winners]

@@ -1,0 +1,18 @@
+"""Minimal NumPy CNN stack used as the frozen feature extractor."""
+
+from repro.ml.nn.image_ops import normalize_image, resize_bilinear
+from repro.ml.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.ml.nn.network import Sequential
+from repro.ml.nn.vggish import MiniVGGish
+
+__all__ = [
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "Dense",
+    "Flatten",
+    "Sequential",
+    "MiniVGGish",
+    "resize_bilinear",
+    "normalize_image",
+]

@@ -1,0 +1,61 @@
+"""Image preprocessing for the feature extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of a single-channel image.
+
+    Args:
+        image: 2-D array.
+        height: Target height.
+        width: Target width.
+
+    Returns:
+        2-D array of shape ``(height, width)``.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    if height < 1 or width < 1:
+        raise ValueError("target size must be positive")
+    src_h, src_w = image.shape
+    if (src_h, src_w) == (height, width):
+        return image.copy()
+    # Align-corners-false convention (matches common DL frameworks).
+    ys = (np.arange(height) + 0.5) * src_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * src_w / width - 0.5
+    ys = np.clip(ys, 0, src_h - 1)
+    xs = np.clip(xs, 0, src_w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = image[np.ix_(y0, x0)] * (1 - wx) + image[np.ix_(y0, x1)] * wx
+    bottom = image[np.ix_(y1, x0)] * (1 - wx) + image[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def normalize_image(image: np.ndarray) -> np.ndarray:
+    """Scale an image to zero mean and unit deviation.
+
+    Constant images are returned as all-zeros rather than dividing by zero.
+
+    Args:
+        image: 2-D array.
+
+    Returns:
+        The normalised image.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    centred = image - image.mean()
+    std = centred.std()
+    if std == 0:
+        return np.zeros_like(centred)
+    return centred / std

@@ -1,0 +1,49 @@
+"""Sequential composition of forward-only layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.layers import Layer
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order.
+
+    Args:
+        layers: The layers, first-applied first.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        for layer in layers:
+            if not isinstance(layer, Layer):
+                raise TypeError(f"{layer!r} is not a Layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def forward_until(self, x: np.ndarray, stop_index: int) -> np.ndarray:
+        """Run the first ``stop_index`` layers only (feature tapping).
+
+        Args:
+            x: Input batch.
+            stop_index: Number of layers to apply (0..len(layers)).
+
+        Returns:
+            The intermediate activation.
+        """
+        if not 0 <= stop_index <= len(self.layers):
+            raise ValueError(
+                f"stop_index {stop_index} outside [0, {len(self.layers)}]"
+            )
+        for layer in self.layers[:stop_index]:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,97 @@
+"""ROC analysis for the spoofer gate: curves, AUC, and equal error rate.
+
+Authentication papers commonly report the gate's ROC/EER alongside the
+fixed-operating-point metrics; these helpers let the benches and examples
+characterise the SVDD gate independent of its configured threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve over score thresholds.
+
+    Scores are "higher = more genuine"; positives are genuine samples.
+
+    Attributes:
+        thresholds: Decision thresholds, decreasing.
+        true_positive_rates: TPR at each threshold.
+        false_positive_rates: FPR at each threshold.
+    """
+
+    thresholds: np.ndarray
+    true_positive_rates: np.ndarray
+    false_positive_rates: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve via the trapezoidal rule."""
+        order = np.argsort(self.false_positive_rates)
+        return float(
+            np.trapezoid(
+                self.true_positive_rates[order],
+                self.false_positive_rates[order],
+            )
+        )
+
+    def equal_error_rate(self) -> float:
+        """The rate where FPR equals 1 - TPR (FNR), by interpolation."""
+        fnr = 1.0 - self.true_positive_rates
+        fpr = self.false_positive_rates
+        diff = fnr - fpr
+        # Thresholds are decreasing => fpr non-decreasing, fnr non-increasing,
+        # so diff crosses zero exactly once (up to ties).
+        sign_change = np.where(np.diff(np.sign(diff)) != 0)[0]
+        if sign_change.size == 0:
+            # Degenerate: no crossing; report the closest point.
+            k = int(np.argmin(np.abs(diff)))
+            return float((fnr[k] + fpr[k]) / 2.0)
+        k = int(sign_change[0])
+        # Linear interpolation between k and k+1.
+        d0, d1 = diff[k], diff[k + 1]
+        if d0 == d1:
+            weight = 0.5
+        else:
+            weight = d0 / (d0 - d1)
+        eer_fpr = fpr[k] + weight * (fpr[k + 1] - fpr[k])
+        eer_fnr = fnr[k] + weight * (fnr[k + 1] - fnr[k])
+        return float((eer_fpr + eer_fnr) / 2.0)
+
+
+def roc_curve(
+    genuine_scores: np.ndarray, impostor_scores: np.ndarray
+) -> RocCurve:
+    """Build the ROC curve of a score-based detector.
+
+    Args:
+        genuine_scores: Scores of genuine (positive) samples.
+        impostor_scores: Scores of impostor (negative) samples.
+
+    Returns:
+        The :class:`RocCurve` (one point per distinct score plus the two
+        endpoints).
+    """
+    genuine_scores = np.asarray(genuine_scores, dtype=float).ravel()
+    impostor_scores = np.asarray(impostor_scores, dtype=float).ravel()
+    if genuine_scores.size == 0 or impostor_scores.size == 0:
+        raise ValueError("need at least one genuine and one impostor score")
+    thresholds = np.unique(
+        np.concatenate([genuine_scores, impostor_scores])
+    )[::-1]
+    thresholds = np.concatenate([[np.inf], thresholds, [-np.inf]])
+    tpr = np.array(
+        [np.mean(genuine_scores >= t) for t in thresholds]
+    )
+    fpr = np.array(
+        [np.mean(impostor_scores >= t) for t in thresholds]
+    )
+    return RocCurve(
+        thresholds=thresholds,
+        true_positive_rates=tpr,
+        false_positive_rates=fpr,
+    )

@@ -1,0 +1,59 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant features (zero variance) are centred but not scaled, so the
+    transform never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)`` with ``n >= 1``.
+
+        Returns:
+            ``self``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] < 1:
+            raise ValueError("need at least one sample to fit")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("input contains NaN or infinity")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardise samples with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler not fitted; call fit(...) first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} features, got {x.shape[1]}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on the samples and return their standardised version."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map standardised samples back to the original feature space."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler not fitted; call fit(...) first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x * self.scale_ + self.mean_

@@ -1,0 +1,196 @@
+"""Support Vector Domain Description (Tax & Duin, 1999).
+
+The spoofer gate of Section V-E: a one-class description of the legitimate
+users' feature distribution.  The dual problem is
+
+.. math::
+
+    \\min_\\alpha \\sum_{ij} \\alpha_i \\alpha_j K_{ij}
+        - \\sum_i \\alpha_i K_{ii}
+    \\quad \\text{s.t.} \\quad 0 \\le \\alpha_i \\le C,\\;
+    \\sum_i \\alpha_i = 1
+
+solved by SMO-style pairwise updates that preserve the simplex constraint.
+A test point z is accepted when its squared distance to the learned centre,
+
+.. math::
+
+    d^2(z) = K(z, z) - 2 \\sum_i \\alpha_i K(x_i, z)
+        + \\sum_{ij} \\alpha_i \\alpha_j K_{ij},
+
+is at most the squared radius measured at the boundary support vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.kernels import Kernel
+
+
+class SVDD:
+    """One-class support vector domain description.
+
+    Args:
+        c: Box constraint; must satisfy ``C >= 1/n`` at fit time or the
+            simplex constraint is infeasible.  Smaller C rejects more of
+            the training set as outliers (roughly ``1/(nC)`` fraction).
+        kernel: The kernel; an unset RBF gamma is resolved at fit time.
+        tol: KKT tolerance of the pairwise solver.
+        max_iter: Iteration cap.
+        margin: Fractional slack on the decision radius: a point is
+            accepted when ``d^2 <= R^2 (1 + margin)``.
+        radius_quantile: When set, override the KKT radius with the given
+            quantile of the *training* distances — a robust way to pin the
+            false-rejection rate of the description at enrollment time.
+    """
+
+    def __init__(
+        self,
+        c: float = 0.2,
+        kernel: Kernel | None = None,
+        tol: float = 1e-5,
+        max_iter: int = 20_000,
+        margin: float = 0.0,
+        radius_quantile: float | None = None,
+    ) -> None:
+        if c <= 0:
+            raise ValueError(f"C must be positive, got {c}")
+        if margin < -1.0:
+            raise ValueError(f"margin must exceed -1, got {margin}")
+        if radius_quantile is not None and not 0.0 < radius_quantile <= 1.0:
+            raise ValueError(
+                f"radius_quantile must lie in (0, 1], got {radius_quantile}"
+            )
+        self.radius_quantile = radius_quantile
+        self.c = c
+        self.kernel = kernel or Kernel("rbf")
+        self.tol = tol
+        self.max_iter = max_iter
+        self.margin = margin
+        self.support_vectors_: np.ndarray | None = None
+        self.alphas_: np.ndarray | None = None
+        self.radius_sq_: float = 0.0
+        self.center_norm_sq_: float = 0.0
+        self.converged_: bool = False
+
+    def fit(self, x: np.ndarray) -> "SVDD":
+        """Learn the domain description of one-class data.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)``, the single (legitimate)
+                class.
+
+        Returns:
+            ``self``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n = x.shape[0]
+        if n < 1:
+            raise ValueError("need at least one training sample")
+        c = self.c
+        if c * n < 1.0:
+            # Simplex sum(alpha)=1 with alpha <= C needs C >= 1/n.
+            c = 1.0 / n
+        self.kernel = self.kernel.with_gamma_from(x)
+        gram = self.kernel(x, x)
+        diag = np.diag(gram).copy()
+
+        alphas = self._solve(gram, diag, c)
+
+        support = alphas > 1e-9
+        self.support_vectors_ = x[support]
+        self.alphas_ = alphas[support]
+        self.center_norm_sq_ = float(
+            self.alphas_ @ gram[np.ix_(support, support)] @ self.alphas_
+        )
+        # Radius from boundary SVs (0 < alpha < C); fall back to the max
+        # distance over support vectors when all are at bound.
+        boundary = support & (alphas < c - 1e-9)
+        candidates = boundary if boundary.any() else support
+        dist_sq = (
+            diag[candidates]
+            - 2.0 * (gram[candidates][:, support] @ self.alphas_)
+            + self.center_norm_sq_
+        )
+        if boundary.any():
+            self.radius_sq_ = float(np.mean(dist_sq))
+        else:
+            self.radius_sq_ = float(np.max(dist_sq))
+        if self.radius_quantile is not None:
+            all_dist_sq = (
+                diag
+                - 2.0 * (gram[:, support] @ self.alphas_)
+                + self.center_norm_sq_
+            )
+            self.radius_sq_ = float(
+                np.quantile(all_dist_sq, self.radius_quantile)
+            )
+        self.radius_sq_ = max(self.radius_sq_, 0.0)
+        return self
+
+    def _solve(self, gram: np.ndarray, diag: np.ndarray, c: float) -> np.ndarray:
+        """Pairwise coordinate descent on the SVDD dual."""
+        n = diag.size
+        if n == 1:
+            self.converged_ = True
+            return np.ones(1)
+        # Feasible start: uniform weights (respects 0 <= 1/n <= C).
+        alphas = np.full(n, 1.0 / n)
+        # Gradient of the objective: g_i = 2 (K alpha)_i - K_ii.
+        k_alpha = gram @ alphas
+        self.converged_ = False
+        for iteration in range(self.max_iter):
+            grad = 2.0 * k_alpha - diag
+            # Pair: steepest descent direction transferring mass from j to i
+            # must keep feasibility: increase alpha_i (alpha_i < C),
+            # decrease alpha_j (alpha_j > 0).
+            can_up = alphas < c - 1e-12
+            can_down = alphas > 1e-12
+            if not can_up.any() or not can_down.any():
+                self.converged_ = True
+                break
+            i = int(np.argmin(np.where(can_up, grad, np.inf)))
+            j = int(np.argmax(np.where(can_down, grad, -np.inf)))
+            violation = grad[j] - grad[i]
+            if violation < self.tol:
+                self.converged_ = True
+                break
+            # Minimise along alpha_i += t, alpha_j -= t.
+            curvature = 2.0 * (gram[i, i] + gram[j, j] - 2.0 * gram[i, j])
+            if curvature <= 1e-12:
+                curvature = 1e-12
+            t = violation / curvature
+            t = min(t, c - alphas[i], alphas[j])
+            if t <= 1e-15:
+                self.converged_ = True
+                break
+            alphas[i] += t
+            alphas[j] -= t
+            k_alpha += t * (gram[:, i] - gram[:, j])
+        return alphas
+
+    def distance_sq(self, x: np.ndarray) -> np.ndarray:
+        """Squared kernel-space distance of samples to the learned centre."""
+        if self.support_vectors_ is None or self.alphas_ is None:
+            raise RuntimeError("SVDD not fitted; call fit(...) first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cross = self.kernel(x, self.support_vectors_) @ self.alphas_
+        if self.kernel.name == "rbf":
+            self_sim = np.ones(x.shape[0])
+        else:
+            self_sim = np.array(
+                [self.kernel(row[None, :], row[None, :])[0, 0] for row in x]
+            )
+        return self_sim - 2.0 * cross + self.center_norm_sq_
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Positive inside the description, negative outside.
+
+        Defined as ``R^2 (1 + margin) - d^2(z)``.
+        """
+        return self.radius_sq_ * (1.0 + self.margin) - self.distance_sq(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """+1 for accepted (inside) samples, -1 for rejected ones."""
+        return np.where(self.decision_function(x) >= 0.0, 1, -1)

@@ -1,0 +1,98 @@
+"""Binary soft-margin support vector classifier.
+
+The n-class authenticator of Section V-E is built from these binary
+machines via one-vs-one voting (:mod:`repro.ml.multiclass`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.kernels import Kernel
+from repro.ml.smo import solve_csvc
+
+
+class BinarySVC:
+    """Kernel C-SVC trained with SMO.
+
+    Args:
+        c: Box constraint (soft-margin penalty).
+        kernel: The kernel; an unset RBF gamma is filled in at fit time by
+            the median heuristic.
+        tol: SMO convergence tolerance.
+        max_iter: SMO iteration cap.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: Kernel | None = None,
+        tol: float = 1e-3,
+        max_iter: int = 20_000,
+    ) -> None:
+        if c <= 0:
+            raise ValueError(f"C must be positive, got {c}")
+        self.c = c
+        self.kernel = kernel or Kernel("rbf")
+        self.tol = tol
+        self.max_iter = max_iter
+        self.support_vectors_: np.ndarray | None = None
+        self.dual_coef_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self.classes_: np.ndarray | None = None
+        self.converged_: bool = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BinarySVC":
+        """Train on samples with exactly two distinct labels.
+
+        The lexicographically smaller label is mapped to -1, the larger to
+        +1, and the mapping is stored in ``classes_``.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)``.
+            y: Labels of shape ``(n,)`` with exactly two distinct values.
+
+        Returns:
+            ``self``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError(
+                f"{x.shape[0]} samples but {y.size} labels provided"
+            )
+        classes = np.unique(y)
+        if classes.size != 2:
+            raise ValueError(
+                f"binary SVC needs exactly 2 classes, got {classes.size}"
+            )
+        signs = np.where(y == classes[0], -1.0, 1.0)
+        self.kernel = self.kernel.with_gamma_from(x)
+        gram = self.kernel(x, x)
+        result = solve_csvc(
+            gram, signs, self.c, tol=self.tol, max_iter=self.max_iter
+        )
+        support = result.alphas > 1e-8
+        self.support_vectors_ = x[support]
+        self.dual_coef_ = result.alphas[support] * signs[support]
+        self.bias_ = result.bias
+        self.classes_ = classes
+        self.converged_ = result.converged
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed distance-like score; positive means ``classes_[1]``."""
+        if self.support_vectors_ is None or self.dual_coef_ is None:
+            raise RuntimeError("classifier not fitted; call fit(...) first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if self.support_vectors_.shape[0] == 0:
+            return np.full(x.shape[0], self.bias_)
+        gram = self.kernel(x, self.support_vectors_)
+        return gram @ self.dual_coef_ + self.bias_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels for a batch of samples."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier not fitted; call fit(...) first")
+        scores = self.decision_function(x)
+        return np.where(scores >= 0.0, self.classes_[1], self.classes_[0])

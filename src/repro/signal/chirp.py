@@ -1,0 +1,168 @@
+"""Linear frequency modulated (LFM) chirp generation.
+
+Implements the probing beep of Section III-B / V-A:
+
+.. math::
+
+    s(t) = A \\cos 2\\pi (f_0 t + \\frac{B}{2T} t^2)
+
+where :math:`f_0` is the start frequency of the sweep, :math:`B` the
+bandwidth and :math:`T` the dispersion time.  The paper's beep sweeps
+2 kHz to 3 kHz over 2 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.config import BeepConfig
+
+
+@dataclass(frozen=True)
+class LFMChirp:
+    """A linear frequency modulated chirp.
+
+    Attributes:
+        start_hz: Instantaneous frequency at ``t = 0``.
+        end_hz: Instantaneous frequency at ``t = duration_s``.
+        duration_s: Sweep duration ``T``.
+        amplitude: Peak amplitude ``A``.
+        sample_rate: Synthesis sample rate in Hz.
+        window: Amplitude envelope of the beep.  "rect" is the paper's
+            Eq. (2) verbatim; "tukey" tapers the edges (fraction
+            ``tukey_alpha``), which real systems use to avoid audible
+            clicks and to suppress the rectangular window's spectral
+            sidelobes.
+        tukey_alpha: Tapered fraction of the Tukey window in ``[0, 1]``.
+    """
+
+    start_hz: float = constants.CHIRP_LOW_HZ
+    end_hz: float = constants.CHIRP_HIGH_HZ
+    duration_s: float = constants.CHIRP_DURATION_S
+    amplitude: float = 1.0
+    sample_rate: int = constants.DEFAULT_SAMPLE_RATE
+    window: str = "rect"
+    tukey_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        nyquist = self.sample_rate / 2
+        if max(abs(self.start_hz), abs(self.end_hz)) >= nyquist:
+            raise ValueError(
+                f"chirp band [{self.start_hz}, {self.end_hz}] exceeds the "
+                f"Nyquist frequency {nyquist}"
+            )
+        if self.window not in ("rect", "tukey"):
+            raise ValueError(
+                f"window must be 'rect' or 'tukey', got {self.window!r}"
+            )
+        if not 0.0 <= self.tukey_alpha <= 1.0:
+            raise ValueError(
+                f"tukey_alpha must lie in [0, 1], got {self.tukey_alpha}"
+            )
+
+    @classmethod
+    def from_config(cls, config: BeepConfig) -> "LFMChirp":
+        """Build the chirp described by a :class:`BeepConfig`."""
+        return cls(
+            start_hz=config.low_hz,
+            end_hz=config.high_hz,
+            duration_s=config.duration_s,
+            amplitude=config.amplitude,
+            sample_rate=config.sample_rate,
+        )
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Swept bandwidth ``B`` (positive for up-chirps)."""
+        return self.end_hz - self.start_hz
+
+    @property
+    def center_hz(self) -> float:
+        """Centre frequency of the sweep."""
+        return (self.start_hz + self.end_hz) / 2.0
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the synthesized chirp."""
+        return max(1, round(self.duration_s * self.sample_rate))
+
+    @property
+    def sweep_rate(self) -> float:
+        """Chirp rate ``B / T`` in Hz per second."""
+        return self.bandwidth_hz / self.duration_s
+
+    def times(self) -> np.ndarray:
+        """Sample instants of the chirp, in seconds."""
+        return np.arange(self.num_samples) / self.sample_rate
+
+    def instantaneous_frequency(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous frequency ``f(t) = f0 + (B/T) t`` of the sweep."""
+        t = np.asarray(t, dtype=float)
+        return self.start_hz + self.sweep_rate * t
+
+    def phase(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous phase ``2 pi (f0 t + B t^2 / (2T))`` in radians."""
+        t = np.asarray(t, dtype=float)
+        return 2.0 * np.pi * (self.start_hz * t + self.sweep_rate * t**2 / 2.0)
+
+    def envelope_window(self) -> np.ndarray:
+        """The amplitude envelope applied to the sweep."""
+        n = self.num_samples
+        if self.window == "rect" or self.tukey_alpha == 0.0:
+            return np.ones(n)
+        # Tukey (tapered cosine) window.
+        taper = max(1, int(np.floor(self.tukey_alpha * (n - 1) / 2.0)))
+        window = np.ones(n)
+        ramp = 0.5 * (1 - np.cos(np.pi * np.arange(taper) / taper))
+        window[:taper] = ramp
+        window[n - taper :] = ramp[::-1]
+        return window
+
+    def samples(self) -> np.ndarray:
+        """Synthesize the real-valued chirp waveform."""
+        return (
+            self.amplitude
+            * self.envelope_window()
+            * np.cos(self.phase(self.times()))
+        )
+
+    def analytic_samples(self) -> np.ndarray:
+        """Synthesize the complex analytic chirp ``A w(t) exp(j phi(t))``."""
+        return (
+            self.amplitude
+            * self.envelope_window()
+            * np.exp(1j * self.phase(self.times()))
+        )
+
+    def beep_train(self, num_beeps: int, interval_s: float) -> np.ndarray:
+        """Concatenate ``num_beeps`` chirps separated by silent gaps.
+
+        Args:
+            num_beeps: Number of beeps in the train.
+            interval_s: Period between beep onsets (must exceed the chirp
+                duration).
+
+        Returns:
+            A 1-D float array containing the full train.
+        """
+        if num_beeps < 1:
+            raise ValueError(f"num_beeps must be >= 1, got {num_beeps}")
+        if interval_s < self.duration_s:
+            raise ValueError(
+                f"interval_s ({interval_s}) shorter than the chirp "
+                f"({self.duration_s})"
+            )
+        period = round(interval_s * self.sample_rate)
+        beep = self.samples()
+        train = np.zeros((num_beeps - 1) * period + beep.size)
+        for index in range(num_beeps):
+            start = index * period
+            train[start : start + beep.size] = beep
+        return train

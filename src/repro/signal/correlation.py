@@ -1,0 +1,80 @@
+"""Matched filtering and cross-correlation.
+
+Equation (9) of the paper: the original chirp ``s(t)`` is slid across the
+beamformed signal and the correlation sequence is computed with the matched
+filter ``h(t) = s*(-t)``.  For a filter aligned at lag ``t`` this is the
+inner product of the received signal with a copy of the chirp starting at
+``t``, so peaks of the output mark the *beginning points* of echoes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+
+def matched_filter(received: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Correlate a received signal against a known template.
+
+    Args:
+        received: Real or complex array of shape ``(..., num_samples)``.
+        template: 1-D template waveform ``s(t)`` (the emitted chirp).
+
+    Returns:
+        Array of shape ``(..., num_samples)`` where index ``t`` holds the
+        correlation of ``received[t : t + len(template)]`` with the template,
+        i.e. the matched-filter output aligned to echo onsets.
+
+    Raises:
+        ValueError: If the template is longer than the received signal.
+    """
+    received = np.asarray(received)
+    template = np.asarray(template)
+    if template.ndim != 1:
+        raise ValueError(f"template must be 1-D, got shape {template.shape}")
+    if template.size == 0:
+        raise ValueError("template must be non-empty")
+    if received.shape[-1] < template.size:
+        raise ValueError(
+            f"received signal ({received.shape[-1]} samples) shorter than "
+            f"template ({template.size} samples)"
+        )
+    # 'full' correlation then keep lags where the template starts inside the
+    # received signal; fftconvolve with the conjugated reversed template is
+    # the matched filter h(t) = s*(-t) of Eq. (9).
+    kernel = np.conj(template[::-1])
+    full = sp_signal.fftconvolve(
+        received, kernel.reshape((1,) * (received.ndim - 1) + (-1,)), axes=-1
+    )
+    onset_aligned = full[..., template.size - 1 :]
+    pad_width = [(0, 0)] * (received.ndim - 1) + [
+        (0, received.shape[-1] - onset_aligned.shape[-1])
+    ]
+    return np.pad(onset_aligned, pad_width)
+
+
+def normalized_xcorr(first: np.ndarray, second: np.ndarray) -> float:
+    """Normalized correlation coefficient of two equal-length signals.
+
+    Args:
+        first: 1-D array.
+        second: 1-D array of the same length.
+
+    Returns:
+        The cosine similarity of the two (mean-removed) signals in
+        ``[-1, 1]``; zero if either signal is constant.
+    """
+    first = np.asarray(first, dtype=float).ravel()
+    second = np.asarray(second, dtype=float).ravel()
+    if first.size != second.size:
+        raise ValueError(
+            f"signals must have equal length, got {first.size} and {second.size}"
+        )
+    if first.size == 0:
+        raise ValueError("signals must be non-empty")
+    first = first - first.mean()
+    second = second - second.mean()
+    denom = np.linalg.norm(first) * np.linalg.norm(second)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(first, second) / denom)

@@ -1,0 +1,28 @@
+"""Tests for the air medium."""
+
+import pytest
+
+from repro.acoustics.medium import Air
+
+
+class TestAir:
+    def test_speed_at_20c(self):
+        assert Air(20.0).speed_of_sound == pytest.approx(343.2, abs=0.5)
+
+    def test_speed_at_0c(self):
+        assert Air(0.0).speed_of_sound == pytest.approx(331.3, abs=0.1)
+
+    def test_speed_increases_with_temperature(self):
+        assert Air(30.0).speed_of_sound > Air(10.0).speed_of_sound
+
+    def test_wavelength(self):
+        air = Air(20.0)
+        assert air.wavelength(2500.0) == pytest.approx(0.137, abs=0.002)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            Air(-300.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            Air().wavelength(0.0)

@@ -1,0 +1,93 @@
+"""Tests for the ambient-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.noise import NoiseModel, spl_to_amplitude
+
+
+def band_power(x, low, high, fs=48_000.0):
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    freqs = np.fft.rfftfreq(x.size, 1 / fs)
+    mask = (freqs >= low) & (freqs < high)
+    return float(spectrum[mask].sum())
+
+
+class TestCalibration:
+    def test_reference_is_unity(self):
+        assert spl_to_amplitude(70.0) == pytest.approx(1.0)
+
+    def test_20db_is_factor_10(self):
+        assert spl_to_amplitude(50.0) == pytest.approx(0.1)
+        assert spl_to_amplitude(90.0) == pytest.approx(10.0)
+
+
+class TestNoiseModel:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            NoiseModel(kind="thunder")
+
+    def test_silent_is_zero(self):
+        noise = NoiseModel.silent().sample(
+            np.random.default_rng(0), 4, 1000, 48_000
+        )
+        assert np.all(noise == 0)
+
+    def test_shape(self):
+        noise = NoiseModel("quiet", 30.0).sample(
+            np.random.default_rng(0), 6, 2400, 48_000
+        )
+        assert noise.shape == (6, 2400)
+
+    def test_rms_matches_level(self):
+        for level in (30.0, 50.0):
+            noise = NoiseModel("music", level, sensor_noise_amplitude=0.0)
+            samples = noise.sample(np.random.default_rng(1), 2, 48_000, 48_000)
+            rms = float(np.sqrt(np.mean(samples**2)))
+            assert rms == pytest.approx(spl_to_amplitude(level), rel=0.05)
+
+    def test_mostly_below_2khz(self):
+        # Section V-A: environmental noises concentrate below 2 kHz.
+        for kind in ("quiet", "music", "babble", "traffic"):
+            samples = NoiseModel(kind, 50.0, sensor_noise_amplitude=0.0).sample(
+                np.random.default_rng(2), 1, 96_000, 48_000
+            )[0]
+            low = band_power(samples, 0, 2000)
+            chirp_band = band_power(samples, 2000, 3000)
+            assert low > 2 * chirp_band, kind
+
+    def test_music_leaks_into_chirp_band_more_than_traffic(self):
+        rng = np.random.default_rng(3)
+        music = NoiseModel("music", 50.0, sensor_noise_amplitude=0.0).sample(
+            rng, 1, 96_000, 48_000
+        )[0]
+        traffic = NoiseModel(
+            "traffic", 50.0, sensor_noise_amplitude=0.0
+        ).sample(rng, 1, 96_000, 48_000)[0]
+        assert band_power(music, 2000, 3000) > band_power(
+            traffic, 2000, 3000
+        )
+
+    def test_moderate_inter_channel_coherence(self):
+        # Diffuse ambient noise must not be fully coherent across mics, or
+        # MVDR would null in-phase arrivals (like the direct chirp).
+        samples = NoiseModel("quiet", 40.0, sensor_noise_amplitude=0.0).sample(
+            np.random.default_rng(4), 2, 48_000, 48_000
+        )
+        corr = np.corrcoef(samples)[0, 1]
+        assert 0.1 < corr < 0.75
+
+    def test_sensor_noise_independent(self):
+        model = NoiseModel("none", -200.0, sensor_noise_amplitude=0.1)
+        samples = model.sample(np.random.default_rng(5), 2, 48_000, 48_000)
+        corr = np.corrcoef(samples)[0, 1]
+        assert abs(corr) < 0.05
+        assert np.std(samples) == pytest.approx(0.1, rel=0.05)
+
+    def test_invalid_sensor_noise(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sensor_noise_amplitude=-1.0)
+
+    def test_invalid_sample_args(self):
+        with pytest.raises(ValueError):
+            NoiseModel().sample(np.random.default_rng(0), 0, 100, 48_000)

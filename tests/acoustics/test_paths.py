@@ -1,0 +1,114 @@
+"""Tests for propagation paths and spreading loss."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.paths import (
+    PropagationPath,
+    direct_paths,
+    reflection_paths,
+)
+from repro.acoustics.reflectors import ReflectorCloud
+from repro.array.geometry import MicrophoneArray, respeaker_array
+
+C = 343.0
+
+
+def single_mic_at(position):
+    return MicrophoneArray(positions=np.array([position], dtype=float))
+
+
+class TestPropagationPath:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PropagationPath(delays_s=np.zeros((2, 3)), gains=np.zeros((2, 2)))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationPath(
+                delays_s=np.full((1, 2), -1.0), gains=np.ones((1, 2))
+            )
+
+
+class TestDirectPaths:
+    def test_delay_and_gain(self):
+        array = single_mic_at([0.0, 2.0, 0.0])
+        path = direct_paths(np.zeros(3), array, C)
+        assert path.delays_s[0, 0] == pytest.approx(2.0 / C)
+        assert path.gains[0, 0] == pytest.approx(0.5)
+
+    def test_inverse_distance_amplitude(self):
+        near = direct_paths(np.zeros(3), single_mic_at([0, 1, 0]), C)
+        far = direct_paths(np.zeros(3), single_mic_at([0, 4, 0]), C)
+        assert near.gains[0, 0] == pytest.approx(4 * far.gains[0, 0])
+
+    def test_colocated_clamped(self):
+        path = direct_paths(np.zeros(3), single_mic_at([0, 0, 0]), C)
+        assert np.isfinite(path.gains[0, 0])
+
+    def test_bad_speaker_shape(self):
+        with pytest.raises(ValueError):
+            direct_paths(np.zeros(2), respeaker_array(), C)
+
+
+class TestReflectionPaths:
+    def test_round_trip_delay(self):
+        array = single_mic_at([0.0, 0.0, 0.0])
+        cloud = ReflectorCloud(
+            positions=np.array([[0.0, 1.0, 0.0]]),
+            reflectivities=np.array([1.0]),
+        )
+        path = reflection_paths(np.zeros(3), cloud, array, C)
+        assert path.delays_s[0, 0] == pytest.approx(2.0 / C)
+
+    def test_inverse_square_amplitude(self):
+        # Monostatic: amplitude ~ 1 / D^2, the model behind Eq. (15).
+        array = single_mic_at([0.0, 0.0, 0.0])
+
+        def gain(distance):
+            cloud = ReflectorCloud(
+                positions=np.array([[0.0, distance, 0.0]]),
+                reflectivities=np.array([1.0]),
+            )
+            return reflection_paths(np.zeros(3), cloud, array, C).gains[0, 0]
+
+        assert gain(1.0) == pytest.approx(4.0 * gain(2.0), rel=1e-9)
+
+    def test_reflectivity_scales_gain(self):
+        array = respeaker_array()
+        base = ReflectorCloud(
+            positions=np.array([[0.0, 1.0, 0.0]]),
+            reflectivities=np.array([1.0]),
+        )
+        doubled = base.scaled(2.0)
+        g1 = reflection_paths(np.zeros(3), base, array, C).gains
+        g2 = reflection_paths(np.zeros(3), doubled, array, C).gains
+        assert np.allclose(g2, 2 * g1)
+
+    def test_empty_cloud(self):
+        cloud = ReflectorCloud(
+            positions=np.zeros((0, 3)), reflectivities=np.zeros(0)
+        )
+        path = reflection_paths(np.zeros(3), cloud, respeaker_array(), C)
+        assert path.num_routes == 0
+
+    def test_route_per_reflector(self):
+        rng = np.random.default_rng(0)
+        cloud = ReflectorCloud(
+            positions=rng.uniform(0.5, 1.5, (7, 3)),
+            reflectivities=np.ones(7),
+        )
+        path = reflection_paths(np.zeros(3), cloud, respeaker_array(), C)
+        assert path.delays_s.shape == (7, 6)
+
+    def test_mic_delay_ordering(self):
+        # A reflector on +x reaches the +x microphone first.
+        array = respeaker_array()  # mic 0 at (+0.05, 0, 0), mic 3 at -x
+        cloud = ReflectorCloud(
+            positions=np.array([[2.0, 0.0, 0.0]]),
+            reflectivities=np.array([1.0]),
+        )
+        path = reflection_paths(
+            np.array([0.0, 0.0, -0.08]), cloud, array, C
+        )
+        assert path.delays_s[0, 0] < path.delays_s[0, 3]

@@ -1,0 +1,100 @@
+"""Tests for reflector clouds."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.reflectors import ReflectorCloud, clutter_cloud
+
+
+def small_cloud():
+    return ReflectorCloud(
+        positions=np.array([[0.0, 1.0, 0.0], [0.1, 1.1, 0.2]]),
+        reflectivities=np.array([0.5, 0.8]),
+    )
+
+
+class TestReflectorCloud:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            ReflectorCloud(
+                positions=np.zeros((3, 2)), reflectivities=np.zeros(3)
+            )
+
+    def test_reflectivity_length_validation(self):
+        with pytest.raises(ValueError, match="match"):
+            ReflectorCloud(
+                positions=np.zeros((3, 3)), reflectivities=np.zeros(2)
+            )
+
+    def test_negative_reflectivity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ReflectorCloud(
+                positions=np.zeros((1, 3)), reflectivities=np.array([-1.0])
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ReflectorCloud(
+                positions=np.full((1, 3), np.nan),
+                reflectivities=np.array([1.0]),
+            )
+
+    def test_translated(self):
+        cloud = small_cloud()
+        moved = cloud.translated(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(moved.positions - cloud.positions, [1.0, 2.0, 3.0])
+        assert np.allclose(moved.reflectivities, cloud.reflectivities)
+
+    def test_scaled(self):
+        cloud = small_cloud().scaled(2.0)
+        assert np.allclose(cloud.reflectivities, [1.0, 1.6])
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            small_cloud().scaled(-1.0)
+
+    def test_jittered_zero_is_identity(self):
+        cloud = small_cloud()
+        same = cloud.jittered(np.random.default_rng(0))
+        assert np.allclose(same.positions, cloud.positions)
+        assert np.allclose(same.reflectivities, cloud.reflectivities)
+
+    def test_jittered_perturbs(self):
+        cloud = small_cloud()
+        moved = cloud.jittered(
+            np.random.default_rng(0), position_sigma_m=0.01, gain_sigma=0.1
+        )
+        assert not np.allclose(moved.positions, cloud.positions)
+        assert np.all(moved.reflectivities >= 0)
+
+    def test_merge(self):
+        merged = ReflectorCloud.merge([small_cloud(), small_cloud()])
+        assert merged.num_reflectors == 4
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReflectorCloud.merge([])
+
+
+class TestClutterCloud:
+    def test_count_and_range(self):
+        cloud = clutter_cloud(
+            np.random.default_rng(0), num_reflectors=20, range_m=(1.0, 2.0)
+        )
+        assert cloud.num_reflectors == 20
+        radii = np.linalg.norm(cloud.positions[:, :2], axis=1)
+        assert np.all(radii >= 1.0 - 1e-9)
+        assert np.all(radii <= 2.0 + 1e-9)
+
+    def test_zero_reflectors(self):
+        cloud = clutter_cloud(np.random.default_rng(0), num_reflectors=0)
+        assert cloud.num_reflectors == 0
+
+    def test_deterministic_given_seed(self):
+        a = clutter_cloud(np.random.default_rng(7))
+        b = clutter_cloud(np.random.default_rng(7))
+        assert np.allclose(a.positions, b.positions)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            clutter_cloud(np.random.default_rng(0), range_m=(2.0, 1.0))

@@ -1,0 +1,72 @@
+"""Tests for shoebox rooms and image sources."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.room import ShoeboxRoom
+
+
+class TestValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ShoeboxRoom(width_m=0.0)
+
+    def test_bad_absorption(self):
+        with pytest.raises(ValueError):
+            ShoeboxRoom(absorption=1.5)
+
+    def test_unknown_surface(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ShoeboxRoom(surfaces=("floor", "sky"))
+
+
+class TestGeometry:
+    def test_contains(self):
+        room = ShoeboxRoom(width_m=4, depth_m=4, height_m=3, floor_z_m=-1.0)
+        assert room.contains(np.array([0.0, 0.0, 0.0]))
+        assert not room.contains(np.array([10.0, 0.0, 0.0]))
+        assert not room.contains(np.array([0.0, 0.0, -2.0]))
+
+    def test_reflection_factor(self):
+        assert ShoeboxRoom(absorption=0.0).reflection_factor == 1.0
+        assert ShoeboxRoom(absorption=1.0).reflection_factor == 0.0
+        assert ShoeboxRoom(absorption=0.75).reflection_factor == pytest.approx(
+            0.5
+        )
+
+
+class TestImageSources:
+    def test_floor_image_mirrors_z(self):
+        room = ShoeboxRoom(floor_z_m=-1.2, surfaces=("floor",))
+        source = np.array([0.0, 0.0, -0.1])
+        images = room.image_sources(source)
+        assert len(images) == 1
+        mirrored, factor = images[0]
+        assert mirrored[2] == pytest.approx(2 * (-1.2) - (-0.1))
+        assert factor == room.reflection_factor
+
+    def test_six_surfaces_six_images(self):
+        room = ShoeboxRoom()
+        assert len(room.image_sources(np.zeros(3))) == 6
+
+    def test_images_outside_room(self):
+        room = ShoeboxRoom(width_m=4, depth_m=4, height_m=3, floor_z_m=-1.0)
+        source = np.array([0.5, 0.5, 0.0])
+        for mirrored, _ in room.image_sources(source):
+            assert not room.contains(mirrored)
+
+    def test_source_shape_validated(self):
+        with pytest.raises(ValueError):
+            ShoeboxRoom().image_sources(np.zeros(2))
+
+
+class TestPresets:
+    def test_laboratory_smaller_than_hall(self):
+        lab = ShoeboxRoom.laboratory()
+        hall = ShoeboxRoom.conference_hall()
+        assert lab.width_m < hall.width_m
+        assert lab.depth_m < hall.depth_m
+
+    def test_outdoor_only_ground(self):
+        outdoor = ShoeboxRoom.outdoor()
+        assert outdoor.surfaces == ("floor",)

@@ -1,0 +1,72 @@
+"""Tests for beam-pattern analysis (Section V-A's design constraints)."""
+
+import numpy as np
+import pytest
+
+from repro.array.beampattern import (
+    azimuth_beam_pattern,
+    grating_lobe_onset_hz,
+    has_grating_lobes,
+    rayleigh_beamwidth_rad,
+)
+from repro.array.geometry import linear_array, respeaker_array
+
+
+class TestBeamPattern:
+    def test_unity_at_look_direction(self):
+        pattern = azimuth_beam_pattern(respeaker_array(), 2500.0)
+        look = int(
+            np.argmin(np.abs(pattern.azimuths_rad - pattern.look_azimuth_rad))
+        )
+        # The scan grid does not contain pi/2 exactly; allow grid error.
+        assert pattern.response[look] == pytest.approx(1.0, abs=1e-4)
+
+    def test_beamwidth_narrows_with_frequency(self):
+        array = respeaker_array()
+        wide = azimuth_beam_pattern(array, 1500.0).beamwidth_rad()
+        narrow = azimuth_beam_pattern(array, 3000.0).beamwidth_rad()
+        assert narrow < wide
+
+    def test_beamwidth_level_validated(self):
+        pattern = azimuth_beam_pattern(respeaker_array(), 2500.0)
+        with pytest.raises(ValueError):
+            pattern.beamwidth_rad(level=0.0)
+
+    def test_num_points_validated(self):
+        with pytest.raises(ValueError):
+            azimuth_beam_pattern(respeaker_array(), 2500.0, num_points=4)
+
+
+class TestGratingLobes:
+    def test_onset_matches_spacing_bound(self):
+        array = respeaker_array()  # 5 cm spacing
+        onset = grating_lobe_onset_hz(array)
+        assert onset == pytest.approx(343.0 / (2 * 0.05), rel=1e-6)
+
+    def test_paper_band_is_safe(self):
+        # Section V-A: the 2-3 kHz probe band avoids grating lobes.
+        array = respeaker_array()
+        assert not has_grating_lobes(array, 2500.0)
+        assert not has_grating_lobes(array, 3000.0)
+
+    def test_coarse_linear_array_aliases(self):
+        # A 2-element array at 4x the safe spacing shows a grating lobe.
+        array = linear_array(2, spacing_m=0.3)
+        assert has_grating_lobes(array, 3000.0)
+
+
+class TestRayleigh:
+    def test_rough_magnitude(self):
+        # 10 cm aperture at 2.5 kHz: lambda/D = 0.137 / 0.1 ~ 1.4 rad.
+        width = rayleigh_beamwidth_rad(respeaker_array(), 2500.0)
+        assert 1.0 < width < 1.8
+
+    def test_point_array(self):
+        from repro.array.geometry import MicrophoneArray
+
+        single = MicrophoneArray(positions=np.zeros((1, 3)))
+        assert rayleigh_beamwidth_rad(single, 2500.0) == float("inf")
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            rayleigh_beamwidth_rad(respeaker_array(), 0.0)

@@ -1,0 +1,86 @@
+"""Tests for noise covariance estimation."""
+
+import numpy as np
+import pytest
+
+from repro.array.covariance import (
+    diagonal_loading,
+    estimate_noise_covariance,
+    sample_covariance,
+)
+
+
+class TestSampleCovariance:
+    def test_hermitian(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 100)) + 1j * rng.standard_normal((4, 100))
+        cov = sample_covariance(x)
+        assert np.allclose(cov, cov.conj().T)
+
+    def test_identity_for_white_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 200_00))
+        cov = sample_covariance(x)
+        assert np.allclose(cov, np.eye(3), atol=0.05)
+
+    def test_rank_one_for_coherent(self):
+        t = np.linspace(0, 1, 500)
+        base = np.exp(2j * np.pi * 5 * t)
+        x = np.stack([base, 2 * base, 3 * base])
+        cov = sample_covariance(x)
+        eigvals = np.linalg.eigvalsh(cov)
+        assert eigvals[-1] > 100 * max(eigvals[0], 1e-12)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            sample_covariance(np.zeros(10))
+
+
+class TestDiagonalLoading:
+    def test_adds_relative_loading(self):
+        cov = np.diag([2.0, 4.0]).astype(complex)
+        loaded = diagonal_loading(cov, 0.1)
+        # Mean diagonal power is 3 -> loading of 0.3 on the diagonal.
+        assert loaded[0, 0] == pytest.approx(2.3)
+        assert loaded[1, 1] == pytest.approx(4.3)
+
+    def test_zero_matrix_gets_absolute_floor(self):
+        loaded = diagonal_loading(np.zeros((3, 3)), 0.5)
+        assert np.allclose(np.diag(loaded), 0.5)
+
+    def test_negative_loading_raises(self):
+        with pytest.raises(ValueError):
+            diagonal_loading(np.eye(2), -0.1)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            diagonal_loading(np.zeros((2, 3)), 0.1)
+
+    def test_makes_singular_invertible(self):
+        cov = np.ones((4, 4), dtype=complex)  # rank one
+        loaded = diagonal_loading(cov, 1e-2)
+        inv = np.linalg.inv(loaded)
+        assert np.all(np.isfinite(inv))
+
+
+class TestEstimateNoiseCovariance:
+    def test_normalized_trace(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 1000)) * 3.0
+        cov = estimate_noise_covariance(x, noise_samples=500)
+        trace = float(np.real(np.trace(cov)))
+        # Unit mean diagonal power plus the diagonal loading.
+        assert trace == pytest.approx(4.0 * (1 + 1e-3), rel=0.01)
+
+    def test_too_few_samples_returns_identity(self):
+        x = np.random.default_rng(3).standard_normal((6, 100))
+        cov = estimate_noise_covariance(x, noise_samples=5)
+        assert np.allclose(cov, np.eye(6))
+
+    def test_zero_signal_returns_identity(self):
+        cov = estimate_noise_covariance(np.zeros((4, 100)), noise_samples=50)
+        assert np.allclose(cov, np.eye(4))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            estimate_noise_covariance(np.zeros(10), noise_samples=5)

@@ -1,0 +1,116 @@
+"""Tests for microphone array geometries and the far-field bound (Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.geometry import (
+    MicrophoneArray,
+    circular_array,
+    far_field_distance,
+    linear_array,
+    rectangular_array,
+    respeaker_array,
+)
+
+
+class TestMicrophoneArray:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            MicrophoneArray(positions=np.zeros((3, 2)))
+
+    def test_rejects_nan(self):
+        positions = np.zeros((2, 3))
+        positions[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            MicrophoneArray(positions=positions)
+
+    def test_single_mic_aperture_zero(self):
+        array = MicrophoneArray(positions=np.zeros((1, 3)))
+        assert array.aperture == 0.0
+        assert array.min_spacing == 0.0
+        assert array.max_unaliased_frequency() == math.inf
+
+    def test_centered(self):
+        array = MicrophoneArray(positions=np.array([[1.0, 0, 0], [3.0, 0, 0]]))
+        centered = array.centered()
+        assert np.allclose(centered.positions.mean(axis=0), 0.0)
+        assert centered.aperture == pytest.approx(array.aperture)
+
+
+class TestRespeaker:
+    def test_six_mics(self):
+        assert respeaker_array().num_mics == 6
+
+    def test_adjacent_spacing_is_5cm(self):
+        # Regular hexagon: adjacent spacing equals the radius.
+        array = respeaker_array()
+        assert array.min_spacing == pytest.approx(0.05, rel=1e-6)
+
+    def test_planar(self):
+        assert np.allclose(respeaker_array().positions[:, 2], 0.0)
+
+    def test_grating_lobe_bound_allows_paper_band(self):
+        # Section V-A: spacing < lambda/2 requires f < 3430 Hz at 5 cm;
+        # the paper's 2-3 kHz band is safe.
+        limit = respeaker_array().max_unaliased_frequency()
+        assert 3000 < limit < 3500
+
+
+class TestFarField:
+    def test_paper_example(self):
+        # Section III-A: 3000 Hz, 0.1 m array -> far field from ~0.18 m.
+        distance = far_field_distance(0.1, 3000.0, speed_of_sound=330.0)
+        assert distance == pytest.approx(0.18, rel=0.02)
+
+    def test_is_far_field(self):
+        array = respeaker_array()
+        assert array.is_far_field(0.6, 2500.0)
+        assert not array.is_far_field(0.01, 20_000.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            far_field_distance(0.1, 0.0)
+
+    @given(
+        aperture=st.floats(min_value=0.01, max_value=1.0),
+        frequency=st.floats(min_value=100.0, max_value=20_000.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_aperture_and_frequency(self, aperture, frequency):
+        base = far_field_distance(aperture, frequency)
+        assert far_field_distance(2 * aperture, frequency) > base
+        assert far_field_distance(aperture, 2 * frequency) > base
+
+
+class TestFactories:
+    def test_circular_radius(self):
+        array = circular_array(8, 0.1)
+        radii = np.linalg.norm(array.positions[:, :2], axis=1)
+        assert np.allclose(radii, 0.1)
+
+    def test_circular_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            circular_array(0, 0.1)
+        with pytest.raises(ValueError):
+            circular_array(4, -1.0)
+
+    def test_linear_spacing_and_centering(self):
+        array = linear_array(4, 0.05)
+        xs = np.sort(array.positions[:, 0])
+        assert np.allclose(np.diff(xs), 0.05)
+        assert np.allclose(array.positions.mean(axis=0), 0.0)
+
+    def test_rectangular_count(self):
+        array = rectangular_array(3, 4, 0.04)
+        assert array.num_mics == 12
+        assert np.allclose(array.positions[:, 1], 0.0)
+
+    def test_rectangular_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rectangular_array(0, 4, 0.04)
+        with pytest.raises(ValueError):
+            rectangular_array(2, 2, 0.0)

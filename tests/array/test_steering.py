@@ -1,0 +1,114 @@
+"""Tests for the steering model of Section III-C (Eqs. 5-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.geometry import linear_array, respeaker_array
+from repro.array.steering import (
+    propagation_vector,
+    steering_vector,
+    steering_vectors,
+    tdoa,
+    wavenumber_vector,
+)
+
+ANGLES = st.tuples(
+    st.floats(min_value=0.0, max_value=2 * np.pi),
+    st.floats(min_value=0.01, max_value=np.pi - 0.01),
+)
+
+
+class TestPropagationVector:
+    def test_unit_norm(self):
+        v = propagation_vector(0.7, 1.1)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_wave_from_above(self):
+        # phi = 0: source on the +z axis, wave travels along -z.
+        v = propagation_vector(0.0, 0.0)
+        assert np.allclose(v, [0, 0, -1])
+
+    def test_wave_from_front(self):
+        # theta = pi/2, phi = pi/2: source on +y, wave travels along -y.
+        v = propagation_vector(np.pi / 2, np.pi / 2)
+        assert np.allclose(v, [0, -1, 0], atol=1e-12)
+
+    @given(ANGLES)
+    @settings(max_examples=50, deadline=None)
+    def test_always_unit(self, angles):
+        theta, phi = angles
+        assert np.linalg.norm(propagation_vector(theta, phi)) == pytest.approx(
+            1.0
+        )
+
+
+class TestTdoa:
+    def test_zero_at_origin_mic(self):
+        array = linear_array(3, 0.05)
+        delays = tdoa(array, np.pi / 2, np.pi / 2)
+        # Centre microphone sits at the origin.
+        assert delays[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_broadside_equal_delays(self):
+        # Wave from +y hits all mics of an x-axis array simultaneously.
+        array = linear_array(4, 0.05)
+        delays = tdoa(array, np.pi / 2, np.pi / 2)
+        assert np.allclose(delays, delays[0])
+
+    def test_endfire_delay_matches_spacing(self):
+        # Wave travelling along -x (source at theta=0, phi=pi/2).
+        array = linear_array(2, 0.1)
+        delays = tdoa(array, 0.0, np.pi / 2, speed_of_sound=343.0)
+        # The +x microphone is hit first; differential is spacing / c.
+        assert delays[0] - delays[1] == pytest.approx(0.1 / 343.0)
+
+    def test_scales_with_speed_of_sound(self):
+        array = respeaker_array()
+        slow = tdoa(array, 1.0, 1.0, speed_of_sound=300.0)
+        fast = tdoa(array, 1.0, 1.0, speed_of_sound=600.0)
+        assert np.allclose(slow, 2 * fast)
+
+
+class TestSteeringVector:
+    def test_unit_modulus(self):
+        vec = steering_vector(respeaker_array(), 0.3, 1.2, 2500.0)
+        assert np.allclose(np.abs(vec), 1.0)
+
+    def test_matches_tdoa_phases(self):
+        array = respeaker_array()
+        freq = 2500.0
+        vec = steering_vector(array, 0.9, 0.8, freq)
+        delays = tdoa(array, 0.9, 0.8)
+        expected = np.exp(-1j * 2 * np.pi * freq * delays)
+        assert np.allclose(vec, expected)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            steering_vector(respeaker_array(), 0.0, 1.0, -100.0)
+
+    def test_batch_matches_single(self):
+        array = respeaker_array()
+        thetas = np.array([0.1, 1.0, 2.0])
+        phis = np.array([0.5, 1.0, 1.5])
+        batch = steering_vectors(array, thetas, phis, 2500.0)
+        assert batch.shape == (3, 6)
+        for k in range(3):
+            single = steering_vector(array, thetas[k], phis[k], 2500.0)
+            assert np.allclose(batch[k], single)
+
+    def test_batch_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="match"):
+            steering_vectors(
+                respeaker_array(), np.zeros(3), np.zeros(2), 2500.0
+            )
+
+    @given(ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_wavenumber_magnitude(self, angles):
+        theta, phi = angles
+        k = wavenumber_vector(theta, phi, 2500.0, speed_of_sound=343.0)
+        assert np.linalg.norm(k) == pytest.approx(
+            2 * np.pi * 2500.0 / 343.0, rel=1e-9
+        )

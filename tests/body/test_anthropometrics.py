@@ -1,0 +1,73 @@
+"""Tests for the anthropometric parameter model."""
+
+import numpy as np
+import pytest
+
+from repro.body.anthropometrics import Anthropometrics, sample_anthropometrics
+
+
+class TestAnthropometrics:
+    def test_valid_construction(self):
+        a = Anthropometrics(
+            height_m=1.75,
+            shoulder_width_m=0.45,
+            hip_width_m=0.35,
+            torso_depth_m=0.24,
+            head_radius_m=0.095,
+            reflectivity=1.0,
+        )
+        assert a.shoulder_height_m == pytest.approx(0.82 * 1.75)
+        assert a.hip_height_m == pytest.approx(0.5 * 1.75)
+
+    def test_implausible_height_rejected(self):
+        with pytest.raises(ValueError, match="height"):
+            Anthropometrics(
+                height_m=3.0,
+                shoulder_width_m=0.45,
+                hip_width_m=0.35,
+                torso_depth_m=0.24,
+                head_radius_m=0.095,
+                reflectivity=1.0,
+            )
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = sample_anthropometrics(np.random.default_rng(42), "male")
+        b = sample_anthropometrics(np.random.default_rng(42), "male")
+        assert a == b
+
+    def test_gender_affects_means(self):
+        males = [
+            sample_anthropometrics(np.random.default_rng(i), "male").height_m
+            for i in range(50)
+        ]
+        females = [
+            sample_anthropometrics(
+                np.random.default_rng(i), "female"
+            ).height_m
+            for i in range(50)
+        ]
+        assert np.mean(males) > np.mean(females)
+
+    def test_unknown_gender_rejected(self):
+        with pytest.raises(ValueError, match="gender"):
+            sample_anthropometrics(np.random.default_rng(0), "robot")
+
+    def test_samples_always_valid(self):
+        # Clamps must keep every draw inside the validity ranges.
+        for i in range(200):
+            gender = "male" if i % 2 else "female"
+            sample_anthropometrics(np.random.default_rng(i), gender)
+
+    def test_population_diversity(self):
+        heights = {
+            round(
+                sample_anthropometrics(
+                    np.random.default_rng(i), "male"
+                ).height_m,
+                3,
+            )
+            for i in range(30)
+        }
+        assert len(heights) > 20

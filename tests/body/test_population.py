@@ -1,0 +1,64 @@
+"""Tests for the Table-I population."""
+
+import pytest
+
+from repro.body.population import (
+    TABLE_I_DEMOGRAPHICS,
+    Population,
+    build_population,
+)
+from repro.body.subject import SyntheticSubject
+
+
+class TestTableI:
+    def test_twenty_rows(self):
+        assert len(TABLE_I_DEMOGRAPHICS) == 20
+
+    def test_row_contents_match_paper(self):
+        by_id = {entry.user_id: entry for entry in TABLE_I_DEMOGRAPHICS}
+        assert by_id[1].gender == "Male"
+        assert by_id[1].occupation == "Undergraduate Student"
+        assert by_id[6].gender == "Female"
+        assert by_id[7].occupation == "Graduate Student"
+        assert by_id[16].gender == "Female"
+        assert by_id[20].age_range == "30-40"
+        assert by_id[20].occupation == "Faculty, Staff and Engineer"
+
+    def test_gender_counts(self):
+        males = sum(1 for e in TABLE_I_DEMOGRAPHICS if e.gender == "Male")
+        assert males == 15  # 5 + 9 + 1
+
+
+class TestBuildPopulation:
+    def test_default_split(self):
+        pop = build_population()
+        assert len(pop.registered) == 12
+        assert len(pop.spoofers) == 8
+        assert len(pop.all_subjects) == 20
+
+    def test_subject_ids_match_table(self):
+        pop = build_population()
+        assert [s.subject_id for s in pop.registered] == list(range(1, 13))
+        assert [s.subject_id for s in pop.spoofers] == list(range(13, 21))
+
+    def test_demographics_attached(self):
+        pop = build_population()
+        assert pop.demographics[1].occupation == "Undergraduate Student"
+
+    def test_deterministic(self):
+        a = build_population().registered[0]
+        b = build_population().registered[0]
+        assert a.anthropometrics == b.anthropometrics
+
+    def test_too_many_subjects_rejected(self):
+        with pytest.raises(ValueError, match="Table I"):
+            build_population(num_registered=15, num_spoofers=10)
+
+    def test_no_registered_rejected(self):
+        with pytest.raises(ValueError):
+            build_population(num_registered=0)
+
+    def test_overlap_rejected(self):
+        subject = SyntheticSubject(1)
+        with pytest.raises(ValueError, match="both"):
+            Population(registered=[subject], spoofers=[SyntheticSubject(1)])

@@ -1,0 +1,152 @@
+"""Tests for synthetic subjects."""
+
+import numpy as np
+import pytest
+
+from repro.body.subject import (
+    FLOOR_Z_M,
+    SessionConditions,
+    SyntheticSubject,
+    _StandingSway,
+)
+
+
+class TestIdentity:
+    def test_deterministic(self):
+        a = SyntheticSubject(5).canonical_cloud
+        b = SyntheticSubject(5).canonical_cloud
+        assert np.allclose(a.positions, b.positions)
+        assert np.allclose(a.reflectivities, b.reflectivities)
+
+    def test_subjects_differ(self):
+        a = SyntheticSubject(1).canonical_cloud
+        b = SyntheticSubject(2).canonical_cloud
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_seed_base_changes_identity(self):
+        a = SyntheticSubject(1, seed_base=1).canonical_cloud
+        b = SyntheticSubject(1, seed_base=2).canonical_cloud
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSubject(-1)
+
+    def test_cloud_spans_body_height(self):
+        subject = SyntheticSubject(1)
+        zs = subject.canonical_cloud.positions[:, 2]
+        height = subject.anthropometrics.height_m
+        assert zs.min() > FLOOR_Z_M + 0.3 * height  # above the hips
+        assert zs.max() <= FLOOR_Z_M + height + 1e-6
+
+    def test_reflectivities_positive(self):
+        cloud = SyntheticSubject(3).canonical_cloud
+        assert np.all(cloud.reflectivities > 0)
+
+    def test_surface_faces_array(self):
+        # Frontal surface: y <= ~0 in the canonical frame (chest proud).
+        cloud = SyntheticSubject(1).canonical_cloud
+        assert np.mean(cloud.positions[:, 1]) < 0.02
+
+
+class TestPlacement:
+    def test_cloud_at_distance(self):
+        subject = SyntheticSubject(1)
+        cloud = subject.cloud_at(0.8)
+        # Mean y should be near the distance (front surface slightly less).
+        assert 0.55 < np.mean(cloud.positions[:, 1]) < 0.85
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            SyntheticSubject(1).cloud_at(0.0)
+
+    def test_session_lateral_offset(self):
+        subject = SyntheticSubject(1)
+        base = subject.cloud_at(0.7)
+        shifted = subject.cloud_at(
+            0.7, SessionConditions(lateral_offset_m=0.1)
+        )
+        assert np.allclose(
+            shifted.positions[:, 0] - base.positions[:, 0], 0.1
+        )
+
+    def test_clothing_gain(self):
+        subject = SyntheticSubject(1)
+        base = subject.cloud_at(0.7)
+        brighter = subject.cloud_at(0.7, SessionConditions(clothing_gain=1.5))
+        assert np.allclose(
+            brighter.reflectivities, 1.5 * base.reflectivities
+        )
+
+    def test_yaw_preserves_heights(self):
+        subject = SyntheticSubject(1)
+        base = subject.cloud_at(0.7)
+        turned = subject.cloud_at(0.7, SessionConditions(yaw_rad=0.3))
+        assert np.allclose(turned.positions[:, 2], base.positions[:, 2])
+
+    def test_lean_moves_upper_body_only(self):
+        subject = SyntheticSubject(1)
+        base = subject.cloud_at(0.7)
+        leaning = subject.cloud_at(
+            0.7, SessionConditions(posture_lean_m=0.05)
+        )
+        delta = leaning.positions[:, 1] - base.positions[:, 1]
+        zs = base.positions[:, 2]
+        top = delta[zs > zs.max() - 0.05]
+        assert np.all(top > 0.03)
+
+
+class TestBeepClouds:
+    def test_count(self):
+        clouds = SyntheticSubject(1).beep_clouds(
+            0.7, 5, np.random.default_rng(0)
+        )
+        assert len(clouds) == 5
+
+    def test_beeps_differ(self):
+        clouds = SyntheticSubject(1).beep_clouds(
+            0.7, 2, np.random.default_rng(0)
+        )
+        assert not np.allclose(clouds[0].positions, clouds[1].positions)
+
+    def test_deterministic_given_rng(self):
+        a = SyntheticSubject(1).beep_clouds(0.7, 3, np.random.default_rng(9))
+        b = SyntheticSubject(1).beep_clouds(0.7, 3, np.random.default_rng(9))
+        for ca, cb in zip(a, b):
+            assert np.allclose(ca.positions, cb.positions)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SyntheticSubject(1).beep_clouds(0.7, 0, np.random.default_rng(0))
+
+
+class TestSessionConditions:
+    def test_compose(self):
+        a = SessionConditions(lateral_offset_m=0.1, clothing_gain=2.0)
+        b = SessionConditions(lateral_offset_m=0.2, clothing_gain=0.5)
+        c = a.composed_with(b)
+        assert c.lateral_offset_m == pytest.approx(0.3)
+        assert c.clothing_gain == pytest.approx(1.0)
+
+    def test_sample_severity_zero(self):
+        cond = SessionConditions.sample(np.random.default_rng(0), severity=0.0)
+        assert cond.lateral_offset_m == 0.0
+        assert cond.clothing_gain == pytest.approx(1.0)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConditions.sample(np.random.default_rng(0), severity=-1.0)
+
+
+class TestStandingSway:
+    def test_stationary_std(self):
+        sway = _StandingSway(np.random.default_rng(0), sigmas=(0.01,) * 4)
+        samples = np.array([sway.step() for _ in range(5000)])
+        stds = samples.std(axis=0)
+        assert np.all(np.abs(stds - 0.01) < 0.004)
+
+    def test_temporally_correlated(self):
+        sway = _StandingSway(np.random.default_rng(1))
+        samples = np.array([sway.step()[0] for _ in range(2000)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.8

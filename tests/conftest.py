@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.noise import NoiseModel
+from repro.acoustics.scene import AcousticScene
+from repro.array.geometry import respeaker_array
+from repro.body.subject import SyntheticSubject
+from repro.signal.chirp import LFMChirp
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chirp() -> LFMChirp:
+    """The paper's probing chirp (2-3 kHz, 2 ms, 48 kHz)."""
+    return LFMChirp()
+
+
+@pytest.fixture
+def array():
+    """The ReSpeaker-like 6-microphone circular array."""
+    return respeaker_array()
+
+
+@pytest.fixture
+def silent_scene(array) -> AcousticScene:
+    """A noise-free scene with no room or clutter (pure propagation)."""
+    return AcousticScene(array=array, noise=NoiseModel.silent())
+
+
+@pytest.fixture
+def quiet_scene(array) -> AcousticScene:
+    """A quiet scene with mild ambient noise."""
+    return AcousticScene(
+        array=array, noise=NoiseModel(kind="quiet", level_db_spl=30.0)
+    )
+
+
+@pytest.fixture
+def subject() -> SyntheticSubject:
+    """A deterministic synthetic subject."""
+    return SyntheticSubject(subject_id=1)
+
+
+@pytest.fixture
+def other_subject() -> SyntheticSubject:
+    """A second, different synthetic subject."""
+    return SyntheticSubject(subject_id=2)

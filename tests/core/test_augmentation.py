@@ -1,0 +1,103 @@
+"""Tests for the inverse-square-law data augmentation (Section V-F)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.augmentation import (
+    augment_images,
+    pixel_scale_factors,
+    transform_image,
+)
+from repro.core.imaging import ImagingPlane
+
+
+@pytest.fixture
+def plane():
+    return ImagingPlane(distance_m=0.7, side_m=1.8, resolution=8)
+
+
+class TestScaleFactors:
+    def test_identity_at_same_distance(self, plane):
+        factors = pixel_scale_factors(plane, 0.7)
+        assert np.allclose(factors, 1.0)
+
+    def test_matches_equation_15(self, plane):
+        # P' = (D_k / D'_k)^2 P with D_k = sqrt(x^2 + D_p^2 + z^2).
+        factors = pixel_scale_factors(plane, 1.4)
+        xs, zs = plane.grid_coordinates()
+        d = np.sqrt(xs**2 + 0.7**2 + zs**2)
+        d_new = np.sqrt(xs**2 + 1.4**2 + zs**2)
+        assert np.allclose(factors.ravel(), (d / d_new) ** 2)
+
+    def test_moving_away_dims(self, plane):
+        factors = pixel_scale_factors(plane, 1.5)
+        assert np.all(factors < 1.0)
+
+    def test_moving_closer_brightens(self, plane):
+        factors = pixel_scale_factors(plane, 0.4)
+        assert np.all(factors > 1.0)
+
+    def test_invalid_distance(self, plane):
+        with pytest.raises(ValueError):
+            pixel_scale_factors(plane, 0.0)
+
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.floats(min_value=0.3, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_is_identity(self, d1, d2):
+        plane1 = ImagingPlane(distance_m=d1, resolution=6)
+        plane2 = ImagingPlane(distance_m=d2, resolution=6)
+        forward = pixel_scale_factors(plane1, d2)
+        backward = pixel_scale_factors(plane2, d1)
+        assert np.allclose(forward * backward, 1.0, rtol=1e-9)
+
+
+class TestTransformImage:
+    def test_applies_factors(self, plane):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 1, (8, 8))
+        out = transform_image(image, plane, 1.0)
+        assert np.allclose(out, image * pixel_scale_factors(plane, 1.0))
+
+    def test_shape_mismatch(self, plane):
+        with pytest.raises(ValueError, match="shape"):
+            transform_image(np.zeros((4, 4)), plane, 1.0)
+
+    def test_preserves_nonnegativity(self, plane):
+        image = np.random.default_rng(1).uniform(0, 1, (8, 8))
+        assert np.all(transform_image(image, plane, 1.3) >= 0)
+
+
+class TestAugmentImages:
+    def test_counts(self, plane):
+        images = [np.ones((8, 8)) for _ in range(3)]
+        out = augment_images(images, plane, [0.9, 1.2])
+        assert len(out) == 9  # 3 originals + 2 x 3 synthesized
+
+    def test_exclude_original(self, plane):
+        images = [np.ones((8, 8))]
+        out = augment_images(images, plane, [0.9], include_original=False)
+        assert len(out) == 1
+        assert not np.allclose(out[0], images[0])
+
+    def test_empty_rejected(self, plane):
+        with pytest.raises(ValueError):
+            augment_images([], plane, [0.9])
+
+    def test_synthesized_matches_physics(self, plane):
+        # A synthesized image at distance d should approximate the image
+        # actually measured at d for an ideal point: check the scaling of
+        # the centre pixel follows 1/D^2 within the plane geometry.
+        image = np.ones((8, 8))
+        out = augment_images([image], plane, [1.4], include_original=False)[0]
+        center = out[4, 4]
+        xs, zs = plane.grid_coordinates()
+        k = 4 * 8 + 4
+        expected = (xs[k] ** 2 + 0.7**2 + zs[k] ** 2) / (
+            xs[k] ** 2 + 1.4**2 + zs[k] ** 2
+        )
+        assert center == pytest.approx(expected)

@@ -1,0 +1,130 @@
+"""Tests for the SVDD + SVM authentication cascade (Section V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.config import AuthenticationConfig
+from repro.core.authenticator import (
+    SPOOFER_LABEL,
+    MultiUserAuthenticator,
+    SingleUserAuthenticator,
+)
+
+
+def user_cluster(rng, center, n=30, spread=0.6):
+    center = np.asarray(center, dtype=float)
+    offsets = rng.standard_normal((n, center.size)) * spread
+    return center + offsets
+
+
+@pytest.fixture
+def feature_space():
+    rng = np.random.default_rng(0)
+    d = 8
+    centers = {
+        label: 5.0 * rng.standard_normal(d) for label in ("alice", "bob", "eve")
+    }
+    train = {
+        label: user_cluster(rng, center)
+        for label, center in centers.items()
+        if label != "eve"
+    }
+    test = {
+        label: user_cluster(rng, center, n=15)
+        for label, center in centers.items()
+    }
+    return train, test
+
+
+class TestSingleUser:
+    def test_accepts_own_rejects_far(self):
+        rng = np.random.default_rng(1)
+        own = user_cluster(rng, np.zeros(6))
+        spoof = user_cluster(rng, np.full(6, 8.0))
+        auth = SingleUserAuthenticator().fit(own)
+        assert np.mean(auth.predict(own)) > 0.9
+        assert np.mean(auth.predict(spoof)) < 0.1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SingleUserAuthenticator().predict(np.zeros((1, 3)))
+
+    def test_decision_function_sign_consistency(self):
+        rng = np.random.default_rng(2)
+        own = user_cluster(rng, np.zeros(5))
+        auth = SingleUserAuthenticator().fit(own)
+        scores = auth.decision_function(own)
+        assert np.all((scores >= 0) == auth.predict(own))
+
+
+class TestMultiUser:
+    def test_identifies_registered_users(self, feature_space):
+        train, test = feature_space
+        features = np.vstack(list(train.values()))
+        labels = np.concatenate(
+            [[label] * len(m) for label, m in train.items()]
+        )
+        auth = MultiUserAuthenticator().fit(features, labels)
+        for label in ("alice", "bob"):
+            predictions = auth.predict(test[label])
+            assert np.mean(predictions == label) > 0.75
+
+    def test_rejects_spoofer(self, feature_space):
+        train, test = feature_space
+        features = np.vstack(list(train.values()))
+        labels = np.concatenate(
+            [[label] * len(m) for label, m in train.items()]
+        )
+        auth = MultiUserAuthenticator().fit(features, labels)
+        predictions = auth.predict(test["eve"])
+        assert np.mean(predictions == SPOOFER_LABEL) > 0.8
+
+    def test_spoofer_scores_ordering(self, feature_space):
+        train, test = feature_space
+        features = np.vstack(list(train.values()))
+        labels = np.concatenate(
+            [[label] * len(m) for label, m in train.items()]
+        )
+        auth = MultiUserAuthenticator().fit(features, labels)
+        legit = auth.spoofer_scores(test["alice"]).mean()
+        spoof = auth.spoofer_scores(test["eve"]).mean()
+        assert legit > spoof
+
+    def test_single_registered_user_degenerates_to_gate(self):
+        rng = np.random.default_rng(3)
+        own = user_cluster(rng, np.zeros(4))
+        auth = MultiUserAuthenticator().fit(own, np.array(["only"] * len(own)))
+        predictions = auth.predict(own)
+        accepted = predictions != SPOOFER_LABEL
+        assert np.mean(accepted) > 0.9
+        assert all(p == "only" for p in predictions[accepted])
+
+    def test_reserved_label_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            MultiUserAuthenticator().fit(
+                np.zeros((2, 3)), np.array([SPOOFER_LABEL, 1])
+            )
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MultiUserAuthenticator().fit(np.zeros((3, 2)), np.array([1, 2]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiUserAuthenticator().predict(np.zeros((1, 2)))
+
+    def test_config_thresholds_respected(self, feature_space):
+        train, _ = feature_space
+        features = np.vstack(list(train.values()))
+        labels = np.concatenate(
+            [[label] * len(m) for label, m in train.items()]
+        )
+        strict = MultiUserAuthenticator(
+            AuthenticationConfig(svdd_radius_quantile=0.5)
+        ).fit(features, labels)
+        loose = MultiUserAuthenticator(
+            AuthenticationConfig(svdd_radius_quantile=1.0, svdd_margin=0.5)
+        ).fit(features, labels)
+        strict_accept = np.mean(strict.predict(features) != SPOOFER_LABEL)
+        loose_accept = np.mean(loose.predict(features) != SPOOFER_LABEL)
+        assert loose_accept > strict_accept

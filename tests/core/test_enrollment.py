@@ -1,0 +1,47 @@
+"""Tests for enrollment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.enrollment import build_training_features, stack_user_features
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import ImagingPlane
+
+
+@pytest.fixture
+def plane():
+    return ImagingPlane(distance_m=0.7, resolution=8)
+
+
+@pytest.fixture
+def extractor():
+    return FeatureExtractor(mode="raw")
+
+
+class TestBuildTrainingFeatures:
+    def test_without_augmentation(self, plane, extractor):
+        images = [np.random.default_rng(i).uniform(0, 1, (8, 8)) for i in range(3)]
+        features = build_training_features(images, plane, extractor)
+        assert features.shape == (3, extractor.feature_dim)
+
+    def test_with_augmentation_multiplies_count(self, plane, extractor):
+        images = [np.random.default_rng(i).uniform(0, 1, (8, 8)) for i in range(3)]
+        features = build_training_features(
+            images, plane, extractor, augment_distances_m=[0.9, 1.2]
+        )
+        assert features.shape == (9, extractor.feature_dim)
+
+
+class TestStackUserFeatures:
+    def test_stacks_and_labels(self):
+        per_user = {
+            "a": np.zeros((2, 4)),
+            "b": np.ones((3, 4)),
+        }
+        features, labels = stack_user_features(per_user)
+        assert features.shape == (5, 4)
+        assert list(labels) == ["a", "a", "b", "b", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_user_features({})

@@ -1,0 +1,51 @@
+"""Tests for the feature extraction stage (Section V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FeatureConfig
+from repro.core.features import FeatureExtractor
+
+
+class TestFeatureExtractor:
+    def test_cnn_mode_dim(self):
+        extractor = FeatureExtractor()
+        assert extractor.feature_dim == 256
+
+    def test_raw_mode_dim(self):
+        extractor = FeatureExtractor(mode="raw")
+        assert extractor.feature_dim == 64 * 64
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(mode="wavelet")
+
+    def test_extract_shapes(self):
+        rng = np.random.default_rng(0)
+        images = [rng.uniform(0, 1, (48, 48)) for _ in range(4)]
+        for mode in ("cnn", "raw"):
+            extractor = FeatureExtractor(mode=mode)
+            features = extractor.extract(images)
+            assert features.shape == (4, extractor.feature_dim)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor().extract([])
+
+    def test_deterministic(self):
+        image = np.random.default_rng(1).uniform(0, 1, (48, 48))
+        a = FeatureExtractor().extract([image])
+        b = FeatureExtractor().extract([image])
+        assert np.allclose(a, b)
+
+    def test_config_seed_controls_network(self):
+        image = np.random.default_rng(2).uniform(0, 1, (48, 48))
+        a = FeatureExtractor(FeatureConfig(seed=1)).extract([image])
+        b = FeatureExtractor(FeatureConfig(seed=2)).extract([image])
+        assert not np.allclose(a, b)
+
+    def test_raw_mode_is_normalized_pixels(self):
+        image = np.random.default_rng(3).uniform(0, 1, (64, 64))
+        features = FeatureExtractor(mode="raw").extract([image])[0]
+        assert features.mean() == pytest.approx(0.0, abs=1e-10)
+        assert features.std() == pytest.approx(1.0, abs=1e-10)

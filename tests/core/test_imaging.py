@@ -1,0 +1,163 @@
+"""Tests for the acoustic imager (Section V-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.reflectors import ReflectorCloud
+from repro.config import ImagingConfig
+from repro.core.imaging import AcousticImager, ImagingPlane
+
+
+class TestImagingPlane:
+    def test_grid_count(self):
+        plane = ImagingPlane(distance_m=0.7, resolution=10)
+        assert plane.num_grids == 100
+        xs, zs = plane.grid_coordinates()
+        assert xs.shape == (100,)
+
+    def test_grid_coordinates_span_plane(self):
+        plane = ImagingPlane(distance_m=0.7, side_m=1.8, resolution=18)
+        xs, zs = plane.grid_coordinates()
+        assert xs.min() == pytest.approx(-0.9 + 0.05)
+        assert xs.max() == pytest.approx(0.9 - 0.05)
+        assert zs.max() == pytest.approx(0.9 - 0.05)
+
+    def test_rows_are_top_down(self):
+        plane = ImagingPlane(distance_m=0.7, resolution=4)
+        _, zs = plane.grid_coordinates()
+        grid = zs.reshape(4, 4)
+        assert np.all(grid[0] > grid[-1])
+
+    def test_angles_match_paper_equations(self):
+        plane = ImagingPlane(distance_m=0.7, resolution=6)
+        xs, zs = plane.grid_coordinates()
+        theta, phi = plane.grid_angles()
+        d_p = 0.7
+        expected_theta = np.arccos(xs / np.sqrt(xs**2 + d_p**2))
+        expected_phi = np.arccos(
+            zs / np.sqrt(xs**2 + d_p**2 + zs**2)
+        )
+        assert np.allclose(theta, expected_theta)
+        assert np.allclose(phi, expected_phi)
+
+    def test_center_grid_faces_forward(self):
+        plane = ImagingPlane(distance_m=0.7, resolution=3)
+        theta, phi = plane.grid_angles()
+        center = 4  # middle of a 3x3 grid
+        assert theta[center] == pytest.approx(np.pi / 2)
+        assert phi[center] == pytest.approx(np.pi / 2)
+
+    def test_ranges(self):
+        plane = ImagingPlane(distance_m=1.0, resolution=3)
+        ranges = plane.grid_ranges()
+        assert np.all(ranges >= 1.0 - 1e-12)
+
+    def test_from_config(self):
+        config = ImagingConfig(plane_side_m=2.0, grid_resolution=10)
+        plane = ImagingPlane.from_config(0.9, config)
+        assert plane.side_m == 2.0
+        assert plane.resolution == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImagingPlane(distance_m=0.0)
+        with pytest.raises(ValueError):
+            ImagingPlane(distance_m=1.0, resolution=1)
+
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ranges_bounded_by_geometry(self, distance, resolution):
+        plane = ImagingPlane(distance_m=distance, resolution=resolution)
+        ranges = plane.grid_ranges()
+        max_range = np.sqrt(distance**2 + 2 * (plane.side_m / 2) ** 2)
+        assert np.all(ranges <= max_range + 1e-9)
+
+
+class TestAcousticImager:
+    def _image_of_point(self, array, scene, chirp, rng, position, res=24):
+        body = ReflectorCloud(
+            positions=np.array([position]), reflectivities=np.array([3.0])
+        )
+        rec = scene.record_beep(chirp, body, rng)
+        plane = ImagingPlane(
+            distance_m=float(position[1]), side_m=1.8, resolution=res
+        )
+        imager = AcousticImager(array)
+        return imager.image(rec, plane), plane
+
+    def test_image_shape_and_nonnegativity(
+        self, array, silent_scene, chirp, rng
+    ):
+        image, _ = self._image_of_point(
+            array, silent_scene, chirp, rng, [0.0, 0.7, 0.0]
+        )
+        assert image.shape == (24, 24)
+        assert np.all(image >= 0)
+
+    def test_bright_spot_follows_reflector_side(
+        self, array, silent_scene, chirp, rng
+    ):
+        left, plane = self._image_of_point(
+            array, silent_scene, chirp, rng, [-0.5, 0.7, 0.0]
+        )
+        right, _ = self._image_of_point(
+            array, silent_scene, chirp, rng, [0.5, 0.7, 0.0]
+        )
+        # Column of the peak should move with the reflector.
+        col_left = int(np.unravel_index(np.argmax(left), left.shape)[1])
+        col_right = int(np.unravel_index(np.argmax(right), right.shape)[1])
+        assert col_left < plane.resolution / 2 < col_right
+
+    def test_range_gating_dims_wrong_distance(
+        self, array, silent_scene, chirp, rng
+    ):
+        body = ReflectorCloud(
+            positions=np.array([[0.0, 0.7, 0.0]]),
+            reflectivities=np.array([3.0]),
+        )
+        rec = silent_scene.record_beep(chirp, body, rng)
+        imager = AcousticImager(array)
+        right_plane = ImagingPlane(distance_m=0.7, resolution=16)
+        wrong_plane = ImagingPlane(distance_m=1.6, resolution=16)
+        on = imager.image(rec, right_plane)
+        off = imager.image(rec, wrong_plane)
+        assert on.max() > 3 * off.max()
+
+    def test_images_batch(self, array, silent_scene, chirp, rng):
+        body = ReflectorCloud(
+            positions=np.array([[0.0, 0.7, 0.0]]),
+            reflectivities=np.array([1.0]),
+        )
+        recs = silent_scene.record_beeps(chirp, [body, body], rng)
+        plane = ImagingPlane(distance_m=0.7, resolution=12)
+        images = AcousticImager(array).images(recs, plane)
+        assert len(images) == 2
+
+    def test_subject_images_distinguish_users(
+        self, array, quiet_scene, chirp, subject, other_subject
+    ):
+        rng = np.random.default_rng(0)
+        imager = AcousticImager(array)
+        plane = ImagingPlane(distance_m=0.62, resolution=32)
+
+        def image_of(subj, seed):
+            r = np.random.default_rng(seed)
+            cloud = subj.beep_clouds(0.7, 1, r)[0]
+            rec = quiet_scene.record_beep(chirp, cloud, r)
+            return imager.image(rec, plane)
+
+        a1 = image_of(subject, 1)
+        a2 = image_of(subject, 2)
+        b1 = image_of(other_subject, 3)
+
+        def corr(u, v):
+            u = u.ravel() - u.mean()
+            v = v.ravel() - v.mean()
+            return float(u @ v / (np.linalg.norm(u) * np.linalg.norm(v)))
+
+        assert corr(a1, a2) > corr(a1, b1)

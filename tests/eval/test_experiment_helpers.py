@@ -1,0 +1,65 @@
+"""Tests for experiment-runner helpers and protocol constants."""
+
+import numpy as np
+import pytest
+
+from repro.config import ImagingConfig
+from repro.eval.experiments import (
+    ENVIRONMENTS,
+    NOISE_CONDITIONS,
+    _split_counts,
+)
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert _split_counts(30, 3) == [10, 10, 10]
+
+    def test_remainder_spread(self):
+        assert _split_counts(31, 3) == [11, 10, 10]
+        assert _split_counts(32, 3) == [11, 11, 10]
+
+    def test_fewer_than_parts(self):
+        counts = _split_counts(2, 3)
+        assert sum(counts) == 2
+        assert all(c > 0 for c in counts)
+
+    def test_total_preserved(self):
+        for total in (1, 7, 50, 199):
+            for parts in (1, 2, 3, 5):
+                assert sum(_split_counts(total, parts)) == total
+
+
+class TestProtocolConstants:
+    def test_noise_conditions_match_paper(self):
+        kinds = {kind for kind, _ in NOISE_CONDITIONS}
+        assert kinds == {"quiet", "music", "babble", "traffic"}
+        levels = dict(NOISE_CONDITIONS)
+        assert levels["quiet"] == 30.0  # "about 30 dB"
+        assert levels["music"] == 50.0  # "about 50 dB"
+
+    def test_three_environments(self):
+        assert set(ENVIRONMENTS) == {
+            "laboratory",
+            "conference_hall",
+            "outdoor",
+        }
+
+
+class TestSnapDistance:
+    def test_disabled_is_identity(self):
+        config = ImagingConfig(distance_step_m=0.0)
+        assert config.snap_distance(0.637) == 0.637
+
+    def test_snaps_to_grid(self):
+        config = ImagingConfig(distance_step_m=0.1)
+        assert config.snap_distance(0.637) == pytest.approx(0.6)
+        assert config.snap_distance(0.96) == pytest.approx(1.0)
+
+    def test_never_snaps_to_zero(self):
+        config = ImagingConfig(distance_step_m=0.5)
+        assert config.snap_distance(0.01) == pytest.approx(0.5)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            ImagingConfig().snap_distance(0.0)

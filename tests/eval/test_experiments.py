@@ -1,0 +1,106 @@
+"""Tests for the experiment runners (small workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EchoImageConfig, ImagingConfig
+from repro.eval.experiments import (
+    run_augmentation_study,
+    run_distance_feasibility,
+    run_distance_sweep,
+    run_environment_robustness,
+    run_image_feasibility,
+    run_overall_performance,
+)
+
+FAST = EchoImageConfig(imaging=ImagingConfig(grid_resolution=24))
+
+
+class TestFeasibilityRunners:
+    def test_distance_feasibility(self):
+        result = run_distance_feasibility(num_beeps=6)
+        assert 0.3 < result.estimate.user_distance_m < 0.9
+        assert result.true_distance_m == 0.6
+        assert result.estimate.averaged_envelope.size > 0
+
+    def test_image_feasibility_intra_exceeds_inter(self):
+        result = run_image_feasibility(num_beeps=2)
+        assert result.intra_user_similarity > result.inter_user_similarity
+        assert len(result.images) == 4
+
+
+class TestOverallPerformance:
+    def test_small_run_structure(self):
+        result = run_overall_performance(
+            num_registered=3,
+            num_spoofers=2,
+            train_chirps=12,
+            test_chirps=6,
+            config=FAST,
+        )
+        assert result.matrix.shape == (4, 4)
+        assert result.labels[-1] == -1
+        assert 0.0 <= result.user_accuracy <= 1.0
+        assert 0.0 <= result.spoofer_accuracy <= 1.0
+        # Identification among accepted images should be strong even in a
+        # tiny run.
+        assert result.identification_accuracy > 0.6
+
+    def test_matrix_rows_sum_to_test_counts(self):
+        result = run_overall_performance(
+            num_registered=2,
+            num_spoofers=1,
+            train_chirps=10,
+            test_chirps=6,
+            config=FAST,
+        )
+        row_sums = result.matrix.sum(axis=1)
+        assert row_sums[0] == row_sums[1] == 6
+
+
+class TestEnvironmentRobustness:
+    def test_structure(self):
+        result = run_environment_robustness(
+            num_users=2,
+            train_chirps=10,
+            test_chirps_per_condition=4,
+            environments=("laboratory",),
+            noise_conditions=(("quiet", 30.0), ("music", 50.0)),
+            config=FAST,
+        )
+        assert set(result.metrics) == {"laboratory"}
+        assert set(result.metrics["laboratory"]) == {"quiet", "music"}
+        for values in result.metrics["laboratory"].values():
+            assert {"recall", "precision", "accuracy", "f_measure"} <= set(
+                values
+            )
+
+
+class TestDistanceSweep:
+    def test_structure(self):
+        result = run_distance_sweep(
+            distances_m=(0.6, 1.0),
+            num_users=2,
+            train_chirps=10,
+            test_chirps=4,
+            noise_conditions=(("quiet", 30.0),),
+            config=FAST,
+        )
+        assert result.distances_m == (0.6, 1.0)
+        assert len(result.f_measures["quiet"]) == 2
+        assert all(0.0 <= f <= 1.0 for f in result.f_measures["quiet"])
+
+
+class TestAugmentationStudy:
+    def test_structure(self):
+        result = run_augmentation_study(
+            train_sizes=(8, 16),
+            num_users=2,
+            test_distances_m=(0.6, 1.0),
+            test_chirps_per_distance=4,
+            config=FAST,
+            scale=1.0,
+        )
+        assert result.train_sizes == (8, 16)
+        assert len(result.metrics["augmented"]) == 2
+        assert len(result.metrics["plain"]) == 2

@@ -1,0 +1,88 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.plotting import ascii_heatmap, ascii_line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = ascii_line_chart(
+            [0.0, 1.0, 2.0], {"f": [0.1, 0.9, 0.5]}, width=30, height=8
+        )
+        lines = out.splitlines()
+        assert any("A=f" in line for line in lines)
+        assert "A" in out  # sample markers present (capitalised)
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_line_chart(
+            [0, 1], {"quiet": [1.0, 0.9], "noisy": [0.5, 0.4]},
+            width=20, height=6,
+        )
+        assert "A=quiet" in out and "B=noisy" in out
+
+    def test_title(self):
+        out = ascii_line_chart([0, 1], {"s": [0, 1]}, title="My plot")
+        assert out.splitlines()[0] == "My plot"
+
+    def test_constant_series_safe(self):
+        out = ascii_line_chart([0, 1, 2], {"s": [0.5, 0.5, 0.5]})
+        assert "A" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_line_chart([0], {"s": [1]})
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 0], {"s": [1, 2]})
+        with pytest.raises(ValueError):
+            ascii_line_chart([0, 1], {"s": [1]})
+        with pytest.raises(ValueError):
+            ascii_line_chart([0, 1], {"s": [1, 2]}, y_range=(1.0, 1.0))
+
+    def test_explicit_range_clips(self):
+        out = ascii_line_chart(
+            [0, 1], {"s": [0.0, 10.0]}, y_range=(0.0, 1.0), height=5
+        )
+        assert "1.000" in out
+
+    def test_row_labels_show_extremes(self):
+        out = ascii_line_chart([0, 1], {"s": [2.0, 8.0]}, height=6)
+        assert any("8" in line.split("|")[0] for line in out.splitlines()[:2])
+
+
+class TestHeatmap:
+    def test_shape_and_shading(self):
+        matrix = np.outer(np.linspace(0, 1, 6), np.linspace(0, 1, 10))
+        out = ascii_heatmap(matrix)
+        lines = out.splitlines()
+        assert len(lines) == 6
+        assert lines[0][0] == " "  # zero corner is blank
+        assert lines[-1][-1] == "@"  # peak corner is brightest
+
+    def test_downsampling(self):
+        matrix = np.random.default_rng(0).uniform(0, 1, (10, 200))
+        out = ascii_heatmap(matrix, max_width=50)
+        assert max(len(line) for line in out.splitlines()) <= 50
+
+    def test_log_compress(self):
+        # A textured background dwarfed by one spike: without compression
+        # the background is blank; with it the texture becomes visible.
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(1.0, 2.0, (4, 4))
+        matrix[0, 0] = 1000.0
+        flat = ascii_heatmap(matrix)
+        compressed = ascii_heatmap(matrix, log_compress=True)
+        def visible(text):
+            return sum(1 for ch in text if ch not in " \n")
+        assert visible(compressed) > visible(flat)
+
+    def test_constant_matrix_safe(self):
+        out = ascii_heatmap(np.full((3, 3), 2.0))
+        assert len(out.splitlines()) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))

@@ -1,0 +1,54 @@
+"""Tests for protocol constants and REPRO_SCALE handling."""
+
+import pytest
+
+from repro.eval.protocols import (
+    DEFAULT_SCALE,
+    PAPER_TEST_CHIRPS,
+    PAPER_TRAIN_CHIRPS,
+    repro_scale,
+    scaled,
+)
+
+
+class TestReproScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == DEFAULT_SCALE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert repro_scale() == 0.5
+
+    def test_invalid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_non_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+
+class TestScaled:
+    def test_paper_counts(self):
+        assert PAPER_TRAIN_CHIRPS == 200
+        assert PAPER_TEST_CHIRPS == 300
+
+    def test_explicit_scale(self):
+        assert scaled(200, scale=0.25) == 50
+
+    def test_minimum_floor(self):
+        assert scaled(200, scale=0.001) == 4
+
+    def test_identity_scale(self):
+        assert scaled(123, scale=1.0) == 123
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            scaled(0, scale=1.0)
+
+    def test_uses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert scaled(200) == 20

@@ -1,0 +1,66 @@
+"""Tests for the plain-text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    format_confusion_matrix,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series(
+            "distance", [0.6, 0.7], {"quiet": [0.9, 0.95], "noisy": [0.8, 0.85]}
+        )
+        assert "quiet" in out and "noisy" in out
+        assert "0.600" in out
+
+
+class TestFormatConfusion:
+    def test_normalized(self):
+        matrix = np.array([[8, 2], [0, 10]])
+        out = format_confusion_matrix(matrix, ["a", "b"])
+        assert "0.800" in out
+        assert "1.000" in out
+
+    def test_raw_counts(self):
+        matrix = np.array([[8, 2], [0, 10]])
+        out = format_confusion_matrix(matrix, ["a", "b"], normalize=False)
+        assert "8.000" in out
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            format_confusion_matrix(np.zeros((2, 2)), ["a"])
+
+    def test_zero_row_safe(self):
+        matrix = np.array([[0, 0], [1, 1]])
+        out = format_confusion_matrix(matrix, ["a", "b"])
+        assert "0.000" in out

@@ -1,0 +1,117 @@
+"""Integration tests: the whole system, simulated hardware to decision."""
+
+import numpy as np
+import pytest
+
+from repro.body.population import build_population
+from repro.config import (
+    AuthenticationConfig,
+    EchoImageConfig,
+    ImagingConfig,
+)
+from repro.core.authenticator import SPOOFER_LABEL
+from repro.core.enrollment import stack_user_features
+from repro.core.features import FeatureExtractor
+from repro.core.authenticator import MultiUserAuthenticator
+from repro.eval.dataset import CollectionSpec, DatasetBuilder
+
+CONFIG = EchoImageConfig(imaging=ImagingConfig(grid_resolution=32))
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return DatasetBuilder(config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FeatureExtractor(CONFIG.features)
+
+
+@pytest.fixture(scope="module")
+def trained_system(builder, extractor):
+    """Three registered users, enrollment over two visits."""
+    population = build_population(num_registered=3, num_spoofers=2)
+    spec = CollectionSpec(num_beeps=12)
+    per_user = {}
+    for subject in population.registered:
+        blocks = builder.collect_blocks(subject, spec, [10, 11])
+        images = [im for b in blocks for im in b.images]
+        per_user[subject.subject_id] = extractor.extract(images)
+    features, labels = stack_user_features(per_user)
+    auth = MultiUserAuthenticator(
+        AuthenticationConfig(svdd_margin=0.1)
+    ).fit(features, labels)
+    return population, auth
+
+
+class TestCrossSessionIdentification:
+    def test_registered_users_identified(
+        self, trained_system, builder, extractor
+    ):
+        population, auth = trained_system
+        spec = CollectionSpec(num_beeps=8)
+        correct, total = 0, 0
+        for subject in population.registered:
+            block = builder.collect_session(subject, spec, session_key=30)
+            predictions = auth.predict(extractor.extract(block.images))
+            correct += int(np.sum(predictions == subject.subject_id))
+            total += len(predictions)
+        assert correct / total > 0.7
+
+    def test_spoofers_mostly_rejected_or_misassigned(
+        self, trained_system, builder, extractor
+    ):
+        population, auth = trained_system
+        spec = CollectionSpec(num_beeps=8)
+        rejected, total = 0, 0
+        for subject in population.spoofers:
+            block = builder.collect_session(subject, spec, session_key=40)
+            predictions = auth.predict(extractor.extract(block.images))
+            rejected += int(np.sum(predictions == SPOOFER_LABEL))
+            total += len(predictions)
+        # The gate should reject a clear majority of spoofer images.
+        assert rejected / total > 0.5
+
+
+class TestRangingAcrossDistances:
+    def test_estimate_tracks_true_distance(self, builder):
+        population = build_population(num_registered=1, num_spoofers=0)
+        subject = population.registered[0]
+        estimates = []
+        for distance in (0.6, 1.0, 1.4):
+            spec = CollectionSpec(distance_m=distance, num_beeps=6)
+            block = builder.collect_session(subject, spec, session_key=7)
+            estimates.append(block.estimated_distance_m)
+        # Estimates must be strictly increasing with the true distance.
+        assert estimates[0] < estimates[1] < estimates[2]
+
+
+class TestNoiseRobustnessTrend:
+    def test_quiet_beats_noisy(self, builder, extractor):
+        population = build_population(num_registered=2, num_spoofers=0)
+        train_spec = CollectionSpec(num_beeps=12)
+        per_user = {}
+        for subject in population.registered:
+            block = builder.collect_session(subject, train_spec, 10)
+            per_user[subject.subject_id] = extractor.extract(block.images)
+        features, labels = stack_user_features(per_user)
+        auth = MultiUserAuthenticator(
+            AuthenticationConfig(svdd_margin=0.3)
+        ).fit(features, labels)
+
+        def accuracy(noise_kind, level):
+            spec = CollectionSpec(
+                num_beeps=8, noise_kind=noise_kind, noise_level_db=level
+            )
+            correct, total = 0, 0
+            for subject in population.registered:
+                block = builder.collect_session(subject, spec, 30)
+                predictions = auth.predict(extractor.extract(block.images))
+                correct += int(np.sum(predictions == subject.subject_id))
+                total += len(predictions)
+            return correct / total
+
+        quiet = accuracy("quiet", 30.0)
+        very_noisy = accuracy("music", 75.0)
+        assert quiet >= very_noisy

@@ -1,0 +1,116 @@
+"""Failure-injection tests: degenerate inputs must fail loudly or degrade
+gracefully, never corrupt results silently."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.scene import BeepRecording
+from repro.array.beamforming import MVDRBeamformer
+from repro.array.covariance import estimate_noise_covariance
+from repro.array.geometry import respeaker_array
+from repro.config import AuthenticationConfig, ImagingConfig
+from repro.core.authenticator import MultiUserAuthenticator
+from repro.core.distance import DistanceEstimationError, DistanceEstimator
+from repro.core.features import FeatureExtractor
+from repro.core.imaging import AcousticImager, ImagingPlane
+from repro.ml.scaler import StandardScaler
+from repro.ml.svdd import SVDD
+
+
+class TestSilentInputs:
+    def test_distance_estimator_on_silence(self):
+        array = respeaker_array()
+        silence = BeepRecording(
+            samples=np.zeros((6, 2400)) + 1e-12,
+            sample_rate=48_000,
+            emit_index=240,
+        )
+        estimator = DistanceEstimator(array)
+        with pytest.raises((DistanceEstimationError, ValueError)):
+            estimator.estimate([silence])
+
+    def test_imager_on_silence_gives_zeroish_image(self):
+        array = respeaker_array()
+        silence = BeepRecording(
+            samples=np.zeros((6, 2400)),
+            sample_rate=48_000,
+            emit_index=240,
+        )
+        imager = AcousticImager(
+            array, config=ImagingConfig(grid_resolution=8)
+        )
+        image = imager.image(silence, ImagingPlane(distance_m=0.7, resolution=8))
+        assert np.allclose(image, 0.0)
+
+    def test_feature_extractor_on_constant_image(self):
+        features = FeatureExtractor().extract([np.zeros((16, 16))])
+        assert np.all(np.isfinite(features))
+
+
+class TestDeadChannels:
+    def test_one_dead_microphone_does_not_crash(self, quiet_scene, chirp,
+                                                subject, rng):
+        clouds = subject.beep_clouds(0.7, 4, rng)
+        recordings = quiet_scene.record_beeps(chirp, clouds, rng)
+        # Kill channel 2 in every capture.
+        broken = [
+            BeepRecording(
+                samples=np.where(
+                    np.arange(6)[:, None] == 2, 0.0, rec.samples
+                ),
+                sample_rate=rec.sample_rate,
+                emit_index=rec.emit_index,
+            )
+            for rec in recordings
+        ]
+        estimator = DistanceEstimator(respeaker_array())
+        estimate = estimator.estimate(broken)
+        assert 0.2 < estimate.user_distance_m < 1.5
+
+
+class TestDegenerateCovariance:
+    def test_mvdr_with_rank_deficient_noise(self):
+        array = respeaker_array()
+        # Rank-1 "noise" covariance; diagonal loading must rescue it.
+        vec = np.ones(6, dtype=complex) / np.sqrt(6)
+        cov = np.outer(vec, vec.conj())
+        bf = MVDRBeamformer(array=array, noise_covariance=cov, loading=1e-2)
+        w = bf.weights(np.pi / 2, np.pi / 2)
+        assert np.all(np.isfinite(w))
+
+    def test_estimate_covariance_constant_channels(self):
+        constant = np.ones((6, 500), dtype=complex)
+        cov = estimate_noise_covariance(constant, noise_samples=400)
+        assert np.all(np.isfinite(np.linalg.inv(cov)))
+
+
+class TestDegenerateTraining:
+    def test_svdd_on_duplicated_samples(self):
+        x = np.tile(np.array([[1.0, 2.0, 3.0]]), (20, 1))
+        svdd = SVDD(c=0.2).fit(x)
+        assert svdd.predict(x)[0] == 1
+        far = svdd.predict(np.array([[100.0, 0.0, 0.0]]))
+        assert far[0] == -1
+
+    def test_scaler_single_sample(self):
+        scaler = StandardScaler().fit(np.array([[1.0, 2.0]]))
+        out = scaler.transform(np.array([[1.0, 2.0]]))
+        assert np.allclose(out, 0.0)
+
+    def test_authenticator_tiny_enrollment(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((6, 5))
+        labels = np.array(["a", "a", "a", "b", "b", "b"])
+        auth = MultiUserAuthenticator(
+            AuthenticationConfig(svdd_margin=0.5)
+        ).fit(features, labels)
+        predictions = auth.predict(features)
+        assert predictions.shape == (6,)
+
+    def test_nan_features_rejected_by_scaler(self):
+        features = np.zeros((4, 3))
+        features[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            MultiUserAuthenticator().fit(
+                features, np.array(["a", "a", "b", "b"])
+            )

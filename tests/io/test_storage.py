@@ -1,0 +1,59 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io.storage import load_image_dataset, save_image_dataset
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        rng = np.random.default_rng(0)
+        images = [rng.uniform(0, 1, (8, 8)) for _ in range(5)]
+        labels = [1, 1, 2, 2, 3]
+        path = save_image_dataset(tmp_path / "data", images, labels)
+        loaded_images, loaded_labels, metadata = load_image_dataset(path)
+        assert len(loaded_images) == 5
+        assert loaded_labels == ["1", "1", "2", "2", "3"]
+        assert metadata is None
+        assert np.allclose(loaded_images[0], images[0])
+
+    def test_metadata_side_car(self, tmp_path):
+        images = [np.zeros((4, 4))]
+        path = save_image_dataset(
+            tmp_path / "d.npz", images, ["u"], metadata={"distance_m": 0.7}
+        )
+        _, _, metadata = load_image_dataset(path)
+        assert metadata == {"distance_m": 0.7}
+
+    def test_suffix_added(self, tmp_path):
+        path = save_image_dataset(tmp_path / "noext", [np.zeros((2, 2))], [0])
+        assert path.suffix == ".npz"
+        images, _, _ = load_image_dataset(tmp_path / "noext")
+        assert len(images) == 1
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_image_dataset(
+            tmp_path / "a" / "b" / "data", [np.zeros((2, 2))], [0]
+        )
+        assert path.exists()
+
+
+class TestValidation:
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_image_dataset(tmp_path / "x", [], [])
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_image_dataset(tmp_path / "x", [np.zeros((2, 2))], [1, 2])
+
+    def test_shape_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            save_image_dataset(
+                tmp_path / "x", [np.zeros((2, 2)), np.zeros((3, 3))], [1, 2]
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_image_dataset(tmp_path / "missing")

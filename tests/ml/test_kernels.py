@@ -1,0 +1,114 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.kernels import (
+    Kernel,
+    linear_kernel,
+    median_heuristic_gamma,
+    polynomial_kernel,
+    rbf_kernel,
+)
+
+SMALL_MATRICES = arrays(
+    float,
+    st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=5),
+    ),
+    elements=st.floats(-10, 10),
+)
+
+
+class TestLinear:
+    def test_matches_dot(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        gram = linear_kernel(x, x)
+        assert gram[0, 1] == pytest.approx(11.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_kernel(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestRBF:
+    def test_diagonal_ones(self):
+        x = np.random.default_rng(0).standard_normal((5, 3))
+        gram = rbf_kernel(x, x, gamma=0.5)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_range(self):
+        x = np.random.default_rng(1).standard_normal((6, 4))
+        gram = rbf_kernel(x, x, gamma=1.0)
+        assert np.all(gram > 0)
+        assert np.all(gram <= 1.0 + 1e-12)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((2, 2)), np.zeros((2, 2)), gamma=0.0)
+
+    @given(SMALL_MATRICES)
+    @settings(max_examples=30, deadline=None)
+    def test_gram_positive_semidefinite(self, x):
+        gram = rbf_kernel(x, x, gamma=0.3)
+        eigvals = np.linalg.eigvalsh((gram + gram.T) / 2)
+        assert eigvals.min() > -1e-8
+
+
+class TestPolynomial:
+    def test_degree_one_is_affine_linear(self):
+        x = np.random.default_rng(2).standard_normal((4, 3))
+        gram = polynomial_kernel(x, x, degree=1, coef0=0.0)
+        assert np.allclose(gram, linear_kernel(x, x))
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(np.zeros((2, 2)), np.zeros((2, 2)), degree=0)
+
+
+class TestMedianHeuristic:
+    def test_positive(self):
+        x = np.random.default_rng(3).standard_normal((20, 5))
+        assert median_heuristic_gamma(x) > 0
+
+    def test_single_sample_fallback(self):
+        assert median_heuristic_gamma(np.zeros((1, 4))) == pytest.approx(0.25)
+
+    def test_identical_samples_fallback(self):
+        assert median_heuristic_gamma(np.ones((10, 2))) == pytest.approx(0.5)
+
+    def test_scale_invariance_direction(self):
+        x = np.random.default_rng(4).standard_normal((30, 3))
+        g1 = median_heuristic_gamma(x)
+        g2 = median_heuristic_gamma(10 * x)
+        assert g2 == pytest.approx(g1 / 100.0, rel=1e-6)
+
+
+class TestKernelObject:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Kernel("sigmoid")
+
+    def test_rbf_requires_gamma(self):
+        kernel = Kernel("rbf")
+        with pytest.raises(ValueError, match="gamma"):
+            kernel(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_with_gamma_from(self):
+        x = np.random.default_rng(5).standard_normal((10, 3))
+        kernel = Kernel("rbf").with_gamma_from(x)
+        assert kernel.gamma == pytest.approx(median_heuristic_gamma(x))
+        gram = kernel(x, x)
+        assert gram.shape == (10, 10)
+
+    def test_with_gamma_keeps_existing(self):
+        kernel = Kernel("rbf", gamma=2.0).with_gamma_from(np.zeros((3, 2)))
+        assert kernel.gamma == 2.0
+
+    def test_linear_ignores_gamma_resolution(self):
+        kernel = Kernel("linear").with_gamma_from(np.zeros((3, 2)))
+        assert kernel.name == "linear"

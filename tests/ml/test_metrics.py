@@ -1,0 +1,110 @@
+"""Tests for the evaluation metrics of Section VI-A.2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    BinaryMetrics,
+    accuracy_score,
+    confusion_matrix,
+    f_measure,
+    macro_average,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert labels == [0, 1, 2]
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+        assert matrix.sum() == 5
+
+    def test_explicit_label_order(self):
+        matrix, labels = confusion_matrix(
+            np.array(["b", "a"]), np.array(["b", "a"]), labels=["b", "a"]
+        )
+        assert labels == ["b", "a"]
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([5]), labels=[0, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+
+class TestBinaryMetrics:
+    def test_counts(self):
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        m = BinaryMetrics.from_labels(y_true, y_pred, positive=1)
+        assert (m.tp, m.fn, m.fp, m.tn) == (2, 1, 1, 1)
+
+    def test_recall_precision(self):
+        m = BinaryMetrics(tp=8, tn=5, fp=2, fn=2)
+        assert m.recall == pytest.approx(0.8)
+        assert m.precision == pytest.approx(0.8)
+        assert m.accuracy == pytest.approx(13 / 17)
+        assert m.f_measure == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        empty = BinaryMetrics(tp=0, tn=10, fp=0, fn=0)
+        assert empty.recall == 0.0
+        assert empty.precision == 0.0
+        assert empty.f_measure == 0.0
+        assert empty.accuracy == 1.0
+
+    def test_f_is_harmonic_mean(self):
+        m = BinaryMetrics(tp=6, tn=0, fp=2, fn=4)
+        p, r = m.precision, m.recall
+        assert m.f_measure == pytest.approx(2 * p * r / (p + r))
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_f_between_precision_and_recall(self, pairs):
+        y_true = np.array([int(a) for a, _ in pairs])
+        y_pred = np.array([int(b) for _, b in pairs])
+        m = BinaryMetrics.from_labels(y_true, y_pred, positive=1)
+        if m.precision > 0 and m.recall > 0:
+            lo, hi = sorted([m.precision, m.recall])
+            assert lo - 1e-12 <= m.f_measure <= hi + 1e-12
+
+
+class TestHelpers:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 2, 3]), np.array([1, 2, 4])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_named_helpers_agree(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        m = BinaryMetrics.from_labels(y_true, y_pred, 1)
+        assert recall_score(y_true, y_pred, 1) == m.recall
+        assert precision_score(y_true, y_pred, 1) == m.precision
+        assert f_measure(y_true, y_pred, 1) == m.f_measure
+
+    def test_macro_average_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        out = macro_average(y, y, labels=[0, 1, 2])
+        assert out["recall"] == 1.0
+        assert out["precision"] == 1.0
+        assert out["f_measure"] == 1.0
+
+    def test_macro_average_empty_labels(self):
+        with pytest.raises(ValueError):
+            macro_average(np.array([0]), np.array([0]), labels=[])

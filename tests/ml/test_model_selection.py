@@ -1,0 +1,94 @@
+"""Tests for train/test splits, k-fold and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    grid_search,
+    k_fold_indices,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(50, 2)
+        y = np.array([0] * 25 + [1] * 25)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.2)
+        assert x_te.shape[0] == y_te.size == 10
+        assert x_tr.shape[0] + x_te.shape[0] == 50
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 40 + [1] * 10)
+        x = np.zeros((50, 1))
+        _, _, _, y_te = train_test_split(x, y, test_fraction=0.2)
+        assert np.sum(y_te == 0) == 8
+        assert np.sum(y_te == 1) == 2
+
+    def test_no_class_lost(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        x = np.zeros((6, 1))
+        _, _, y_tr, _ = train_test_split(x, y, test_fraction=0.4)
+        assert set(y_tr.tolist()) == {0, 1, 2}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(5))
+
+
+class TestKFold:
+    def test_partition(self):
+        pairs = k_fold_indices(20, 4)
+        assert len(pairs) == 4
+        all_test = np.concatenate([te for _, te in pairs])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_disjoint(self):
+        for train_idx, test_idx in k_fold_indices(15, 3):
+            assert set(train_idx.tolist()).isdisjoint(test_idx.tolist())
+            assert len(train_idx) + len(test_idx) == 15
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(5, 1)
+        with pytest.raises(ValueError):
+            k_fold_indices(5, 6)
+
+
+class TestGridSearch:
+    def test_finds_best(self):
+        # Score peaks at c == 3 regardless of data.
+        def fit_score(x_tr, y_tr, x_te, y_te, c):
+            return -abs(c - 3)
+
+        result = grid_search(
+            fit_score,
+            {"c": [1, 2, 3, 4]},
+            np.zeros((12, 2)),
+            np.zeros(12),
+            num_folds=3,
+        )
+        assert result.best_params == {"c": 3}
+        assert result.best_score == 0
+
+    def test_multi_parameter(self):
+        def fit_score(x_tr, y_tr, x_te, y_te, a, b):
+            return a * 10 + b
+
+        result = grid_search(
+            fit_score,
+            {"a": [0, 1], "b": [0, 2]},
+            np.zeros((6, 1)),
+            np.zeros(6),
+            num_folds=2,
+        )
+        assert result.best_params == {"a": 1, "b": 2}
+        assert len(result.all_scores) == 4
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda *a, **k: 0.0, {}, np.zeros((4, 1)), np.zeros(4))

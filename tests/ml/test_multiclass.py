@@ -1,0 +1,70 @@
+"""Tests for one-vs-one multiclass SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import Kernel
+from repro.ml.multiclass import OneVsOneSVC
+
+
+def gaussian_classes(rng, num_classes=4, n=30, separation=4.0):
+    xs, ys = [], []
+    for k in range(num_classes):
+        center = separation * np.array([np.cos(k), np.sin(k), k * 0.5])
+        xs.append(rng.normal(0, 0.7, (n, 3)) + center)
+        ys += [f"user-{k}"] * n
+    return np.vstack(xs), np.array(ys)
+
+
+class TestOneVsOne:
+    def test_training_accuracy(self):
+        rng = np.random.default_rng(0)
+        x, y = gaussian_classes(rng)
+        svc = OneVsOneSVC(c=10.0).fit(x, y)
+        assert np.mean(svc.predict(x) == y) >= 0.98
+
+    def test_generalisation(self):
+        rng = np.random.default_rng(1)
+        x, y = gaussian_classes(rng)
+        x_test, y_test = gaussian_classes(np.random.default_rng(2))
+        svc = OneVsOneSVC(c=10.0).fit(x, y)
+        assert np.mean(svc.predict(x_test) == y_test) >= 0.95
+
+    def test_number_of_machines(self):
+        rng = np.random.default_rng(3)
+        x, y = gaussian_classes(rng, num_classes=5)
+        svc = OneVsOneSVC(c=1.0).fit(x, y)
+        assert len(svc._machines) == 10  # 5 choose 2
+
+    def test_two_classes(self):
+        rng = np.random.default_rng(4)
+        x, y = gaussian_classes(rng, num_classes=2)
+        svc = OneVsOneSVC(c=1.0).fit(x, y)
+        assert np.mean(svc.predict(x) == y) >= 0.98
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            OneVsOneSVC().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneVsOneSVC().predict(np.zeros((1, 2)))
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            OneVsOneSVC().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_linear_kernel_supported(self):
+        rng = np.random.default_rng(5)
+        x, y = gaussian_classes(rng, num_classes=3)
+        svc = OneVsOneSVC(c=1.0, kernel=Kernel("linear")).fit(x, y)
+        assert np.mean(svc.predict(x) == y) >= 0.95
+
+    def test_integer_labels_preserved(self):
+        rng = np.random.default_rng(6)
+        xs = [rng.normal(k * 5, 0.5, (20, 2)) for k in range(3)]
+        x = np.vstack(xs)
+        y = np.array([10] * 20 + [20] * 20 + [30] * 20)
+        svc = OneVsOneSVC(c=1.0).fit(x, y)
+        predictions = svc.predict(x)
+        assert set(predictions.tolist()) <= {10, 20, 30}

@@ -1,0 +1,59 @@
+"""Tests for ROC analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.roc import roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        curve = roc_curve(np.array([2.0, 3.0]), np.array([0.0, 1.0]))
+        assert curve.auc == pytest.approx(1.0)
+        assert curve.equal_error_rate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_reversed_scores(self):
+        curve = roc_curve(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert curve.auc == pytest.approx(0.0)
+        assert curve.equal_error_rate() == pytest.approx(1.0, abs=1e-9)
+
+    def test_random_scores_half_auc(self):
+        rng = np.random.default_rng(0)
+        curve = roc_curve(
+            rng.standard_normal(4000), rng.standard_normal(4000)
+        )
+        assert curve.auc == pytest.approx(0.5, abs=0.03)
+        assert curve.equal_error_rate() == pytest.approx(0.5, abs=0.03)
+
+    def test_endpoints(self):
+        curve = roc_curve(np.array([1.0]), np.array([0.0]))
+        assert curve.true_positive_rates[0] == 0.0
+        assert curve.false_positive_rates[0] == 0.0
+        assert curve.true_positive_rates[-1] == 1.0
+        assert curve.false_positive_rates[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([]), np.array([1.0]))
+
+    @given(
+        st.lists(st.floats(-5, 5), min_size=2, max_size=40),
+        st.lists(st.floats(-5, 5), min_size=2, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_curve_and_bounded_metrics(self, genuine, impostor):
+        curve = roc_curve(np.array(genuine), np.array(impostor))
+        assert np.all(np.diff(curve.true_positive_rates) >= -1e-12)
+        assert np.all(np.diff(curve.false_positive_rates) >= -1e-12)
+        assert 0.0 <= curve.auc <= 1.0
+        assert 0.0 <= curve.equal_error_rate() <= 1.0
+
+    def test_overlapping_gaussians_expected_eer(self):
+        rng = np.random.default_rng(1)
+        genuine = rng.normal(1.0, 1.0, 5000)
+        impostor = rng.normal(-1.0, 1.0, 5000)
+        # EER of two unit-variance Gaussians 2 sigma apart ~ Phi(-1) = 0.159
+        curve = roc_curve(genuine, impostor)
+        assert curve.equal_error_rate() == pytest.approx(0.159, abs=0.02)

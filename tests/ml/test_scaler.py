@@ -1,0 +1,56 @@
+"""Tests for StandardScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, (100, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_dim_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((2, 4)))
+
+    def test_nan_rejected(self):
+        x = np.zeros((3, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            StandardScaler().fit(x)
+
+    @given(
+        arrays(
+            float,
+            st.tuples(
+                st.integers(min_value=2, max_value=20),
+                st.integers(min_value=1, max_value=5),
+            ),
+            elements=st.floats(-100, 100),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_transform_roundtrip(self, x):
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-8
+        )

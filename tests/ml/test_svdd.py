@@ -1,0 +1,104 @@
+"""Tests for Support Vector Domain Description."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.kernels import Kernel
+from repro.ml.svdd import SVDD
+
+
+class TestFit:
+    def test_simplex_constraint(self):
+        x = np.random.default_rng(0).standard_normal((50, 3))
+        svdd = SVDD(c=0.1).fit(x)
+        assert float(np.sum(svdd.alphas_)) == pytest.approx(1.0, abs=1e-8)
+        assert np.all(svdd.alphas_ >= -1e-12)
+
+    def test_box_constraint(self):
+        x = np.random.default_rng(1).standard_normal((50, 3))
+        c = 0.05
+        svdd = SVDD(c=c).fit(x)
+        assert np.all(svdd.alphas_ <= c + 1e-9)
+
+    def test_infeasible_c_raised_to_floor(self):
+        # C < 1/n is infeasible; fit must still succeed.
+        x = np.random.default_rng(2).standard_normal((5, 2))
+        svdd = SVDD(c=0.01).fit(x)
+        assert svdd.radius_sq_ >= 0
+
+    def test_single_sample(self):
+        svdd = SVDD(c=1.0).fit(np.zeros((1, 3)))
+        assert svdd.predict(np.zeros((1, 3)))[0] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SVDD().fit(np.zeros((0, 3)))
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            SVDD(c=0.0)
+
+    def test_invalid_radius_quantile(self):
+        with pytest.raises(ValueError):
+            SVDD(radius_quantile=1.5)
+
+
+class TestDecision:
+    def test_accepts_inliers_rejects_outliers(self):
+        rng = np.random.default_rng(3)
+        inliers = rng.normal(0, 1, (120, 4))
+        outliers = rng.normal(8, 1, (60, 4))
+        svdd = SVDD(c=0.1).fit(inliers)
+        assert np.mean(svdd.predict(inliers) == 1) > 0.8
+        assert np.mean(svdd.predict(outliers) == -1) > 0.95
+
+    def test_distance_increases_away_from_center(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 1, (80, 2))
+        svdd = SVDD(c=0.2).fit(x)
+        near = svdd.distance_sq(np.zeros((1, 2)))
+        far = svdd.distance_sq(np.full((1, 2), 10.0))
+        assert far[0] > near[0]
+
+    def test_radius_quantile_controls_frr(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, (200, 3))
+        svdd = SVDD(c=0.05, radius_quantile=0.90).fit(x)
+        accept = float(np.mean(svdd.predict(x) == 1))
+        assert accept == pytest.approx(0.90, abs=0.03)
+
+    def test_margin_loosens_gate(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0, 1, (100, 3))
+        strict = SVDD(c=0.05, margin=0.0).fit(x)
+        loose = SVDD(c=0.05, margin=0.5).fit(x)
+        probes = rng.normal(0, 1.5, (100, 3))
+        assert np.sum(loose.predict(probes) == 1) >= np.sum(
+            strict.predict(probes) == 1
+        )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVDD().distance_sq(np.zeros((1, 2)))
+
+    def test_linear_kernel_distance_is_euclidean_like(self):
+        # With the linear kernel, d^2(z) = ||z - center||^2.
+        x = np.random.default_rng(7).standard_normal((50, 2))
+        svdd = SVDD(c=1.0, kernel=Kernel("linear")).fit(x)
+        center = (svdd.alphas_[:, None] * svdd.support_vectors_).sum(axis=0)
+        probe = np.array([[1.5, -0.5]])
+        expected = float(np.sum((probe[0] - center) ** 2))
+        assert svdd.distance_sq(probe)[0] == pytest.approx(expected, rel=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_rbf_distance_bounded(self, seed):
+        # RBF: d^2 <= 1 + ||center||^2 <= 2 for any input.
+        x = np.random.default_rng(seed).standard_normal((30, 3))
+        svdd = SVDD(c=0.2).fit(x)
+        probes = np.random.default_rng(seed + 1).standard_normal((20, 3)) * 5
+        d2 = svdd.distance_sq(probes)
+        assert np.all(d2 >= -1e-9)
+        assert np.all(d2 <= 2.0 + 1e-9)

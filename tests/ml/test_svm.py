@@ -1,0 +1,129 @@
+"""Tests for the SMO solver and binary SVC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.kernels import Kernel, linear_kernel
+from repro.ml.smo import solve_csvc
+from repro.ml.svm import BinarySVC
+
+
+def blobs(rng, separation=4.0, n=40, d=3):
+    x0 = rng.normal(0.0, 1.0, (n, d))
+    x1 = rng.normal(separation, 1.0, (n, d))
+    x = np.vstack([x0, x1])
+    y = np.array([-1.0] * n + [1.0] * n)
+    return x, y
+
+
+class TestSMO:
+    def test_dual_constraints_hold(self):
+        rng = np.random.default_rng(0)
+        x, y = blobs(rng)
+        gram = linear_kernel(x, x)
+        result = solve_csvc(gram, y, c=1.0)
+        assert np.all(result.alphas >= -1e-9)
+        assert np.all(result.alphas <= 1.0 + 1e-9)
+        assert float(result.alphas @ y) == pytest.approx(0.0, abs=1e-6)
+
+    def test_converges_on_separable_data(self):
+        rng = np.random.default_rng(1)
+        x, y = blobs(rng, separation=6.0)
+        gram = linear_kernel(x, x)
+        result = solve_csvc(gram, y, c=10.0)
+        assert result.converged
+
+    def test_training_accuracy(self):
+        rng = np.random.default_rng(2)
+        x, y = blobs(rng)
+        gram = linear_kernel(x, x)
+        result = solve_csvc(gram, y, c=1.0)
+        scores = gram @ (result.alphas * y) + result.bias
+        assert np.mean(np.sign(scores) == y) >= 0.95
+
+    def test_one_class_rejected(self):
+        gram = np.eye(4)
+        with pytest.raises(ValueError, match="both classes"):
+            solve_csvc(gram, np.ones(4), c=1.0)
+
+    def test_bad_labels_rejected(self):
+        gram = np.eye(4)
+        with pytest.raises(ValueError, match="-1 or"):
+            solve_csvc(gram, np.array([0.0, 1.0, 1.0, 0.0]), c=1.0)
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(ValueError):
+            solve_csvc(np.eye(2), np.array([-1.0, 1.0]), c=0.0)
+
+    def test_gram_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_csvc(np.eye(3), np.array([-1.0, 1.0]), c=1.0)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_margin_violations_bounded_by_c(self, seed):
+        # Soft-margin: support vectors at the bound are the violators.
+        rng = np.random.default_rng(seed)
+        x, y = blobs(rng, separation=1.0, n=20)
+        gram = linear_kernel(x, x)
+        c = 0.5
+        result = solve_csvc(gram, y, c=c)
+        assert np.all(result.alphas <= c + 1e-9)
+
+
+class TestBinarySVC:
+    def test_separable(self):
+        rng = np.random.default_rng(3)
+        x, _ = blobs(rng)
+        y = np.array(["cat"] * 40 + ["dog"] * 40)
+        svc = BinarySVC(c=1.0).fit(x, y)
+        assert np.mean(svc.predict(x) == y) >= 0.99
+
+    def test_linear_kernel(self):
+        rng = np.random.default_rng(4)
+        x, _ = blobs(rng)
+        y = np.array([0] * 40 + [1] * 40)
+        svc = BinarySVC(c=1.0, kernel=Kernel("linear")).fit(x, y)
+        assert np.mean(svc.predict(x) == y) >= 0.99
+
+    def test_nonlinear_needs_rbf(self):
+        # Concentric circles: linear fails, RBF succeeds.
+        rng = np.random.default_rng(5)
+        angles = rng.uniform(0, 2 * np.pi, 120)
+        radii = np.concatenate([np.full(60, 1.0), np.full(60, 3.0)])
+        radii = radii + rng.normal(0, 0.1, 120)
+        x = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+        y = np.array([0] * 60 + [1] * 60)
+        rbf_acc = np.mean(BinarySVC(c=10.0).fit(x, y).predict(x) == y)
+        lin_acc = np.mean(
+            BinarySVC(c=10.0, kernel=Kernel("linear")).fit(x, y).predict(x)
+            == y
+        )
+        assert rbf_acc > 0.95
+        assert lin_acc < 0.8
+
+    def test_decision_function_sign(self):
+        rng = np.random.default_rng(6)
+        x, _ = blobs(rng)
+        y = np.array([0] * 40 + [1] * 40)
+        svc = BinarySVC().fit(x, y)
+        scores = svc.decision_function(x)
+        assert np.mean((scores >= 0) == (y == 1)) >= 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySVC().predict(np.zeros((1, 2)))
+
+    def test_three_classes_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            BinarySVC().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            BinarySVC().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            BinarySVC(c=-1.0)

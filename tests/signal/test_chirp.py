@@ -1,0 +1,116 @@
+"""Tests for the LFM chirp generator (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.chirp import LFMChirp
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        chirp = LFMChirp()
+        assert chirp.start_hz == 2000.0
+        assert chirp.end_hz == 3000.0
+        assert chirp.duration_s == pytest.approx(0.002)
+        assert chirp.sample_rate == 48_000
+
+    def test_num_samples(self):
+        assert LFMChirp().num_samples == 96  # 0.002 s at 48 kHz
+
+    def test_center_and_bandwidth(self):
+        chirp = LFMChirp()
+        assert chirp.center_hz == pytest.approx(2500.0)
+        assert chirp.bandwidth_hz == pytest.approx(1000.0)
+
+    def test_rejects_nyquist_violation(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            LFMChirp(start_hz=2000, end_hz=25_000, sample_rate=48_000)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            LFMChirp(duration_s=0.0)
+
+    def test_rejects_non_positive_sample_rate(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            LFMChirp(sample_rate=0)
+
+
+class TestWaveform:
+    def test_amplitude_bound(self):
+        samples = LFMChirp(amplitude=2.5).samples()
+        assert np.max(np.abs(samples)) <= 2.5 + 1e-12
+
+    def test_starts_at_peak(self):
+        # cos(0) = 1 at t = 0.
+        samples = LFMChirp(amplitude=1.0).samples()
+        assert samples[0] == pytest.approx(1.0)
+
+    def test_analytic_real_part_matches(self):
+        chirp = LFMChirp()
+        assert np.allclose(np.real(chirp.analytic_samples()), chirp.samples())
+
+    def test_analytic_modulus_constant(self):
+        chirp = LFMChirp(amplitude=0.7)
+        assert np.allclose(np.abs(chirp.analytic_samples()), 0.7)
+
+    def test_instantaneous_frequency_endpoints(self):
+        chirp = LFMChirp()
+        assert chirp.instantaneous_frequency(np.array(0.0)) == pytest.approx(
+            2000.0
+        )
+        assert chirp.instantaneous_frequency(
+            np.array(chirp.duration_s)
+        ) == pytest.approx(3000.0)
+
+    def test_downchirp_sweeps_down(self):
+        chirp = LFMChirp(start_hz=3000, end_hz=2000)
+        assert chirp.sweep_rate < 0
+        assert chirp.instantaneous_frequency(np.array(0.001)) < 3000
+
+    def test_spectrum_concentrated_in_band(self):
+        chirp = LFMChirp(duration_s=0.05)  # long chirp: tight spectrum
+        spectrum = np.abs(np.fft.rfft(chirp.samples()))
+        freqs = np.fft.rfftfreq(chirp.num_samples, 1 / chirp.sample_rate)
+        in_band = (freqs >= 1900) & (freqs <= 3100)
+        assert spectrum[in_band].sum() > 0.9 * spectrum.sum()
+
+    @given(
+        duration=st.floats(min_value=5e-4, max_value=0.02),
+        amplitude=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_energy_scales_with_amplitude_squared(self, duration, amplitude):
+        base = LFMChirp(duration_s=duration, amplitude=1.0).samples()
+        scaled = LFMChirp(duration_s=duration, amplitude=amplitude).samples()
+        assert np.sum(scaled**2) == pytest.approx(
+            amplitude**2 * np.sum(base**2), rel=1e-9
+        )
+
+
+class TestBeepTrain:
+    def test_length(self):
+        chirp = LFMChirp()
+        train = chirp.beep_train(num_beeps=3, interval_s=0.5)
+        assert train.size == 2 * 24_000 + 96
+
+    def test_single_beep_equals_samples(self):
+        chirp = LFMChirp()
+        assert np.allclose(
+            chirp.beep_train(1, interval_s=0.5), chirp.samples()
+        )
+
+    def test_gaps_are_silent(self):
+        chirp = LFMChirp()
+        train = chirp.beep_train(2, interval_s=0.1)
+        gap = train[chirp.num_samples : round(0.1 * 48_000)]
+        assert np.all(gap == 0)
+
+    def test_rejects_interval_shorter_than_chirp(self):
+        with pytest.raises(ValueError, match="interval"):
+            LFMChirp().beep_train(2, interval_s=0.001)
+
+    def test_rejects_zero_beeps(self):
+        with pytest.raises(ValueError, match="num_beeps"):
+            LFMChirp().beep_train(0, interval_s=0.5)

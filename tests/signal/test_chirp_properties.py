@@ -1,0 +1,67 @@
+"""Additional property-based tests on the signal substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.analytic import smooth_envelope
+from repro.signal.chirp import LFMChirp
+from repro.signal.correlation import matched_filter
+
+
+class TestMatchedFilterProperties:
+    @given(
+        onset=st.integers(min_value=0, max_value=1800),
+        gain=st.floats(min_value=0.05, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_onset_recovered_at_any_position(self, onset, gain):
+        chirp = LFMChirp().samples()
+        received = np.zeros(2000)
+        end = min(onset + chirp.size, 2000)
+        received[onset:end] = gain * chirp[: end - onset]
+        if end - onset < chirp.size // 2:
+            return  # mostly truncated echoes are out of scope
+        out = np.abs(matched_filter(received, chirp))
+        assert abs(int(np.argmax(out)) - onset) <= 2
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        chirp = LFMChirp().samples()
+        a = rng.standard_normal(512)
+        b = rng.standard_normal(512)
+        combined = matched_filter(a + b, chirp)
+        separate = matched_filter(a, chirp) + matched_filter(b, chirp)
+        assert np.allclose(combined, separate, atol=1e-9)
+
+
+class TestEnvelopeProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_envelope_scales_linearly(self, gain, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(1024)
+        base = smooth_envelope(x, 48_000)
+        scaled = smooth_envelope(gain * x, 48_000)
+        assert np.allclose(scaled, gain * base, rtol=1e-9, atol=1e-12)
+
+
+class TestChirpTrainProperties:
+    @given(
+        num_beeps=st.integers(min_value=1, max_value=6),
+        interval_ms=st.floats(min_value=3.0, max_value=50.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_train_energy_is_beeps_times_single(self, num_beeps, interval_ms):
+        chirp = LFMChirp()
+        train = chirp.beep_train(num_beeps, interval_s=interval_ms / 1000)
+        single_energy = float(np.sum(chirp.samples() ** 2))
+        assert float(np.sum(train**2)) == pytest.approx(
+            num_beeps * single_energy, rel=1e-9
+        )

@@ -1,0 +1,78 @@
+"""Tests for the windowed-chirp option."""
+
+import numpy as np
+import pytest
+
+from repro.signal.chirp import LFMChirp
+
+
+class TestTukeyWindow:
+    def test_rect_is_default(self):
+        assert LFMChirp().window == "rect"
+        assert np.allclose(LFMChirp().envelope_window(), 1.0)
+
+    def test_tukey_tapers_edges(self):
+        chirp = LFMChirp(window="tukey", tukey_alpha=0.5, duration_s=0.01)
+        window = chirp.envelope_window()
+        assert window[0] == pytest.approx(0.0)
+        assert window[-1] < 0.2
+        mid = chirp.num_samples // 2
+        assert window[mid] == pytest.approx(1.0)
+
+    def test_alpha_zero_is_rect(self):
+        chirp = LFMChirp(window="tukey", tukey_alpha=0.0)
+        assert np.allclose(chirp.envelope_window(), 1.0)
+
+    def test_invalid_window_name(self):
+        with pytest.raises(ValueError, match="window"):
+            LFMChirp(window="hamming")
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="tukey_alpha"):
+            LFMChirp(window="tukey", tukey_alpha=1.5)
+
+    def test_windowed_energy_below_rect(self):
+        rect = LFMChirp(duration_s=0.01)
+        tapered = LFMChirp(window="tukey", tukey_alpha=0.5, duration_s=0.01)
+        assert np.sum(tapered.samples() ** 2) < np.sum(rect.samples() ** 2)
+
+    def test_tukey_reduces_out_of_band_sidelobes(self):
+        n_fft = 1 << 16
+        def out_of_band_fraction(chirp):
+            spectrum = np.abs(np.fft.rfft(chirp.samples(), n=n_fft)) ** 2
+            freqs = np.fft.rfftfreq(n_fft, 1 / chirp.sample_rate)
+            out = (freqs < 1500) | (freqs > 3500)
+            return float(spectrum[out].sum() / spectrum.sum())
+
+        rect = out_of_band_fraction(LFMChirp(duration_s=0.01))
+        tukey = out_of_band_fraction(
+            LFMChirp(window="tukey", tukey_alpha=0.5, duration_s=0.01)
+        )
+        assert tukey < rect
+
+    def test_analytic_matches_real_part(self):
+        chirp = LFMChirp(window="tukey", tukey_alpha=0.3, duration_s=0.01)
+        assert np.allclose(
+            np.real(chirp.analytic_samples()), chirp.samples()
+        )
+
+    def test_matched_filter_still_peaks_at_onset(self):
+        from repro.signal.correlation import matched_filter
+
+        chirp = LFMChirp(window="tukey", tukey_alpha=0.25)
+        template = chirp.samples()
+        received = np.zeros(2000)
+        received[700 : 700 + template.size] = template
+        out = np.abs(matched_filter(received, template))
+        assert abs(int(np.argmax(out)) - 700) <= 1
+
+    def test_pipeline_runs_with_windowed_chirp(
+        self, array, quiet_scene, subject, rng
+    ):
+        from repro.core.distance import DistanceEstimator
+
+        chirp = LFMChirp(window="tukey", tukey_alpha=0.25)
+        clouds = subject.beep_clouds(0.7, 5, rng)
+        recordings = quiet_scene.record_beeps(chirp, clouds, rng)
+        estimate = DistanceEstimator(array).estimate(recordings)
+        assert 0.3 < estimate.user_distance_m < 1.0

@@ -1,0 +1,88 @@
+"""Tests for the matched filter (Eq. 9) and correlation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.signal.chirp import LFMChirp
+from repro.signal.correlation import matched_filter, normalized_xcorr
+
+
+class TestMatchedFilter:
+    def test_peak_at_echo_onset(self):
+        chirp = LFMChirp().samples()
+        received = np.zeros(4800)
+        onset = 1234
+        received[onset : onset + chirp.size] = 0.5 * chirp
+        out = matched_filter(received, chirp)
+        assert int(np.argmax(np.abs(out))) == onset
+
+    def test_two_echoes_two_peaks(self):
+        chirp = LFMChirp().samples()
+        received = np.zeros(4800)
+        received[500 : 500 + 96] += chirp
+        received[2000 : 2000 + 96] += 0.5 * chirp
+        out = np.abs(matched_filter(received, chirp))
+        assert abs(int(np.argmax(out)) - 500) <= 1
+        tail = out[1500:]
+        assert abs(int(np.argmax(tail)) + 1500 - 2000) <= 1
+
+    def test_output_length_matches_input(self):
+        chirp = LFMChirp().samples()
+        out = matched_filter(np.zeros(1000), chirp)
+        assert out.shape == (1000,)
+
+    def test_peak_scales_linearly(self):
+        chirp = LFMChirp().samples()
+        received = np.zeros(2000)
+        received[100 : 100 + 96] = chirp
+        full = np.abs(matched_filter(received, chirp)).max()
+        half = np.abs(matched_filter(0.5 * received, chirp)).max()
+        assert half == pytest.approx(0.5 * full, rel=1e-9)
+
+    def test_multichannel(self):
+        chirp = LFMChirp().samples()
+        received = np.zeros((3, 1000))
+        received[1, 300 : 300 + 96] = chirp
+        out = matched_filter(received, chirp)
+        assert out.shape == (3, 1000)
+        assert int(np.argmax(np.abs(out[1]))) == 300
+        assert np.abs(out[0]).max() == 0
+
+    def test_template_longer_than_signal_raises(self):
+        with pytest.raises(ValueError, match="shorter"):
+            matched_filter(np.zeros(10), np.ones(20))
+
+    def test_non_1d_template_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            matched_filter(np.zeros(100), np.ones((2, 5)))
+
+    def test_empty_template_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            matched_filter(np.zeros(100), np.array([]))
+
+
+class TestNormalizedXcorr:
+    def test_identical_signals(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        assert normalized_xcorr(x, x) == pytest.approx(1.0)
+
+    def test_negated_signals(self):
+        x = np.random.default_rng(1).standard_normal(100)
+        assert normalized_xcorr(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_signal_gives_zero(self):
+        assert normalized_xcorr(np.ones(50), np.random.rand(50)) == 0.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = rng.standard_normal((2, 64))
+            assert -1.0 <= normalized_xcorr(a, b) <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            normalized_xcorr(np.zeros(10), np.zeros(11))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            normalized_xcorr(np.array([]), np.array([]))

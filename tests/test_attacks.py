@@ -1,0 +1,94 @@
+"""Tests for the attack toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    flat_board_decoy,
+    impostor,
+    mannequin_decoy,
+    recorded_replay_of_body,
+    remote_replay,
+)
+from repro.body.subject import SyntheticSubject
+
+
+class TestAttackClouds:
+    def test_remote_replay_is_empty(self):
+        assert remote_replay() is None
+
+    def test_impostor_is_the_attackers_body(self):
+        attacker = SyntheticSubject(15)
+        cloud = impostor(attacker, 0.8)
+        reference = attacker.cloud_at(0.8)
+        assert np.allclose(cloud.positions, reference.positions)
+
+    def test_board_geometry(self):
+        board = flat_board_decoy(distance_m=0.9, width_m=0.6, height_m=0.8)
+        assert np.allclose(board.positions[:, 1], 0.9)
+        assert board.positions[:, 0].max() <= 0.3 + 1e-9
+        assert board.num_reflectors > 50
+
+    def test_board_validation(self):
+        with pytest.raises(ValueError):
+            flat_board_decoy(width_m=0.0)
+
+    def test_mannequin_copies_silhouette_not_texture(self):
+        victim = SyntheticSubject(1)
+        decoy = mannequin_decoy(victim, 0.7)
+        body = victim.cloud_at(0.7)
+        assert np.allclose(decoy.positions, body.positions)
+        assert np.ptp(decoy.reflectivities) == 0.0
+        assert np.ptp(body.reflectivities) > 0.0
+
+    def test_replica_fidelity_extremes(self):
+        victim = SyntheticSubject(2)
+        body = victim.cloud_at(0.7)
+        perfect = recorded_replay_of_body(victim, fidelity=1.0)
+        assert np.allclose(perfect.reflectivities, body.reflectivities)
+        assert np.allclose(perfect.positions, body.positions)
+        crude = recorded_replay_of_body(victim, fidelity=0.0)
+        assert np.ptp(crude.reflectivities) == pytest.approx(0.0)
+        assert not np.allclose(crude.positions, body.positions)
+
+    def test_replica_fidelity_validated(self):
+        with pytest.raises(ValueError):
+            recorded_replay_of_body(SyntheticSubject(1), fidelity=1.5)
+
+
+class TestAttacksAgainstGate:
+    def test_board_rejected_mannequin_harder_replica_hardest(
+        self, quiet_scene, chirp
+    ):
+        """Attack strength should be ordered by how much of the victim's
+        identity each decoy carries."""
+        from repro.config import AuthenticationConfig, EchoImageConfig, ImagingConfig
+        from repro.core.pipeline import EchoImagePipeline
+
+        rng = np.random.default_rng(5)
+        victim = SyntheticSubject(1)
+        pipeline = EchoImagePipeline(
+            config=EchoImageConfig(
+                imaging=ImagingConfig(grid_resolution=24),
+                auth=AuthenticationConfig(svdd_margin=0.1),
+            )
+        )
+        clouds = victim.beep_clouds(0.7, 16, rng)
+        pipeline.enroll_user(quiet_scene.record_beeps(chirp, clouds, rng))
+
+        def gate_score(bodies):
+            recs = quiet_scene.record_beeps(chirp, bodies, rng)
+            images, plane = pipeline.construct_images(recs)
+            features = pipeline.feature_extractor.extract(images)
+            return float(
+                np.mean(pipeline._single_auth.decision_function(features))
+            )
+
+        own = gate_score(victim.beep_clouds(0.7, 4, rng))
+        board = gate_score([flat_board_decoy(0.7)] * 4)
+        replica = gate_score(
+            [recorded_replay_of_body(victim, fidelity=0.95, rng=rng)] * 4
+        )
+        # Own body scores highest; the crude board scores lowest.
+        assert own > board
+        assert replica > board

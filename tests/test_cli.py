@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_option_parsed(self):
+        args = build_parser().parse_args(["run", "fig5", "--scale", "0.5"])
+        assert args.scale == 0.5
+        assert args.names == ["fig5"]
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Undergraduate Student" in out
+
+    def test_run_fig8(self, capsys):
+        assert main(["run", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "same user" in out
