@@ -5,12 +5,55 @@ printed as ASCII tables (captured with ``pytest -s`` or ``tee``).  Runs are
 single-shot (``rounds=1``) because each experiment is itself minutes of
 simulated data collection — the interesting output is the reproduced
 numbers, not the wall-clock distribution.
+
+Pass ``--stage-profile`` (or set ``REPRO_PROFILE=1``) to additionally
+collect pipeline traces while the benches run and print the aggregated
+stage-latency table — counts, mean/p50/p95 wall time and bytes processed
+per pipeline stage — at the end of the session:
+
+    pytest benchmarks/bench_fig11_confusion.py --benchmark-only -s \
+        --stage-profile
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import Profiler
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+def _profiling_requested(config) -> bool:
+    try:
+        if config.getoption("--stage-profile"):
+            return True
+    except ValueError:  # option not registered (conftest loaded late)
+        pass
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def stage_profiler(request):
+    """Session-wide trace collection behind ``--stage-profile``."""
+    if not _profiling_requested(request.config):
+        yield None
+        return
+    with Profiler() as profiler:
+        yield profiler
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    report = profiler.report(
+        title=f"Stage latency over {len(profiler.traces)} pipeline "
+        "invocations"
+    )
+    if capmanager is not None:
+        with capmanager.global_and_fixture_disabled():
+            print(f"\n{report}")
+    else:  # pragma: no cover - capture plugin always present under pytest
+        print(f"\n{report}")

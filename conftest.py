@@ -1,0 +1,21 @@
+"""Root pytest configuration.
+
+Registers the ``--stage-profile`` option here (rather than only in
+``benchmarks/conftest.py``) so it is recognised no matter which path is
+passed on the command line — pytest only loads ``benchmarks/conftest.py``
+early enough to register options when the ``benchmarks`` *directory* is
+an argument, not when a single bench file is.  The session-scoped
+profiling fixture that acts on the option lives in
+``benchmarks/conftest.py``; under ``tests/`` the option is accepted and
+ignored.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--stage-profile",
+        action="store_true",
+        default=False,
+        help="collect pipeline traces during the benches and print the "
+        "aggregated per-stage latency table at session end",
+    )

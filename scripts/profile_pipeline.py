@@ -1,0 +1,155 @@
+"""Profile the EchoImage pipeline on a synthetic scene.
+
+Enrolls one synthetic user, authenticates a fresh attempt, and prints:
+
+1. the per-attempt span tree (``AuthenticationResult.trace``),
+2. the aggregated stage-latency table over every pipeline invocation,
+3. a cache-on vs cache-off comparison of repeated-beep imaging — the
+   steering-geometry cache that PR 1 landed (grid angles/ranges memoized
+   on the plane, per-band steering matrices reused across beeps).
+
+The numbers printed by step 3 are the source of the performance-baseline
+table in EXPERIMENTS.md.
+
+Run:  PYTHONPATH=src python scripts/profile_pipeline.py
+      PYTHONPATH=src python scripts/profile_pipeline.py --beeps 20 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import EchoImagePipeline
+from repro.acoustics.noise import NoiseModel
+from repro.acoustics.scene import AcousticScene
+from repro.body.subject import SyntheticSubject
+from repro.config import AuthenticationConfig, EchoImageConfig, ImagingConfig
+from repro.core.imaging import AcousticImager
+from repro.obs import Profiler
+from repro.signal.chirp import LFMChirp
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="EchoImage pipeline stage profiler"
+    )
+    parser.add_argument(
+        "--beeps", type=int, default=10,
+        help="beeps per authentication attempt (default 10, the paper's L)",
+    )
+    parser.add_argument(
+        "--enroll-beeps", type=int, default=20,
+        help="enrollment beeps (default 20)",
+    )
+    parser.add_argument(
+        "--resolution", type=int, default=48,
+        help="imaging-plane grid resolution (default 48)",
+    )
+    parser.add_argument(
+        "--subbands", type=int, default=1,
+        help="imaging sub-bands (default 1, the paper's imager)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats for the cache comparison (default 3)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scene seed")
+    return parser.parse_args()
+
+
+def time_imaging(
+    imager: AcousticImager, recordings, plane, repeats: int
+) -> float:
+    """Best-of-``repeats`` wall time of imaging all recordings once."""
+    best = float("inf")
+    for _ in range(repeats):
+        # A fresh equal plane forces cold plane-geometry memos while
+        # exercising the imager exactly as authenticate() does.
+        fresh_plane = type(plane)(
+            distance_m=plane.distance_m,
+            side_m=plane.side_m,
+            resolution=plane.resolution,
+            center_z_m=plane.center_z_m,
+        )
+        imager._steering_plane = None
+        imager._steering_by_band = {}
+        started = time.perf_counter()
+        imager.images(recordings, fresh_plane)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> None:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+
+    scene = AcousticScene(
+        noise=NoiseModel(kind="quiet", level_db_spl=30.0)
+    )
+    chirp = LFMChirp()
+    user = SyntheticSubject(subject_id=1)
+    config = EchoImageConfig(
+        imaging=ImagingConfig(
+            grid_resolution=args.resolution, subbands=args.subbands
+        ),
+        auth=AuthenticationConfig(svdd_margin=0.3),
+    )
+    pipeline = EchoImagePipeline(config=config)
+
+    print(
+        f"Scene: 1 user at 0.7 m, {args.enroll_beeps} enrollment beeps, "
+        f"{args.beeps}-beep attempt, resolution {args.resolution}, "
+        f"{args.subbands} sub-band(s)\n"
+    )
+
+    with Profiler() as profiler:
+        enroll = scene.record_beeps(
+            chirp, user.beep_clouds(0.7, args.enroll_beeps, rng), rng
+        )
+        pipeline.enroll_user(enroll)
+        attempt = scene.record_beeps(
+            chirp, user.beep_clouds(0.7, args.beeps, rng), rng
+        )
+        result = pipeline.authenticate(attempt)
+
+    print("Per-attempt span tree (authenticate):")
+    print(result.trace.format())
+    print()
+    print(profiler.report(title="Aggregated stage latency (enroll + auth)"))
+
+    # --- steering-cache comparison --------------------------------------
+    plane = pipeline.imaging_plane(
+        result.distance.user_distance_m
+    )
+    cached = pipeline.imager
+    uncached = AcousticImager(
+        array=pipeline.array,
+        beep=config.beep,
+        config=config.imaging,
+        steering_cache=False,
+    )
+    cold = time_imaging(uncached, attempt, plane, args.repeats)
+    warm = time_imaging(cached, attempt, plane, args.repeats)
+    per_image_cold = cold / len(attempt) * 1e3
+    per_image_warm = warm / len(attempt) * 1e3
+    print()
+    print(
+        f"Steering-geometry cache, {len(attempt)}-beep attempt "
+        f"(best of {args.repeats}):"
+    )
+    print(
+        f"  cache off: {cold * 1e3:8.2f} ms total "
+        f"({per_image_cold:6.2f} ms/image)"
+    )
+    print(
+        f"  cache on:  {warm * 1e3:8.2f} ms total "
+        f"({per_image_warm:6.2f} ms/image)"
+    )
+    print(f"  speedup:   {cold / warm:8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

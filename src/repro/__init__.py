@@ -11,9 +11,39 @@ Speakers Using Acoustic Signals" (ICDCS 2023).  The package bundles:
 * a from-scratch ML stack — SMO SVMs, SVDD, a frozen NumPy CNN
   (:mod:`repro.ml`),
 * the paper's pipeline — ranging, acoustic imaging, augmentation,
-  authentication (:mod:`repro.core`), and
+  authentication (:mod:`repro.core`),
 * the evaluation harness regenerating every table and figure
-  (:mod:`repro.eval`).
+  (:mod:`repro.eval`), and
+* pipeline observability — span tracing, profiling, stage-latency
+  reports (:mod:`repro.obs`).
+
+Quickstart (doctest-able; run ``PYTHONPATH=src python -m doctest
+src/repro/__init__.py``):
+
+    >>> import numpy as np
+    >>> from repro import EchoImagePipeline, EchoImageConfig, ImagingConfig
+    >>> from repro.acoustics.noise import NoiseModel
+    >>> from repro.acoustics.scene import AcousticScene
+    >>> from repro.body.subject import SyntheticSubject
+    >>> from repro.signal.chirp import LFMChirp
+    >>> rng = np.random.default_rng(0)
+    >>> scene = AcousticScene(noise=NoiseModel.silent())  # the "hardware"
+    >>> chirp = LFMChirp()                                # the 2-3 kHz beep
+    >>> alice = SyntheticSubject(subject_id=1)
+    >>> pipeline = EchoImagePipeline(config=EchoImageConfig(
+    ...     imaging=ImagingConfig(grid_resolution=16)))   # small & fast
+    >>> enroll = scene.record_beeps(
+    ...     chirp, alice.beep_clouds(0.7, 8, rng), rng)
+    >>> _ = pipeline.enroll_user(enroll)
+    >>> result = pipeline.authenticate(scene.record_beeps(
+    ...     chirp, alice.beep_clouds(0.7, 3, rng), rng))
+    >>> isinstance(result.accepted, bool)
+    True
+    >>> 0.3 < result.distance.user_distance_m < 1.0
+    True
+    >>> sorted(result.trace.span_names())  # the per-attempt breakdown
+    ['auth.predict', 'authenticate', 'distance.envelope', \
+'distance.estimate', 'features.extract', 'imaging.band', 'imaging.image']
 """
 
 from repro.body.population import build_population

@@ -30,19 +30,51 @@ class Beamformer(abc.ABC):
     array: MicrophoneArray
     frequency_hz: float
 
+    #: Whether the weights actually depend on the steering matrix; lets
+    #: callers skip precomputing steering for degenerate beamformers.
+    uses_steering: bool = True
+
     @abc.abstractmethod
     def weights_batch(
-        self, azimuths_rad: np.ndarray, elevations_rad: np.ndarray
+        self,
+        azimuths_rad: np.ndarray,
+        elevations_rad: np.ndarray,
+        steering: np.ndarray | None = None,
     ) -> np.ndarray:
         """Complex weight vectors for a batch of look directions.
 
         Args:
             azimuths_rad: Shape ``(K,)``.
             elevations_rad: Shape ``(K,)``.
+            steering: Optional precomputed steering matrix ``(K, M)`` for
+                exactly these look directions at :attr:`frequency_hz`, as
+                returned by :meth:`steering_batch`.  Callers that steer
+                the same grid repeatedly (the acoustic imager scanning
+                one plane for every beep) pass it to skip the steering
+                trigonometry; when omitted it is computed internally.
 
         Returns:
             Complex array of shape ``(K, M)``.
         """
+
+    def steering_batch(
+        self, azimuths_rad: np.ndarray, elevations_rad: np.ndarray
+    ) -> np.ndarray:
+        """Steering vectors this beamformer uses for the look directions.
+
+        Cache-friendly companion of :meth:`weights_batch`: the returned
+        ``(K, M)`` matrix depends only on the array geometry, the look
+        directions and :attr:`frequency_hz`, so it can be computed once
+        per imaging plane and replayed across recordings via the
+        ``steering=`` argument.
+        """
+        return steering_vectors(
+            self.array,
+            azimuths_rad,
+            elevations_rad,
+            self.frequency_hz,
+            getattr(self, "speed_of_sound", None),
+        )
 
     def weights(self, azimuth_rad: float, elevation_rad: float) -> np.ndarray:
         """Weight vector for a single look direction, shape ``(M,)``."""
@@ -161,15 +193,21 @@ class MVDRBeamformer(Beamformer):
         self._inv_cov = np.linalg.inv(cov)
 
     def weights_batch(
-        self, azimuths_rad: np.ndarray, elevations_rad: np.ndarray
+        self,
+        azimuths_rad: np.ndarray,
+        elevations_rad: np.ndarray,
+        steering: np.ndarray | None = None,
     ) -> np.ndarray:
-        steer = steering_vectors(
-            self.array,
-            azimuths_rad,
-            elevations_rad,
-            self.frequency_hz,
-            self.speed_of_sound,
-        )  # (K, M)
+        if steering is not None:
+            steer = steering  # (K, M), precomputed for these directions
+        else:
+            steer = steering_vectors(
+                self.array,
+                azimuths_rad,
+                elevations_rad,
+                self.frequency_hz,
+                self.speed_of_sound,
+            )  # (K, M)
         numerator = steer @ self._inv_cov.T  # rho^{-1} p_s, batched: (K, M)
         denominator = np.einsum("km,km->k", steer.conj(), numerator)
         denom_real = np.real(denominator)
@@ -196,16 +234,20 @@ class DelayAndSumBeamformer(Beamformer):
     speed_of_sound: float = constants.SPEED_OF_SOUND
 
     def weights_batch(
-        self, azimuths_rad: np.ndarray, elevations_rad: np.ndarray
+        self,
+        azimuths_rad: np.ndarray,
+        elevations_rad: np.ndarray,
+        steering: np.ndarray | None = None,
     ) -> np.ndarray:
-        steer = steering_vectors(
-            self.array,
-            azimuths_rad,
-            elevations_rad,
-            self.frequency_hz,
-            self.speed_of_sound,
-        )
-        return steer / self.array.num_mics
+        if steering is None:
+            steering = steering_vectors(
+                self.array,
+                azimuths_rad,
+                elevations_rad,
+                self.frequency_hz,
+                self.speed_of_sound,
+            )
+        return steering / self.array.num_mics
 
 
 @dataclass
@@ -224,6 +266,7 @@ class SingleMicrophone(Beamformer):
     array: MicrophoneArray
     mic_index: int = 0
     frequency_hz: float = constants.CHIRP_CENTER_HZ
+    uses_steering = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.mic_index < self.array.num_mics:
@@ -233,7 +276,10 @@ class SingleMicrophone(Beamformer):
             )
 
     def weights_batch(
-        self, azimuths_rad: np.ndarray, elevations_rad: np.ndarray
+        self,
+        azimuths_rad: np.ndarray,
+        elevations_rad: np.ndarray,
+        steering: np.ndarray | None = None,
     ) -> np.ndarray:
         azimuths_rad = np.asarray(azimuths_rad).ravel()
         weights = np.zeros(

@@ -109,6 +109,13 @@ def build_population(
 
     Raises:
         ValueError: If more subjects are requested than Table I contains.
+
+    Example:
+        >>> pop = build_population(num_registered=2, num_spoofers=1)
+        >>> [s.subject_id for s in pop.registered]
+        [1, 2]
+        >>> len(pop.spoofers), len(pop.all_subjects)
+        (1, 3)
     """
     total = num_registered + num_spoofers
     if num_registered < 1 or num_spoofers < 0:

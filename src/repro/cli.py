@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli run fig5 fig8
     python -m repro.cli run fig11 --scale 0.5
     python -m repro.cli run all --scale 0.25
+    python -m repro.cli run fig11 --profile
+    python -m repro.cli run fig5 --profile --profile-json stages.json
 """
 
 from __future__ import annotations
@@ -174,6 +176,20 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument(
         "--seed", type=int, default=20230048, help="experiment seed base"
     )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect pipeline traces and print the aggregated "
+        "stage-latency table (count/mean/p50/p95 per stage) after the "
+        "experiments finish",
+    )
+    runner.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        default=None,
+        help="also write the stage-latency report as JSON to FILE "
+        "(implies --profile)",
+    )
     return parser
 
 
@@ -198,11 +214,41 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval.protocols import repro_scale
 
         scale = repro_scale()
-    for name in names:
-        started = time.time()
-        print(f"\n=== {name} (scale {scale}) ===")
-        EXPERIMENTS[name](scale)
-        print(f"[{name} finished in {time.time() - started:.0f}s]")
+
+    profiler = None
+    if args.profile or args.profile_json:
+        from repro.obs import Profiler
+
+        if args.profile_json:
+            # Fail before the experiments run, not after minutes of work.
+            try:
+                with open(args.profile_json, "a", encoding="utf-8"):
+                    pass
+            except OSError as error:
+                print(f"error: cannot write {args.profile_json}: {error}")
+                return 2
+        profiler = Profiler().install()
+    try:
+        for name in names:
+            started = time.time()
+            print(f"\n=== {name} (scale {scale}) ===")
+            EXPERIMENTS[name](scale)
+            print(f"[{name} finished in {time.time() - started:.0f}s]")
+    finally:
+        if profiler is not None:
+            profiler.uninstall()
+    if profiler is not None:
+        print()
+        print(
+            profiler.report(
+                title=f"Stage latency over {len(profiler.traces)} "
+                "pipeline invocations"
+            )
+        )
+        if args.profile_json:
+            with open(args.profile_json, "w", encoding="utf-8") as handle:
+                handle.write(profiler.json(indent=2))
+            print(f"[stage report written to {args.profile_json}]")
     return 0
 
 

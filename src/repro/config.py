@@ -29,6 +29,13 @@ class BeepConfig:
             prompt loudness, which keeps body echoes above the ~50 dB
             playback noise of the testing conditions.
         sample_rate: Sampling rate used for synthesis and capture.
+
+    Example:
+        >>> beep = BeepConfig()          # the paper's 2-3 kHz, 2 ms chirp
+        >>> beep.center_hz, beep.bandwidth_hz
+        (2500.0, 1000.0)
+        >>> BeepConfig(duration_s=0.004).num_samples
+        192
     """
 
     low_hz: float = constants.CHIRP_LOW_HZ
@@ -88,6 +95,14 @@ class DistanceEstimationConfig:
             must fall within this window after the emission; when the
             beamformer suppresses the direct peak below threshold, the
             (known) emission instant is used as the time origin instead.
+
+    Example:
+        >>> import math
+        >>> cfg = DistanceEstimationConfig()   # paper defaults
+        >>> cfg.steer_azimuth_rad == math.pi / 2
+        True
+        >>> DistanceEstimationConfig(peak_threshold_ratio=0.1).echo_period_s
+        0.01
     """
 
     steer_azimuth_rad: float = math.pi / 2
@@ -131,6 +146,13 @@ class ImagingConfig:
             energies are averaged incoherently — the classic speckle
             reduction of ultrasound imaging.  1 reproduces the paper's
             single-band imager.
+
+    Example:
+        >>> cfg = ImagingConfig(grid_resolution=180)   # the paper's plane
+        >>> cfg.num_grids, round(cfg.grid_size_m, 3)
+        (32400, 0.01)
+        >>> ImagingConfig(distance_step_m=0.25).snap_distance(0.73)
+        0.75
     """
 
     plane_side_m: float = 1.8
@@ -181,6 +203,15 @@ class FeatureConfig:
             entering the network (the paper resizes to the VGGish input).
         widths: Output channel counts of the five convolutional stages.
         seed: Seed of the deterministic "pre-trained" weight initialisation.
+
+    Example:
+        >>> cfg = FeatureConfig()
+        >>> cfg.input_size, len(cfg.widths)
+        (64, 5)
+        >>> FeatureConfig(input_size=16)    # 5 pooling stages need >= 32
+        Traceback (most recent call last):
+            ...
+        ValueError: input_size 16 too small for 5 pooling stages
     """
 
     input_size: int = 64
@@ -214,6 +245,11 @@ class AuthenticationConfig:
         svdd_radius_quantile: Quantile of the enrollment distances used as
             the SVDD decision radius; pins the enrollment-time false
             rejection rate.
+
+    Example:
+        >>> cfg = AuthenticationConfig(svdd_margin=0.3)  # loosen the gate
+        >>> cfg.svdd_c, cfg.kernel_gamma is None
+        (0.05, True)
     """
 
     svdd_c: float = 0.05
@@ -232,7 +268,15 @@ class AuthenticationConfig:
 
 @dataclass(frozen=True)
 class EchoImageConfig:
-    """Bundle of all stage configurations for the EchoImage pipeline."""
+    """Bundle of all stage configurations for the EchoImage pipeline.
+
+    Example:
+        >>> cfg = EchoImageConfig(imaging=ImagingConfig(grid_resolution=96))
+        >>> cfg.sample_rate               # shared by every stage
+        48000
+        >>> cfg.imaging.num_grids
+        9216
+    """
 
     beep: BeepConfig = field(default_factory=BeepConfig)
     distance: DistanceEstimationConfig = field(

@@ -17,6 +17,7 @@ import numpy as _np
 
 from repro.config import AuthenticationConfig
 from repro.ml.kernels import Kernel, median_heuristic_gamma
+from repro.obs import ensure_trace, trace
 from repro.ml.multiclass import OneVsOneSVC
 from repro.ml.scaler import StandardScaler
 from repro.ml.svdd import SVDD
@@ -45,6 +46,19 @@ class SingleUserAuthenticator:
 
     Args:
         config: SVDD hyper-parameters.
+
+    Example:
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(0)
+        >>> enrolled = rng.normal(size=(30, 4))         # one user's features
+        >>> auth = SingleUserAuthenticator().fit(enrolled)
+        >>> accepted = auth.predict(rng.normal(size=(5, 4)))
+        >>> accepted.shape, accepted.dtype.kind         # bool per sample
+        ((5,), 'b')
+
+    ``predict`` records an ``auth.predict`` span (``mode="svdd"``,
+    ``num_samples``, ``num_accepted``) into the ambient
+    :mod:`repro.obs` trace.
     """
 
     def __init__(self, config: AuthenticationConfig | None = None) -> None:
@@ -82,7 +96,13 @@ class SingleUserAuthenticator:
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """``True`` per sample when accepted as the legitimate user."""
-        return self.decision_function(features) >= 0.0
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        with ensure_trace(), trace(
+            "auth.predict", mode="svdd", num_samples=features.shape[0]
+        ) as span:
+            accepted = self.decision_function(features) >= 0.0
+            span.set("num_accepted", int(np.count_nonzero(accepted)))
+            return accepted
 
 
 class MultiUserAuthenticator:
@@ -90,6 +110,21 @@ class MultiUserAuthenticator:
 
     Args:
         config: SVDD / SVM hyper-parameters.
+
+    Example:
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(0)
+        >>> features = np.concatenate(
+        ...     [rng.normal(0, 1, (20, 3)), rng.normal(5, 1, (20, 3))])
+        >>> labels = np.repeat([1, 2], 20)
+        >>> auth = MultiUserAuthenticator().fit(features, labels)
+        >>> predicted = auth.predict(features[:3])
+        >>> set(predicted) <= {1, 2, SPOOFER_LABEL}     # user id or gate reject
+        True
+
+    ``predict`` records an ``auth.predict`` span (``mode="svdd+svm"``)
+    with ``auth.svdd`` / ``auth.svm`` child spans into the ambient
+    :mod:`repro.obs` trace.
     """
 
     def __init__(self, config: AuthenticationConfig | None = None) -> None:
@@ -158,12 +193,21 @@ class MultiUserAuthenticator:
         if self.user_labels_ is None or self._svdd is None:
             raise RuntimeError("authenticator not fitted; call fit(...) first")
         features = np.atleast_2d(np.asarray(features, dtype=float))
-        scaled = self._scaler.transform(features)
-        accepted = self._svdd.decision_function(scaled) >= 0.0
-        result = np.full(features.shape[0], SPOOFER_LABEL, dtype=object)
-        if accepted.any():
-            if self._svm_active:
-                result[accepted] = self._svm.predict(scaled[accepted])
-            else:
-                result[accepted] = self.user_labels_[0]
-        return result
+        with ensure_trace(), trace(
+            "auth.predict", mode="svdd+svm", num_samples=features.shape[0]
+        ) as span:
+            scaled = self._scaler.transform(features)
+            with trace("auth.svdd", num_samples=features.shape[0]):
+                accepted = self._svdd.decision_function(scaled) >= 0.0
+            span.set("num_accepted", int(np.count_nonzero(accepted)))
+            result = np.full(features.shape[0], SPOOFER_LABEL, dtype=object)
+            if accepted.any():
+                if self._svm_active:
+                    with trace(
+                        "auth.svm",
+                        num_samples=int(np.count_nonzero(accepted)),
+                    ):
+                        result[accepted] = self._svm.predict(scaled[accepted])
+                else:
+                    result[accepted] = self.user_labels_[0]
+            return result

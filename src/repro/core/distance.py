@@ -29,6 +29,7 @@ from repro.array.covariance import estimate_noise_covariance
 from repro.array.geometry import MicrophoneArray
 from repro.acoustics.scene import BeepRecording
 from repro.config import BeepConfig, DistanceEstimationConfig
+from repro.obs import ensure_trace, trace
 from repro.signal.analytic import analytic_signal, smooth_envelope
 from repro.signal.chirp import LFMChirp
 from repro.signal.correlation import matched_filter
@@ -37,7 +38,18 @@ from repro.signal.peaks import LocalMaximum, find_local_maxima
 
 
 class DistanceEstimationError(RuntimeError):
-    """Raised when no plausible body echo can be located."""
+    """Raised when no plausible body echo can be located.
+
+    The deployed system treats this as "nobody is standing in front of
+    the speaker" and refuses the attempt outright.
+
+    Example::
+
+        try:
+            estimate = estimator.estimate(recordings)
+        except DistanceEstimationError:
+            reject_attempt()      # no body echo -> nothing to image
+    """
 
 
 @dataclass(frozen=True)
@@ -54,6 +66,14 @@ class DistanceEstimate:
         averaged_envelope: The averaged squared envelope ``E(t)`` (indexed
             from the emission sample), for inspection / Figure 5 plots.
         max_set: All detected local maxima of ``E(t)``.
+
+    Example::
+
+        estimate = estimator.estimate(recordings)
+        print(f"user at {estimate.user_distance_m:.2f} m "
+              f"(slant {estimate.slant_distance_m:.2f} m, "
+              f"{len(estimate.max_set)} envelope peaks)")
+        plt.plot(estimate.averaged_envelope)      # the Figure-5 curve
     """
 
     slant_distance_m: float
@@ -76,6 +96,20 @@ class DistanceEstimator:
         beamformer_factory: Optional override producing the beamformer from
             ``(array, noise_covariance)`` — used by the ablation benches to
             swap MVDR for delay-and-sum or a single microphone.
+
+    Example::
+
+        from repro import DistanceEstimator
+        from repro.array.geometry import respeaker_array
+
+        estimator = DistanceEstimator(array=respeaker_array())
+        estimate = estimator.estimate(recordings)   # list of BeepRecording
+        print(estimate.user_distance_m)
+
+    ``estimate`` records a ``distance.estimate`` span (one
+    ``distance.envelope`` child per beep) into the ambient
+    :mod:`repro.obs` trace, opening a standalone trace when none is
+    active.
     """
 
     def __init__(
@@ -146,7 +180,14 @@ class DistanceEstimator:
         """Averaged squared envelope ``E(t)`` over L beeps (Eq. 10)."""
         if not recordings:
             raise ValueError("need at least one beep recording")
-        envelopes = [self.correlation_envelope(rec) for rec in recordings]
+        envelopes = []
+        for index, rec in enumerate(recordings):
+            with trace(
+                "distance.envelope",
+                beep=index,
+                bytes=int(rec.samples.nbytes),
+            ):
+                envelopes.append(self.correlation_envelope(rec))
         length = min(env.size for env in envelopes)
         stacked = np.stack([env[:length] for env in envelopes])
         return np.mean(np.abs(stacked) ** 2, axis=0)
@@ -169,6 +210,22 @@ class DistanceEstimator:
         sample_rate = recordings[0].sample_rate
         if any(rec.sample_rate != sample_rate for rec in recordings):
             raise ValueError("all recordings must share one sample rate")
+        with ensure_trace(), trace(
+            "distance.estimate",
+            num_beeps=len(recordings),
+            sample_rate=sample_rate,
+            bytes=int(sum(rec.samples.nbytes for rec in recordings)),
+        ) as span:
+            estimate = self._estimate_traced(recordings, sample_rate)
+            span.update(
+                user_distance_m=estimate.user_distance_m,
+                num_peaks=len(estimate.max_set),
+            )
+            return estimate
+
+    def _estimate_traced(
+        self, recordings: list[BeepRecording], sample_rate: int
+    ) -> DistanceEstimate:
         envelope = self.averaged_envelope(recordings)
 
         threshold = self.config.peak_threshold_ratio * float(envelope.max())

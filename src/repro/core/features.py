@@ -14,6 +14,7 @@ import numpy as np
 from repro.config import FeatureConfig
 from repro.ml.nn.image_ops import normalize_image, resize_bilinear
 from repro.ml.nn.vggish import MiniVGGish
+from repro.obs import ensure_trace, trace
 
 
 class FeatureExtractor:
@@ -24,6 +25,18 @@ class FeatureExtractor:
         mode: "cnn" for the frozen MiniVGGish features (the paper's
             design), "raw" for flattened resized pixels (ablation
             baseline).
+
+    Example:
+        >>> import numpy as np
+        >>> extractor = FeatureExtractor(mode="raw")    # cheap ablation mode
+        >>> extractor.extract([np.ones((48, 48))]).shape
+        (1, 4096)
+        >>> FeatureExtractor().feature_dim              # frozen-CNN features
+        256
+
+    ``extract`` records a ``features.extract`` span (``num_images``,
+    ``feature_dim``, ``mode``, ``bytes``) into the ambient
+    :mod:`repro.obs` trace.
     """
 
     def __init__(
@@ -55,13 +68,20 @@ class FeatureExtractor:
         """
         if not images:
             raise ValueError("need at least one image")
-        if self._network is not None:
-            return self._network.extract(images)
-        size = self.config.input_size
-        rows = [
-            normalize_image(
-                resize_bilinear(np.asarray(im, dtype=float), size, size)
-            ).ravel()
-            for im in images
-        ]
-        return np.stack(rows)
+        with ensure_trace(), trace(
+            "features.extract",
+            num_images=len(images),
+            feature_dim=self.feature_dim,
+            mode=self.mode,
+            bytes=int(sum(np.asarray(im).nbytes for im in images)),
+        ):
+            if self._network is not None:
+                return self._network.extract(images)
+            size = self.config.input_size
+            rows = [
+                normalize_image(
+                    resize_bilinear(np.asarray(im, dtype=float), size, size)
+                ).ravel()
+                for im in images
+            ]
+            return np.stack(rows)

@@ -19,6 +19,7 @@ separates body echoes from same-direction clutter at other ranges.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.array.covariance import estimate_noise_covariance
 from repro.array.geometry import MicrophoneArray
 from repro.acoustics.scene import BeepRecording
 from repro.config import BeepConfig, ImagingConfig
+from repro.obs import ensure_trace, trace
 from repro.signal.analytic import analytic_signal
 from repro.signal.filters import BandpassFilter
 
@@ -46,6 +48,16 @@ class ImagingPlane:
         resolution: Grids per side; ``K = resolution**2``.
         center_z_m: Vertical centre of the plane relative to the array
             (0 = array height).
+
+    Example:
+        >>> plane = ImagingPlane(distance_m=0.7, side_m=1.8, resolution=3)
+        >>> plane.num_grids
+        9
+        >>> theta, phi = plane.grid_angles()      # Eqs. 11-12, cached
+        >>> theta.shape, bool(theta.flags.writeable)
+        ((9,), False)
+        >>> float(plane.grid_ranges().min()) >= plane.distance_m
+        True
     """
 
     distance_m: float
@@ -82,28 +94,59 @@ class ImagingPlane:
         """Total number of grids K."""
         return self.resolution**2
 
+    def _memo(self, key: str, compute):
+        """Per-instance memo for the derived grid geometry.
+
+        The plane is frozen, so every derived array is computed at most
+        once per instance; results are returned read-only because they
+        are shared between callers (the imager replays them for every
+        beep of an attempt).
+        """
+        cache = getattr(self, "_geometry_memo", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_geometry_memo", cache)
+        if key not in cache:
+            value = compute()
+            for array in value if isinstance(value, tuple) else (value,):
+                array.setflags(write=False)
+            cache[key] = value
+        return cache[key]
+
     def grid_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
         """Flattened grid centres ``(x_k, z_k)``, each of shape ``(K,)``."""
-        half = self.side_m / 2.0
-        # Cell centres, z descending so row 0 is the top of the image.
-        offsets = (np.arange(self.resolution) + 0.5) / self.resolution
-        xs = -half + offsets * self.side_m
-        zs = self.center_z_m + half - offsets * self.side_m
-        grid_z, grid_x = np.meshgrid(zs, xs, indexing="ij")
-        return grid_x.ravel(), grid_z.ravel()
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            half = self.side_m / 2.0
+            # Cell centres, z descending so row 0 is the top of the image.
+            offsets = (np.arange(self.resolution) + 0.5) / self.resolution
+            xs = -half + offsets * self.side_m
+            zs = self.center_z_m + half - offsets * self.side_m
+            grid_z, grid_x = np.meshgrid(zs, xs, indexing="ij")
+            return grid_x.ravel(), grid_z.ravel()
+
+        return self._memo("coordinates", compute)
 
     def grid_angles(self) -> tuple[np.ndarray, np.ndarray]:
         """Steering angles ``(theta_k, phi_k)`` of Eqs. (11)–(12)."""
-        x_k, z_k = self.grid_coordinates()
-        d_p = self.distance_m
-        theta = np.arccos(x_k / np.sqrt(x_k**2 + d_p**2))
-        phi = np.arccos(z_k / np.sqrt(x_k**2 + d_p**2 + z_k**2))
-        return theta, phi
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            x_k, z_k = self.grid_coordinates()
+            d_p = self.distance_m
+            theta = np.arccos(x_k / np.sqrt(x_k**2 + d_p**2))
+            phi = np.arccos(z_k / np.sqrt(x_k**2 + d_p**2 + z_k**2))
+            return theta, phi
+
+        return self._memo("angles", compute)
 
     def grid_ranges(self) -> np.ndarray:
         """Grid-to-origin distances ``D_k``, shape ``(K,)``."""
-        x_k, z_k = self.grid_coordinates()
-        return np.sqrt(x_k**2 + self.distance_m**2 + z_k**2)
+
+        def compute() -> np.ndarray:
+            x_k, z_k = self.grid_coordinates()
+            return np.sqrt(x_k**2 + self.distance_m**2 + z_k**2)
+
+        return self._memo("ranges", compute)
 
 
 class AcousticImager:
@@ -116,6 +159,29 @@ class AcousticImager:
         speed_of_sound: Speed of sound in m/s.
         beamformer_factory: Optional override producing the beamformer from
             ``(array, noise_covariance)`` for the ablation benches.
+        steering_cache: Reuse the per-band steering matrices across the
+            beeps imaged on one plane (default on).  The steering
+            geometry depends only on ``(plane, sub-band)`` — not on the
+            recording — so recomputing it for every beep × sub-band is
+            pure waste; see ``scripts/profile_pipeline.py`` for the
+            measured effect.  Disable only to benchmark the uncached
+            path or when a custom beamformer's steering varies per call.
+
+    Example::
+
+        from repro import AcousticImager, ImagingPlane
+        from repro.array.geometry import respeaker_array
+
+        imager = AcousticImager(array=respeaker_array())
+        plane = ImagingPlane(distance_m=0.7)
+        image = imager.image(recording, plane)
+        image.shape            # (plane.resolution, plane.resolution)
+
+    Each call records an ``imaging.image`` span (one ``imaging.band``
+    child per sub-band, with a ``steering_cached`` attribute) into the
+    ambient :mod:`repro.obs` trace.  When imaging the L beeps of one
+    attempt (``imager.images(recordings, plane)``), the first beep warms
+    the steering cache and the rest reuse it.
     """
 
     def __init__(
@@ -125,11 +191,15 @@ class AcousticImager:
         config: ImagingConfig | None = None,
         speed_of_sound: float = 343.0,
         beamformer_factory=None,
+        steering_cache: bool = True,
     ) -> None:
         self.array = array
         self.beep = beep or BeepConfig()
         self.config = config or ImagingConfig()
         self.speed_of_sound = speed_of_sound
+        self.steering_cache_enabled = steering_cache
+        self._steering_plane: ImagingPlane | None = None
+        self._steering_by_band: dict[int, np.ndarray] = {}
         self._beamformer_factory = beamformer_factory or (
             lambda arr, cov: MVDRBeamformer(
                 array=arr,
@@ -168,12 +238,52 @@ class AcousticImager:
             Image of shape ``(resolution, resolution)`` of non-negative
             pixel values (segment L2 norms).
         """
-        energies = [
-            self._band_energy(recording, plane, band_index)
-            for band_index in range(self.config.subbands)
-        ]
-        pixels = np.sqrt(np.mean(energies, axis=0))
-        return pixels.reshape(plane.resolution, plane.resolution)
+        with ensure_trace(), trace(
+            "imaging.image",
+            resolution=plane.resolution,
+            subbands=self.config.subbands,
+            distance_m=plane.distance_m,
+            bytes=int(recording.samples.nbytes),
+        ):
+            energies = [
+                self._band_energy(recording, plane, band_index)
+                for band_index in range(self.config.subbands)
+            ]
+            pixels = np.sqrt(np.mean(energies, axis=0))
+            return pixels.reshape(plane.resolution, plane.resolution)
+
+    def _band_steering(
+        self,
+        beamformer: Beamformer,
+        plane: ImagingPlane,
+        band_index: int,
+    ) -> tuple[np.ndarray | None, bool]:
+        """The (possibly cached) steering matrix for one plane sub-band.
+
+        Returns:
+            ``(steering, was_cached)`` — ``steering`` is ``None`` when the
+            cache is disabled or the beamformer does not accept a
+            precomputed steering matrix.
+        """
+        if not self.steering_cache_enabled:
+            return None, False
+        if not getattr(beamformer, "uses_steering", True):
+            return None, False
+        if not hasattr(beamformer, "steering_batch") or not _accepts_steering(
+            beamformer
+        ):
+            return None, False
+        if self._steering_plane != plane:
+            # New plane (new attempt): the old grid geometry is dead.
+            self._steering_plane = plane
+            self._steering_by_band = {}
+        cached = self._steering_by_band.get(band_index)
+        if cached is not None:
+            return cached, True
+        theta, phi = plane.grid_angles()
+        steer = beamformer.steering_batch(theta, phi)
+        self._steering_by_band[band_index] = steer
+        return steer, False
 
     def _band_energy(
         self,
@@ -184,6 +294,26 @@ class AcousticImager:
         """Per-grid segment energy of one sub-band, shape ``(K,)``."""
         band_low = self._subband_edges[band_index]
         band_high = self._subband_edges[band_index + 1]
+        with trace(
+            "imaging.band",
+            band=band_index,
+            low_hz=float(band_low),
+            high_hz=float(band_high),
+            num_grids=plane.num_grids,
+        ) as span:
+            return self._band_energy_traced(
+                recording, plane, band_index, band_low, band_high, span
+            )
+
+    def _band_energy_traced(
+        self,
+        recording: BeepRecording,
+        plane: ImagingPlane,
+        band_index: int,
+        band_low: float,
+        band_high: float,
+        span,
+    ) -> np.ndarray:
         filtered = self._bandpasses[band_index].apply(recording.samples)
         analytic = analytic_signal(filtered)
         noise_cov = estimate_noise_covariance(
@@ -196,7 +326,16 @@ class AcousticImager:
         beamformer.frequency_hz = (band_low + band_high) / 2.0
 
         theta, phi = plane.grid_angles()
-        weights = beamformer.weights_batch(theta, phi)  # (K, M)
+        steering, was_cached = self._band_steering(
+            beamformer, plane, band_index
+        )
+        span.set("steering_cached", was_cached)
+        if steering is not None:
+            weights = beamformer.weights_batch(
+                theta, phi, steering=steering
+            )  # (K, M)
+        else:
+            weights = beamformer.weights_batch(theta, phi)  # (K, M)
 
         sample_rate = recording.sample_rate
         ranges = plane.grid_ranges()
@@ -227,5 +366,34 @@ class AcousticImager:
     def images(
         self, recordings: list[BeepRecording], plane: ImagingPlane
     ) -> list[np.ndarray]:
-        """One acoustic image per beep capture."""
+        """One acoustic image per beep capture.
+
+        The first beep warms the per-band steering cache for ``plane``;
+        every subsequent beep reuses it (see ``steering_cache``).
+        """
         return [self.image(rec, plane) for rec in recordings]
+
+
+_STEERING_SUPPORT: dict[type, bool] = {}
+
+
+def _accepts_steering(beamformer: Beamformer) -> bool:
+    """Whether ``weights_batch`` takes a precomputed ``steering=`` matrix.
+
+    Custom beamformers from older ``beamformer_factory`` overrides may
+    still use the two-argument signature; they silently fall back to the
+    uncached path instead of crashing.
+    """
+    kind = type(beamformer)
+    supported = _STEERING_SUPPORT.get(kind)
+    if supported is None:
+        try:
+            parameters = inspect.signature(kind.weights_batch).parameters
+            supported = "steering" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            supported = False
+        _STEERING_SUPPORT[kind] = supported
+    return supported

@@ -24,6 +24,7 @@ from repro.core.distance import DistanceEstimate, DistanceEstimator
 from repro.core.enrollment import build_training_features, stack_user_features
 from repro.core.features import FeatureExtractor
 from repro.core.imaging import AcousticImager, ImagingPlane
+from repro.obs import PipelineTrace, start_trace, trace
 
 
 @dataclass(frozen=True)
@@ -36,12 +37,28 @@ class AuthenticationResult:
         accepted: Convenience flag (``label != SPOOFER_LABEL``).
         distance: The distance estimate the imaging plane was placed at.
         per_beep_labels: Raw per-beep decisions before majority voting.
+        trace: Per-attempt :class:`~repro.obs.PipelineTrace` — the span
+            tree covering distance estimation (``distance.estimate``),
+            per-beep imaging (``imaging.image`` with one ``imaging.band``
+            child per sub-band), feature extraction
+            (``features.extract``) and the SVDD/SVM decision
+            (``auth.predict``).  Render it with ``result.trace.format()``
+            or aggregate many with :func:`repro.obs.aggregate`.
+
+    Example:
+        Inspect where an attempt spent its time::
+
+            result = pipeline.authenticate(recordings)
+            print(result.trace.format())
+            imaging_ms = 1e3 * sum(
+                s.duration_s for s in result.trace.find("imaging.image"))
     """
 
     label: object
     accepted: bool
     distance: DistanceEstimate
     per_beep_labels: tuple
+    trace: PipelineTrace | None = None
 
 
 class EchoImagePipeline:
@@ -52,6 +69,24 @@ class EchoImagePipeline:
         array: Microphone geometry (defaults to the ReSpeaker array).
         speed_of_sound: Speed of sound in m/s.
         feature_mode: "cnn" (paper design) or "raw" (ablation).
+
+    Example::
+
+        from repro import EchoImagePipeline
+
+        pipeline = EchoImagePipeline()
+        pipeline.enroll_user(enroll_recordings)     # >= a handful of beeps
+        result = pipeline.authenticate(attempt_recordings)
+        if result.accepted:
+            unlock()
+        print(result.trace.format())                # per-stage wall times
+
+    See the package docstring of :mod:`repro` for a complete runnable
+    quickstart (synthetic scene included), and
+    ``docs/ARCHITECTURE.md`` for the stage-by-stage walkthrough.
+    ``authenticate`` / ``enroll_user(s)`` open a :mod:`repro.obs` trace
+    (spans ``authenticate`` / ``enroll``) delivered to registered sinks
+    such as :class:`repro.obs.Profiler`.
     """
 
     def __init__(
@@ -132,11 +167,14 @@ class EchoImagePipeline:
         Returns:
             The fitted single-user authenticator (also stored internally).
         """
-        images, plane = self.construct_images(recordings)
-        features = build_training_features(
-            images, plane, self.feature_extractor, augment_distances_m
-        )
-        auth = SingleUserAuthenticator(self.config.auth).fit(features)
+        with start_trace(), trace(
+            "enroll", num_beeps=len(recordings), users=1
+        ):
+            images, plane = self.construct_images(recordings)
+            features = build_training_features(
+                images, plane, self.feature_extractor, augment_distances_m
+            )
+            auth = SingleUserAuthenticator(self.config.auth).fit(features)
         self._single_auth = auth
         self._multi_auth = None
         return auth
@@ -156,14 +194,19 @@ class EchoImagePipeline:
         Returns:
             The fitted multi-user authenticator (also stored internally).
         """
-        per_user_features = {}
-        for label, recordings in per_user_recordings.items():
-            images, plane = self.construct_images(recordings)
-            per_user_features[label] = build_training_features(
-                images, plane, self.feature_extractor, augment_distances_m
+        with start_trace(), trace(
+            "enroll", users=len(per_user_recordings)
+        ):
+            per_user_features = {}
+            for label, recordings in per_user_recordings.items():
+                images, plane = self.construct_images(recordings)
+                per_user_features[label] = build_training_features(
+                    images, plane, self.feature_extractor, augment_distances_m
+                )
+            features, labels = stack_user_features(per_user_features)
+            auth = MultiUserAuthenticator(self.config.auth).fit(
+                features, labels
             )
-        features, labels = stack_user_features(per_user_features)
-        auth = MultiUserAuthenticator(self.config.auth).fit(features, labels)
         self._multi_auth = auth
         self._single_auth = None
         return auth
@@ -181,34 +224,46 @@ class EchoImagePipeline:
             recordings: Beep captures of the attempt.
 
         Returns:
-            The :class:`AuthenticationResult`.
+            The :class:`AuthenticationResult`, whose ``trace`` field holds
+            the per-attempt stage breakdown.
 
         Raises:
             RuntimeError: When no enrollment has happened yet.
         """
-        distance = self.estimate_distance(recordings)
-        plane = self.imaging_plane(distance.user_distance_m)
-        images = self.imager.images(recordings, plane)
-        features = self.feature_extractor.extract(images)
-
-        if self._multi_auth is not None:
-            per_beep = tuple(self._multi_auth.predict(features).tolist())
-        elif self._single_auth is not None:
-            accepted = self._single_auth.predict(features)
-            per_beep = tuple(
-                "user" if flag else SPOOFER_LABEL for flag in accepted
-            )
-        else:
+        if self._multi_auth is None and self._single_auth is None:
             raise RuntimeError(
                 "no users enrolled; call enroll_user or enroll_users first"
             )
+        with start_trace() as attempt_trace:
+            with trace(
+                "authenticate", num_beeps=len(recordings)
+            ) as root:
+                distance = self.estimate_distance(recordings)
+                plane = self.imaging_plane(distance.user_distance_m)
+                images = self.imager.images(recordings, plane)
+                features = self.feature_extractor.extract(images)
 
-        label = _majority(per_beep)
+                if self._multi_auth is not None:
+                    per_beep = tuple(
+                        self._multi_auth.predict(features).tolist()
+                    )
+                else:
+                    accepted = self._single_auth.predict(features)
+                    per_beep = tuple(
+                        "user" if flag else SPOOFER_LABEL
+                        for flag in accepted
+                    )
+
+                label = _majority(per_beep)
+                root.update(
+                    label=str(label), accepted=label != SPOOFER_LABEL
+                )
         return AuthenticationResult(
             label=label,
             accepted=label != SPOOFER_LABEL,
             distance=distance,
             per_beep_labels=per_beep,
+            trace=attempt_trace,
         )
 
 

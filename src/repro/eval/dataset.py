@@ -26,6 +26,7 @@ from repro.body.subject import SessionConditions, SyntheticSubject
 from repro.config import EchoImageConfig
 from repro.core.distance import DistanceEstimationError, DistanceEstimator
 from repro.core.imaging import AcousticImager, ImagingPlane
+from repro.obs import start_trace, trace
 from repro.signal.chirp import LFMChirp
 
 #: Environment name -> room factory.
@@ -48,6 +49,17 @@ class CollectionSpec:
             playback).
         num_beeps: Beeps in the block.
         session_severity: Scale of the stance variation between blocks.
+
+    Example:
+        >>> spec = CollectionSpec(distance_m=1.0, noise_kind="music",
+        ...                       noise_level_db=50.0)
+        >>> spec.environment, spec.num_beeps
+        ('laboratory', 20)
+        >>> CollectionSpec(environment="spaceship")
+        Traceback (most recent call last):
+            ...
+        ValueError: unknown environment 'spaceship'; choose from \
+['conference_hall', 'laboratory', 'outdoor']
     """
 
     distance_m: float = 0.7
@@ -97,6 +109,21 @@ class DatasetBuilder:
         config: Pipeline configuration (beep, distance, imaging stages).
         array: Microphone geometry.
         seed_base: Root seed of all randomness.
+
+    Example::
+
+        from repro import CollectionSpec, DatasetBuilder, build_population
+
+        builder = DatasetBuilder()
+        subject = build_population(num_registered=2).registered[0]
+        session = builder.collect_session(subject, CollectionSpec(
+            distance_m=0.7, num_beeps=10), session_key=0)
+        print(session.images[0].shape)    # one acoustic image per beep
+
+    The same ``(builder, subject, spec, session index)`` always produces
+    the same session — collection is replayable across processes.  Each
+    session records a ``collect_session`` span into a :mod:`repro.obs`
+    trace.
     """
 
     config: EchoImageConfig = field(default_factory=EchoImageConfig)
@@ -196,14 +223,20 @@ class DatasetBuilder:
             The block's :class:`SessionImages`.
         """
         recordings = self.record_session(subject, spec, session_key)
-        try:
-            estimate = self._estimator.estimate(recordings)
-            distance = estimate.user_distance_m
-        except DistanceEstimationError:
-            distance = spec.distance_m
-        distance = float(np.clip(distance, 0.2, 4.0))
-        plane = ImagingPlane.from_config(distance, self.config.imaging)
-        images = self._imager.images(recordings, plane)
+        with start_trace(), trace(
+            "collect_session",
+            subject=subject.subject_id,
+            num_beeps=spec.num_beeps,
+            environment=spec.environment,
+        ):
+            try:
+                estimate = self._estimator.estimate(recordings)
+                distance = estimate.user_distance_m
+            except DistanceEstimationError:
+                distance = spec.distance_m
+            distance = float(np.clip(distance, 0.2, 4.0))
+            plane = ImagingPlane.from_config(distance, self.config.imaging)
+            images = self._imager.images(recordings, plane)
         return SessionImages(
             subject_id=subject.subject_id,
             images=images,

@@ -1,0 +1,76 @@
+"""Pipeline observability: span tracing, profiling, latency reports.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.tracer` — the :func:`trace` span context manager and
+  the per-attempt :class:`PipelineTrace` every pipeline stage records
+  into;
+* :mod:`repro.obs.report` — :func:`aggregate` plus text/JSON renderers
+  turning traces into a stage-latency table (count, mean, p50, p95,
+  bytes);
+* :mod:`repro.obs.profiler` — :class:`Profiler`, a sink that collects
+  every trace completed while installed.
+
+The instrumented stage names emitted by the EchoImage pipeline are listed
+in :data:`STAGES` and documented in ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.obs.profiler import Profiler
+from repro.obs.report import (
+    StageStats,
+    aggregate,
+    percentile,
+    render_json,
+    render_text,
+    stats_from_json,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    PipelineTrace,
+    Span,
+    add_sink,
+    current_trace,
+    ensure_trace,
+    remove_sink,
+    set_tracing,
+    start_trace,
+    trace,
+    tracing_enabled,
+)
+
+#: Span names emitted by the instrumented EchoImage pipeline.
+STAGES = (
+    "authenticate",
+    "enroll",
+    "collect_session",
+    "distance.estimate",
+    "distance.envelope",
+    "imaging.image",
+    "imaging.band",
+    "features.extract",
+    "auth.predict",
+    "auth.svdd",
+    "auth.svm",
+)
+
+__all__ = [
+    "PipelineTrace",
+    "Span",
+    "NULL_SPAN",
+    "trace",
+    "start_trace",
+    "ensure_trace",
+    "current_trace",
+    "set_tracing",
+    "tracing_enabled",
+    "add_sink",
+    "remove_sink",
+    "Profiler",
+    "StageStats",
+    "aggregate",
+    "percentile",
+    "render_text",
+    "render_json",
+    "stats_from_json",
+    "STAGES",
+]

@@ -1,0 +1,87 @@
+"""Trace collection across many pipeline invocations.
+
+:class:`Profiler` is a context manager that registers itself as a trace
+sink: while installed, every completed :func:`repro.obs.start_trace`
+region — which the :class:`~repro.core.pipeline.EchoImagePipeline` facade
+opens for every enrollment and authentication — lands in
+``profiler.traces``.  Afterwards, :meth:`Profiler.report` renders the
+aggregated stage-latency table.
+
+This is what ``python -m repro.cli run ... --profile`` and the
+``--stage-profile`` benchmark option use under the hood.
+
+Example:
+    >>> from repro.obs import Profiler, start_trace, trace
+    >>> with Profiler() as prof:
+    ...     for _ in range(3):
+    ...         with start_trace():
+    ...             with trace("features.extract"):
+    ...                 pass
+    >>> len(prof.traces)
+    3
+    >>> prof.stats()[0].name, prof.stats()[0].count
+    ('features.extract', 3)
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.report import StageStats, aggregate, render_json, render_text
+from repro.obs.tracer import PipelineTrace, add_sink, remove_sink
+
+
+class Profiler:
+    """Aggregating sink for pipeline traces.
+
+    Use as a context manager (``with Profiler() as prof:``) or call
+    :meth:`install` / :meth:`uninstall` explicitly.  Collection is
+    thread-safe: traces completed on any thread while the profiler is
+    installed are recorded.
+    """
+
+    def __init__(self) -> None:
+        self.traces: list[PipelineTrace] = []
+        self._lock = threading.Lock()
+
+    # -- sink lifecycle ------------------------------------------------
+
+    def install(self) -> "Profiler":
+        """Start receiving completed traces."""
+        add_sink(self._record)
+        return self
+
+    def uninstall(self) -> None:
+        """Stop receiving traces (collected ones are kept)."""
+        remove_sink(self._record)
+
+    def __enter__(self) -> "Profiler":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    def _record(self, completed: PipelineTrace) -> None:
+        with self._lock:
+            self.traces.append(completed)
+
+    def clear(self) -> None:
+        """Drop every collected trace."""
+        with self._lock:
+            self.traces.clear()
+
+    # -- reporting -----------------------------------------------------
+
+    def stats(self, names=None) -> list[StageStats]:
+        """Aggregate the collected traces (see :func:`repro.obs.aggregate`)."""
+        with self._lock:
+            traces = list(self.traces)
+        return aggregate(traces, names=names)
+
+    def report(self, title: str | None = "Stage latency") -> str:
+        """The aggregated stage-latency table as plain text."""
+        return render_text(self.stats(), title=title)
+
+    def json(self, **kwargs) -> str:
+        """The aggregated stage-latency table as JSON."""
+        return render_json(self.stats(), **kwargs)

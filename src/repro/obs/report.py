@@ -1,0 +1,164 @@
+"""Aggregation of pipeline traces into a stage-latency report.
+
+:func:`aggregate` folds any number of :class:`~repro.obs.tracer.PipelineTrace`
+objects into per-stage :class:`StageStats` (count, total/mean/p50/p95
+latency, bytes processed), and :func:`render_text` / :func:`render_json`
+turn the stats into a human-readable table or a JSON document.
+
+Example:
+    >>> from repro.obs import PipelineTrace, Span, aggregate, render_text
+    >>> t = PipelineTrace([
+    ...     Span("imaging.image", duration_s=0.030,
+    ...          attributes={"bytes": 1000}),
+    ...     Span("imaging.image", duration_s=0.010,
+    ...          attributes={"bytes": 1000}),
+    ... ])
+    >>> stats = aggregate([t])
+    >>> stats[0].count, round(stats[0].mean_s, 3)
+    (2, 0.02)
+    >>> stats[0].bytes_processed
+    2000
+    >>> "imaging.image" in render_text(stats)
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+from repro.obs.tracer import PipelineTrace
+
+#: Attribute key summed into :attr:`StageStats.bytes_processed`.
+BYTES_ATTRIBUTE = "bytes"
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregate statistics of one span name across traces.
+
+    Attributes:
+        name: The span (stage) name.
+        count: Number of spans observed.
+        total_s: Summed wall time.
+        mean_s: Mean span duration.
+        p50_s: Median span duration (linear interpolation).
+        p95_s: 95th-percentile span duration.
+        min_s: Shortest span.
+        max_s: Longest span.
+        bytes_processed: Sum of the spans' ``bytes`` attributes (0 when
+            the stage does not report bytes).
+    """
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    min_s: float
+    max_s: float
+    bytes_processed: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return asdict(self)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``.
+
+    Matches ``numpy.percentile`` with the default "linear" method; kept
+    dependency-free so the tracer works even where numpy is unavailable.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+def aggregate(
+    traces: Iterable[PipelineTrace], names: Iterable[str] | None = None
+) -> list[StageStats]:
+    """Fold traces into per-stage statistics.
+
+    Args:
+        traces: Any iterable of pipeline traces (spans at every nesting
+            depth contribute).
+        names: Optional span-name filter; ``None`` aggregates every name
+            present.
+
+    Returns:
+        One :class:`StageStats` per stage, sorted by total time
+        descending.
+    """
+    wanted = set(names) if names is not None else None
+    durations: dict[str, list[float]] = {}
+    sizes: dict[str, int] = {}
+    for pipeline_trace in traces:
+        for span in pipeline_trace.iter_spans():
+            if wanted is not None and span.name not in wanted:
+                continue
+            durations.setdefault(span.name, []).append(span.duration_s)
+            size = span.attributes.get(BYTES_ATTRIBUTE, 0)
+            if isinstance(size, (int, float)):
+                sizes[span.name] = sizes.get(span.name, 0) + int(size)
+    stats = [
+        StageStats(
+            name=name,
+            count=len(values),
+            total_s=float(sum(values)),
+            mean_s=float(sum(values) / len(values)),
+            p50_s=percentile(values, 50.0),
+            p95_s=percentile(values, 95.0),
+            min_s=float(min(values)),
+            max_s=float(max(values)),
+            bytes_processed=sizes.get(name, 0),
+        )
+        for name, values in durations.items()
+    ]
+    stats.sort(key=lambda s: s.total_s, reverse=True)
+    return stats
+
+
+def render_text(stats: list[StageStats], title: str | None = None) -> str:
+    """The stage-latency table as aligned plain text."""
+    header = (
+        f"{'stage':<16} {'count':>6} {'total ms':>10} {'mean ms':>10} "
+        f"{'p50 ms':>10} {'p95 ms':>10} {'bytes':>10}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for s in stats:
+        lines.append(
+            f"{s.name:<16} {s.count:>6} {s.total_s * 1e3:>10.3f} "
+            f"{s.mean_s * 1e3:>10.3f} {s.p50_s * 1e3:>10.3f} "
+            f"{s.p95_s * 1e3:>10.3f} {s.bytes_processed:>10}"
+        )
+    if not stats:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_json(stats: list[StageStats], **kwargs) -> str:
+    """The stage-latency table as a JSON document."""
+    return json.dumps({"stages": [s.to_dict() for s in stats]}, **kwargs)
+
+
+def stats_from_json(document: str) -> list[StageStats]:
+    """Parse a report serialised with :func:`render_json`."""
+    data = json.loads(document)
+    return [StageStats(**entry) for entry in data["stages"]]

@@ -161,3 +161,69 @@ class TestAcousticImager:
             return float(u @ v / (np.linalg.norm(u) * np.linalg.norm(v)))
 
         assert corr(a1, a2) > corr(a1, b1)
+
+
+class TestSteeringCache:
+    """The steering-geometry cache must never change the images."""
+
+    def _recordings(self, scene, chirp, rng, num_beeps=3):
+        body = ReflectorCloud(
+            positions=np.array([[0.1, 0.7, -0.2]]),
+            reflectivities=np.array([2.0]),
+        )
+        return scene.record_beeps(chirp, [body] * num_beeps, rng)
+
+    def test_cached_images_bit_identical(
+        self, array, silent_scene, chirp, rng
+    ):
+        recs = self._recordings(silent_scene, chirp, rng)
+        plane = ImagingPlane(distance_m=0.7, resolution=16)
+        config = ImagingConfig(grid_resolution=16, subbands=2)
+        cached = AcousticImager(array, config=config).images(recs, plane)
+        uncached = AcousticImager(
+            array, config=config, steering_cache=False
+        ).images(recs, plane)
+        for a, b in zip(cached, uncached):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cache_reused_across_beeps_and_reset_on_new_plane(
+        self, array, silent_scene, chirp, rng
+    ):
+        recs = self._recordings(silent_scene, chirp, rng)
+        imager = AcousticImager(array)
+        plane = ImagingPlane(distance_m=0.7, resolution=12)
+        imager.images(recs, plane)
+        assert imager._steering_plane == plane
+        first = {k: v for k, v in imager._steering_by_band.items()}
+        imager.image(recs[0], plane)
+        # Same plane: the very same steering arrays are reused.
+        assert all(
+            imager._steering_by_band[k] is v for k, v in first.items()
+        )
+        other = ImagingPlane(distance_m=1.1, resolution=12)
+        imager.image(recs[0], other)
+        assert imager._steering_plane == other
+        assert all(
+            imager._steering_by_band[k] is not v for k, v in first.items()
+        )
+
+    def test_equal_plane_instances_share_cache(
+        self, array, silent_scene, chirp, rng
+    ):
+        recs = self._recordings(silent_scene, chirp, rng, num_beeps=1)
+        imager = AcousticImager(array)
+        imager.image(recs[0], ImagingPlane(distance_m=0.7, resolution=12))
+        first = dict(imager._steering_by_band)
+        # A distinct but equal frozen plane must not invalidate the cache.
+        imager.image(recs[0], ImagingPlane(distance_m=0.7, resolution=12))
+        assert all(
+            imager._steering_by_band[k] is v for k, v in first.items()
+        )
+
+    def test_geometry_memo_is_per_instance_and_read_only(self):
+        plane = ImagingPlane(distance_m=0.7, resolution=8)
+        theta_a, _ = plane.grid_angles()
+        theta_b, _ = plane.grid_angles()
+        assert theta_a is theta_b
+        with pytest.raises(ValueError):
+            theta_a[0] = 0.0

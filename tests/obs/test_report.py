@@ -1,0 +1,158 @@
+"""Tests for trace aggregation and rendering (repro.obs.report)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    PipelineTrace,
+    Profiler,
+    Span,
+    aggregate,
+    percentile,
+    render_json,
+    render_text,
+    start_trace,
+    stats_from_json,
+    trace,
+)
+
+
+def spans_trace(durations, name="stage", bytes_each=None):
+    attributes = {} if bytes_each is None else {"bytes": bytes_each}
+    return PipelineTrace(
+        [
+            Span(name, duration_s=d, attributes=dict(attributes))
+            for d in durations
+        ]
+    )
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(size=37).tolist()
+        for q in (0.0, 25.0, 50.0, 90.0, 95.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_value(self):
+        assert percentile([4.2], 95.0) == 4.2
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestAggregate:
+    def test_basic_statistics(self):
+        stats = aggregate([spans_trace([0.010, 0.030], bytes_each=500)])
+        (s,) = stats
+        assert s.name == "stage"
+        assert s.count == 2
+        assert s.total_s == pytest.approx(0.040)
+        assert s.mean_s == pytest.approx(0.020)
+        assert s.p50_s == pytest.approx(0.020)
+        assert s.min_s == pytest.approx(0.010)
+        assert s.max_s == pytest.approx(0.030)
+        assert s.bytes_processed == 1000
+
+    def test_counts_nested_spans(self):
+        t = PipelineTrace(
+            [Span("outer", duration_s=1.0, children=[Span("inner", duration_s=0.25)])]
+        )
+        names = {s.name: s for s in aggregate([t])}
+        assert names["outer"].count == 1
+        assert names["inner"].count == 1
+
+    def test_sorted_by_total_descending(self):
+        stats = aggregate(
+            [
+                spans_trace([0.001], name="cheap"),
+                spans_trace([0.5, 0.5], name="hot"),
+            ]
+        )
+        assert [s.name for s in stats] == ["hot", "cheap"]
+
+    def test_name_filter(self):
+        traces = [spans_trace([0.1], name="a"), spans_trace([0.2], name="b")]
+        stats = aggregate(traces, names=["b"])
+        assert [s.name for s in stats] == ["b"]
+
+    def test_non_numeric_bytes_ignored(self):
+        t = PipelineTrace(
+            [Span("stage", duration_s=0.1, attributes={"bytes": "n/a"})]
+        )
+        assert aggregate([t])[0].bytes_processed == 0
+
+    def test_empty_input(self):
+        assert aggregate([]) == []
+
+
+class TestRendering:
+    def test_text_table_contains_rows_and_title(self):
+        stats = aggregate([spans_trace([0.010, 0.030], bytes_each=500)])
+        rendered = render_text(stats, title="My run")
+        assert "My run" in rendered
+        assert "stage" in rendered
+        assert "count" in rendered
+        assert "1000" in rendered
+
+    def test_empty_stats_render_placeholder(self):
+        assert "(no spans recorded)" in render_text([])
+
+    def test_json_round_trip(self):
+        stats = aggregate(
+            [
+                spans_trace([0.010, 0.030], name="hot", bytes_each=128),
+                spans_trace([0.001], name="cheap"),
+            ]
+        )
+        document = render_json(stats, indent=2)
+        assert json.loads(document)["stages"][0]["name"] == "hot"
+        assert stats_from_json(document) == stats
+
+
+class TestProfiler:
+    def test_collects_only_while_installed(self):
+        profiler = Profiler()
+        with start_trace():
+            with trace("before"):
+                pass
+        with profiler:
+            with start_trace():
+                with trace("during"):
+                    pass
+        with start_trace():
+            with trace("after"):
+                pass
+        assert len(profiler.traces) == 1
+        assert profiler.traces[0].span_names() == {"during"}
+
+    def test_stats_report_and_json(self):
+        with Profiler() as profiler:
+            for _ in range(4):
+                with start_trace():
+                    with trace("features.extract", bytes=100):
+                        pass
+        (s,) = profiler.stats()
+        assert (s.name, s.count, s.bytes_processed) == (
+            "features.extract",
+            4,
+            400,
+        )
+        assert "features.extract" in profiler.report(title="T")
+        assert json.loads(profiler.json())["stages"][0]["count"] == 4
+
+    def test_clear(self):
+        with Profiler() as profiler:
+            with start_trace():
+                with trace("stage"):
+                    pass
+        profiler.clear()
+        assert profiler.traces == []
+        assert profiler.stats() == []
