@@ -6,10 +6,13 @@ Enrolls one synthetic user, authenticates a fresh attempt, and prints:
 2. the aggregated stage-latency table over every pipeline invocation,
 3. a cache-on vs cache-off comparison of repeated-beep imaging — the
    steering-geometry cache that PR 1 landed (grid angles/ranges memoized
-   on the plane, per-band steering matrices reused across beeps).
+   on the plane, per-band steering matrices reused across beeps),
+4. a metrics-on vs metrics-off comparison of ``authenticate`` — the
+   overhead of the PR 2 metrics registry and drift monitors, which must
+   stay well under 5% of the pipeline wall time.
 
-The numbers printed by step 3 are the source of the performance-baseline
-table in EXPERIMENTS.md.
+The numbers printed by steps 3 and 4 are the source of the
+performance-baseline table in EXPERIMENTS.md.
 
 Run:  PYTHONPATH=src python scripts/profile_pipeline.py
       PYTHONPATH=src python scripts/profile_pipeline.py --beeps 20 --repeats 5
@@ -28,7 +31,7 @@ from repro.acoustics.scene import AcousticScene
 from repro.body.subject import SyntheticSubject
 from repro.config import AuthenticationConfig, EchoImageConfig, ImagingConfig
 from repro.core.imaging import AcousticImager
-from repro.obs import Profiler
+from repro.obs import Profiler, set_metrics_enabled
 from repro.signal.chirp import LFMChirp
 
 
@@ -149,6 +152,32 @@ def main() -> None:
         f"({per_image_warm:6.2f} ms/image)"
     )
     print(f"  speedup:   {cold / warm:8.2f}x")
+
+    # --- metrics overhead ------------------------------------------------
+    # Interleave the on/off measurements so OS/thermal drift hits both
+    # sides equally; best-of filters the remaining scheduling noise.
+    best = {True: float("inf"), False: float("inf")}
+    try:
+        for _ in range(max(args.repeats, 5)):
+            for enabled in (True, False):
+                set_metrics_enabled(enabled)
+                started = time.perf_counter()
+                pipeline.authenticate(attempt)
+                best[enabled] = min(
+                    best[enabled], time.perf_counter() - started
+                )
+    finally:
+        set_metrics_enabled(True)
+    with_metrics, without_metrics = best[True], best[False]
+    overhead = (with_metrics - without_metrics) / without_metrics * 100
+    print()
+    print(
+        f"Metrics/telemetry overhead, {len(attempt)}-beep authenticate "
+        f"(interleaved, best of {max(args.repeats, 5)}):"
+    )
+    print(f"  metrics off: {without_metrics * 1e3:8.2f} ms")
+    print(f"  metrics on:  {with_metrics * 1e3:8.2f} ms")
+    print(f"  overhead:    {overhead:+8.2f}% of pipeline wall time")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,200 @@
+"""Long-running authentication driver with metrics and drift monitoring.
+
+Simulates a deployed smart speaker: enroll one user, then serve a stream
+of authentication attempts (genuine visits, periodic spoofing attempts,
+optional mid-run channel degradation) while the pipeline's quality
+telemetry accumulates in the metrics registry and the drift monitors
+watch the score/SNR distributions.  One status line is printed per
+attempt; structured drift alerts are printed as JSON the moment they
+fire; the Prometheus text dump is printed every ``--dump-every`` attempts
+and at the end (write it to a file with ``--prom-file`` and point a
+Prometheus ``textfile`` collector — or ``curl``-replaying scraper — at
+it).
+
+Run:  PYTHONPATH=src python scripts/serve_monitor.py
+      PYTHONPATH=src python scripts/serve_monitor.py --attempts 60 \\
+          --degrade-after 30 --dump-every 20 --metrics-json metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import EchoImagePipeline
+from repro.acoustics.noise import NoiseModel
+from repro.acoustics.scene import AcousticScene
+from repro.body.subject import SyntheticSubject
+from repro.config import (
+    AuthenticationConfig,
+    EchoImageConfig,
+    ImagingConfig,
+    MonitoringConfig,
+)
+from repro.core.distance import DistanceEstimationError
+from repro.obs import MetricsRegistry, set_registry
+from repro.signal.chirp import LFMChirp
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="EchoImage serving monitor (metrics + drift)"
+    )
+    parser.add_argument(
+        "--attempts", type=int, default=40,
+        help="authentication attempts to serve (default 40)",
+    )
+    parser.add_argument(
+        "--beeps", type=int, default=4,
+        help="beeps per attempt (default 4)",
+    )
+    parser.add_argument(
+        "--enroll-beeps", type=int, default=16,
+        help="enrollment beeps (default 16)",
+    )
+    parser.add_argument(
+        "--resolution", type=int, default=24,
+        help="imaging-plane grid resolution (default 24, keeps the "
+        "driver interactive)",
+    )
+    parser.add_argument(
+        "--spoof-every", type=int, default=5,
+        help="every k-th attempt is a spoofer; 0 disables (default 5)",
+    )
+    parser.add_argument(
+        "--degrade-after", type=int, default=0,
+        help="from this attempt on, serve from a noisy degraded channel "
+        "(0 = never) — drives the SNR drift monitor",
+    )
+    parser.add_argument(
+        "--degrade-noise-db", type=float, default=55.0,
+        help="ambient noise level of the degraded channel (default 55)",
+    )
+    parser.add_argument(
+        "--drift-window", type=int, default=24,
+        help="drift-monitor sliding window (default 24)",
+    )
+    parser.add_argument(
+        "--drift-min-samples", type=int, default=12,
+        help="observations before drift tests run (default 12)",
+    )
+    parser.add_argument(
+        "--dump-every", type=int, default=0,
+        help="print the Prometheus dump every N attempts (0 = only at "
+        "the end)",
+    )
+    parser.add_argument(
+        "--prom-file", metavar="FILE", default=None,
+        help="write the final Prometheus text dump to FILE",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="FILE", default=None,
+        help="write the final metrics registry as versioned JSON to FILE",
+    )
+    parser.add_argument(
+        "--margin", type=float, default=0.2,
+        help="SVDD acceptance margin (default 0.2 — accepts the genuine "
+        "user most of the time while rejecting the spoofer at the demo's "
+        "coarse imaging resolution)",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="scene seed")
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+    registry = MetricsRegistry()
+    set_registry(registry)
+
+    chirp = LFMChirp()
+    user = SyntheticSubject(subject_id=1)
+    spoofer = SyntheticSubject(subject_id=2)
+    scene = AcousticScene(noise=NoiseModel(kind="quiet", level_db_spl=30.0))
+    degraded = AcousticScene(
+        noise=NoiseModel(kind="babble", level_db_spl=args.degrade_noise_db)
+    )
+    config = EchoImageConfig(
+        imaging=ImagingConfig(grid_resolution=args.resolution),
+        auth=AuthenticationConfig(svdd_margin=args.margin),
+        monitoring=MonitoringConfig(
+            drift_window=args.drift_window,
+            drift_min_samples=args.drift_min_samples,
+        ),
+    )
+    pipeline = EchoImagePipeline(config=config)
+
+    print(
+        f"Enrolling user 1 ({args.enroll_beeps} beeps), then serving "
+        f"{args.attempts} attempts of {args.beeps} beeps "
+        f"(spoof every {args.spoof_every or 'never'}, degrade after "
+        f"{args.degrade_after or 'never'})\n"
+    )
+    enroll = scene.record_beeps(
+        chirp, user.beep_clouds(0.7, args.enroll_beeps, rng), rng
+    )
+    pipeline.enroll_user(enroll)
+    baseline = pipeline.drift.monitor("auth.score").baseline
+    print(
+        f"score baseline frozen: mean {baseline.mean:.4f}, "
+        f"std {baseline.std:.4f} over {baseline.count} enrollment scores\n"
+    )
+
+    started = time.time()
+    for attempt in range(1, args.attempts + 1):
+        spoofing = args.spoof_every and attempt % args.spoof_every == 0
+        subject = spoofer if spoofing else user
+        live_scene = (
+            degraded
+            if args.degrade_after and attempt > args.degrade_after
+            else scene
+        )
+        recordings = live_scene.record_beeps(
+            chirp, subject.beep_clouds(0.7, args.beeps, rng), rng
+        )
+        try:
+            result = pipeline.authenticate(recordings)
+        except DistanceEstimationError as error:
+            print(f"[{attempt:4d}] no-echo reject ({error})")
+            continue
+        mean_score = float(np.mean(result.scores))
+        print(
+            f"[{attempt:4d}] {'spoof' if spoofing else 'user '} -> "
+            f"{'ACCEPT' if result.accepted else 'reject'}  "
+            f"score {mean_score:+.4f}  "
+            f"snr {result.distance.echo_snr_db:5.1f} dB"
+        )
+        for alert in result.drift_alerts:
+            print(f"       DRIFT {json.dumps(alert.to_dict())}")
+        if args.dump_every and attempt % args.dump_every == 0:
+            print("\n" + registry.render_prometheus())
+
+    elapsed = time.time() - started
+    print(
+        f"\nServed {args.attempts} attempts in {elapsed:.1f}s "
+        f"({elapsed / args.attempts * 1e3:.0f} ms/attempt)"
+    )
+    alerts = pipeline.drift.alerts()
+    print(f"drift alerts raised: {len(alerts)}")
+    for alert in alerts:
+        print(f"  {alert.message}")
+    print("\n# Final metrics (Prometheus text exposition)")
+    dump = registry.render_prometheus()
+    print(dump, end="")
+    if args.prom_file:
+        with open(args.prom_file, "w", encoding="utf-8") as handle:
+            handle.write(dump)
+        print(f"[prometheus dump written to {args.prom_file}]")
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json(indent=2))
+        print(f"[metrics written to {args.metrics_json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,7 @@ from repro.config import (
     EchoImageConfig,
     FeatureConfig,
     ImagingConfig,
+    MonitoringConfig,
 )
 from repro.core.authenticator import (
     SPOOFER_LABEL,
@@ -81,6 +82,7 @@ __all__ = [
     "ImagingConfig",
     "FeatureConfig",
     "AuthenticationConfig",
+    "MonitoringConfig",
     "DistanceEstimator",
     "DistanceEstimate",
     "DistanceEstimationError",

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run all --scale 0.25
     python -m repro.cli run fig11 --profile
     python -m repro.cli run fig5 --profile --profile-json stages.json
+    python -m repro.cli run fig11 --metrics
+    python -m repro.cli run drift --metrics-json metrics.json
 """
 
 from __future__ import annotations
@@ -141,6 +143,37 @@ def _print_fig14(scale: float) -> None:
     )
 
 
+def _print_drift(scale: float) -> None:
+    result = experiments.run_drift_detection(scale=scale)
+    print(
+        format_table(
+            ["stream", "attempts", "alerts", "first alert"],
+            [
+                [
+                    "stable",
+                    result.num_observations,
+                    len(result.stable_alerts),
+                    result.stable_alerts[0].kind
+                    if result.stable_alerts
+                    else "-",
+                ],
+                [
+                    "shifted",
+                    result.num_observations,
+                    len(result.shifted_alerts),
+                    result.shifted_alerts[0].kind
+                    if result.shifted_alerts
+                    else "-",
+                ],
+            ],
+            title="Drift detection — SVDD score streams vs enrollment "
+            "baseline",
+        )
+    )
+    for alert in result.shifted_alerts:
+        print(f"  alert: {alert.message}")
+
+
 EXPERIMENTS = {
     "table1": _print_table1,
     "fig5": _print_fig5,
@@ -149,6 +182,7 @@ EXPERIMENTS = {
     "fig12": _print_fig12,
     "fig13": _print_fig13,
     "fig14": _print_fig14,
+    "drift": _print_drift,
 }
 
 
@@ -190,6 +224,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the stage-latency report as JSON to FILE "
         "(implies --profile)",
     )
+    runner.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (accept/reject counters, echo "
+        "SNR, score histograms, ...) in the Prometheus text format after "
+        "the experiments finish",
+    )
+    runner.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        default=None,
+        help="also write the metrics registry as versioned JSON to FILE "
+        "(implies --metrics)",
+    )
     return parser
 
 
@@ -228,6 +276,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"error: cannot write {args.profile_json}: {error}")
                 return 2
         profiler = Profiler().install()
+
+    registry = None
+    if args.metrics or args.metrics_json:
+        from repro.obs import MetricsRegistry, set_registry
+
+        if args.metrics_json:
+            try:
+                with open(args.metrics_json, "a", encoding="utf-8"):
+                    pass
+            except OSError as error:
+                print(f"error: cannot write {args.metrics_json}: {error}")
+                return 2
+        # A fresh registry isolates this run's totals from anything the
+        # importing process collected before.
+        registry = MetricsRegistry()
+        set_registry(registry)
     try:
         for name in names:
             started = time.time()
@@ -249,6 +313,14 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.profile_json, "w", encoding="utf-8") as handle:
                 handle.write(profiler.json(indent=2))
             print(f"[stage report written to {args.profile_json}]")
+    if registry is not None:
+        print()
+        print("# Metrics (Prometheus text exposition)")
+        print(registry.render_prometheus(), end="")
+        if args.metrics_json:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json(indent=2))
+            print(f"[metrics written to {args.metrics_json}]")
     return 0
 
 

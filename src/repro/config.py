@@ -267,6 +267,45 @@ class AuthenticationConfig:
 
 
 @dataclass(frozen=True)
+class MonitoringConfig:
+    """Parameters of the quality-telemetry layer (metrics + drift).
+
+    Attributes:
+        drift_window: Sliding-window length of every drift monitor.
+        drift_min_samples: Observations required before drift tests run;
+            also the auto-baseline size for quantities with no
+            enrollment-time baseline (e.g. channel SNR).
+        drift_mean_sigmas: Mean-shift alert threshold in standard errors
+            of the frozen baseline.
+        drift_variance_ratio: Variance-shift alert threshold: alert when
+            the window/baseline variance ratio leaves
+            ``[1/ratio, ratio]``.
+
+    Example:
+        >>> cfg = MonitoringConfig(drift_window=32)
+        >>> cfg.drift_min_samples <= cfg.drift_window
+        True
+    """
+
+    drift_window: int = 64
+    drift_min_samples: int = 16
+    drift_mean_sigmas: float = 4.0
+    drift_variance_ratio: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.drift_window < 2:
+            raise ValueError("drift_window must be >= 2")
+        if not 2 <= self.drift_min_samples <= self.drift_window:
+            raise ValueError(
+                "drift_min_samples must lie in [2, drift_window]"
+            )
+        if self.drift_mean_sigmas <= 0:
+            raise ValueError("drift_mean_sigmas must be positive")
+        if self.drift_variance_ratio <= 1.0:
+            raise ValueError("drift_variance_ratio must exceed 1")
+
+
+@dataclass(frozen=True)
 class EchoImageConfig:
     """Bundle of all stage configurations for the EchoImage pipeline.
 
@@ -285,6 +324,7 @@ class EchoImageConfig:
     imaging: ImagingConfig = field(default_factory=ImagingConfig)
     features: FeatureConfig = field(default_factory=FeatureConfig)
     auth: AuthenticationConfig = field(default_factory=AuthenticationConfig)
+    monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
 
     @property
     def sample_rate(self) -> int:

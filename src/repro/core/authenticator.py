@@ -16,6 +16,7 @@ import numpy as np
 import numpy as _np
 
 from repro.config import AuthenticationConfig
+from repro.core.telemetry import pipeline_metrics
 from repro.ml.kernels import Kernel, median_heuristic_gamma
 from repro.obs import ensure_trace, trace
 from repro.ml.multiclass import OneVsOneSVC
@@ -96,13 +97,34 @@ class SingleUserAuthenticator:
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """``True`` per sample when accepted as the legitimate user."""
+        return self.decide(features)[0]
+
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample ``(accepted, decision_scores)``.
+
+        The scores are what the drift monitors watch; ``predict`` is the
+        thresholded view (``score >= 0``).
+        """
         features = np.atleast_2d(np.asarray(features, dtype=float))
         with ensure_trace(), trace(
             "auth.predict", mode="svdd", num_samples=features.shape[0]
         ) as span:
-            accepted = self.decision_function(features) >= 0.0
+            scores = self.decision_function(features)
+            accepted = scores >= 0.0
             span.set("num_accepted", int(np.count_nonzero(accepted)))
-            return accepted
+            metrics = pipeline_metrics()
+            if metrics is not None:
+                score_hist = metrics.auth_score.labels(mode="svdd")
+                for score in scores:
+                    score_hist.observe(float(score))
+                num_accepted = int(np.count_nonzero(accepted))
+                metrics.auth_decisions.labels(decision="accept").inc(
+                    num_accepted
+                )
+                metrics.auth_decisions.labels(decision="spoof_reject").inc(
+                    scores.size - num_accepted
+                )
+            return accepted, scores
 
 
 class MultiUserAuthenticator:
@@ -190,24 +212,51 @@ class MultiUserAuthenticator:
             Per-sample label: the identified user id, or ``SPOOFER_LABEL``
             when the SVDD gate rejects the sample.
         """
+        return self.decide(features)[0]
+
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample ``(labels, svdd_scores)``.
+
+        The gate scores feed the drift monitors; accepted samples also
+        record their n-class SVM vote margin into the metrics registry.
+        """
         if self.user_labels_ is None or self._svdd is None:
             raise RuntimeError("authenticator not fitted; call fit(...) first")
         features = np.atleast_2d(np.asarray(features, dtype=float))
         with ensure_trace(), trace(
             "auth.predict", mode="svdd+svm", num_samples=features.shape[0]
         ) as span:
+            metrics = pipeline_metrics()
             scaled = self._scaler.transform(features)
             with trace("auth.svdd", num_samples=features.shape[0]):
-                accepted = self._svdd.decision_function(scaled) >= 0.0
-            span.set("num_accepted", int(np.count_nonzero(accepted)))
+                scores = self._svdd.decision_function(scaled)
+                accepted = scores >= 0.0
+            num_accepted = int(np.count_nonzero(accepted))
+            span.set("num_accepted", num_accepted)
+            if metrics is not None:
+                score_hist = metrics.auth_score.labels(mode="svdd+svm")
+                for score in scores:
+                    score_hist.observe(float(score))
+                metrics.auth_decisions.labels(decision="accept").inc(
+                    num_accepted
+                )
+                metrics.auth_decisions.labels(decision="spoof_reject").inc(
+                    scores.size - num_accepted
+                )
             result = np.full(features.shape[0], SPOOFER_LABEL, dtype=object)
             if accepted.any():
                 if self._svm_active:
                     with trace(
                         "auth.svm",
-                        num_samples=int(np.count_nonzero(accepted)),
+                        num_samples=num_accepted,
                     ):
-                        result[accepted] = self._svm.predict(scaled[accepted])
+                        labels, margins = self._svm.predict_with_margins(
+                            scaled[accepted]
+                        )
+                        result[accepted] = labels
+                        if metrics is not None:
+                            for margin in margins:
+                                metrics.auth_margin.observe(float(margin))
                 else:
                     result[accepted] = self.user_labels_[0]
-            return result
+            return result, scores

@@ -29,6 +29,7 @@ from repro.array.covariance import estimate_noise_covariance
 from repro.array.geometry import MicrophoneArray
 from repro.acoustics.scene import BeepRecording
 from repro.config import BeepConfig, DistanceEstimationConfig
+from repro.core.telemetry import pipeline_metrics
 from repro.obs import ensure_trace, trace
 from repro.signal.analytic import analytic_signal, smooth_envelope
 from repro.signal.chirp import LFMChirp
@@ -66,6 +67,11 @@ class DistanceEstimate:
         averaged_envelope: The averaged squared envelope ``E(t)`` (indexed
             from the emission sample), for inspection / Figure 5 plots.
         max_set: All detected local maxima of ``E(t)``.
+        echo_snr_db: Body-echo peak power over the envelope's median
+            floor, in dB — the per-attempt channel-quality signal the
+            drift monitors watch.
+        echo_prominence: Body-echo peak value over the strongest envelope
+            peak (1.0 when the body echo *is* the strongest feature).
 
     Example::
 
@@ -82,6 +88,8 @@ class DistanceEstimate:
     direct_delay_s: float
     averaged_envelope: np.ndarray
     max_set: tuple[LocalMaximum, ...]
+    echo_snr_db: float = 0.0
+    echo_prominence: float = 0.0
 
 
 class DistanceEstimator:
@@ -216,11 +224,23 @@ class DistanceEstimator:
             sample_rate=sample_rate,
             bytes=int(sum(rec.samples.nbytes for rec in recordings)),
         ) as span:
-            estimate = self._estimate_traced(recordings, sample_rate)
+            metrics = pipeline_metrics()
+            try:
+                estimate = self._estimate_traced(recordings, sample_rate)
+            except DistanceEstimationError:
+                if metrics is not None:
+                    metrics.distance_estimates.labels(outcome="no_echo").inc()
+                raise
             span.update(
                 user_distance_m=estimate.user_distance_m,
                 num_peaks=len(estimate.max_set),
+                echo_snr_db=estimate.echo_snr_db,
             )
+            if metrics is not None:
+                metrics.distance_estimates.labels(outcome="ok").inc()
+                metrics.distance_snr_db.observe(estimate.echo_snr_db)
+                metrics.distance_prominence.set(estimate.echo_prominence)
+                metrics.distance_user_m.set(estimate.user_distance_m)
             return estimate
 
     def _estimate_traced(
@@ -276,6 +296,10 @@ class DistanceEstimator:
             * np.sin(self.config.steer_elevation_rad)
             * np.sin(self.config.steer_azimuth_rad)
         )
+        # Quality telemetry of the matched-filter output: the envelope is
+        # a squared magnitude, so peak-over-floor is a power ratio.
+        snr_db = 10.0 * np.log10(body_echo.value / floor)
+        strongest = max(peak.value for peak in max_set)
         return DistanceEstimate(
             slant_distance_m=float(slant),
             user_distance_m=float(user_distance),
@@ -283,4 +307,6 @@ class DistanceEstimator:
             direct_delay_s=direct_time,
             averaged_envelope=envelope,
             max_set=tuple(max_set),
+            echo_snr_db=float(snr_db),
+            echo_prominence=float(body_echo.value / strongest),
         )

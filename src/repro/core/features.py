@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import FeatureConfig
+from repro.core.telemetry import pipeline_metrics
 from repro.ml.nn.image_ops import normalize_image, resize_bilinear
 from repro.ml.nn.vggish import MiniVGGish
 from repro.obs import ensure_trace, trace
@@ -74,14 +75,25 @@ class FeatureExtractor:
             feature_dim=self.feature_dim,
             mode=self.mode,
             bytes=int(sum(np.asarray(im).nbytes for im in images)),
-        ):
+        ) as span:
             if self._network is not None:
-                return self._network.extract(images)
-            size = self.config.input_size
-            rows = [
-                normalize_image(
-                    resize_bilinear(np.asarray(im, dtype=float), size, size)
-                ).ravel()
-                for im in images
-            ]
-            return np.stack(rows)
+                features = self._network.extract(images)
+            else:
+                size = self.config.input_size
+                rows = [
+                    normalize_image(
+                        resize_bilinear(
+                            np.asarray(im, dtype=float), size, size
+                        )
+                    ).ravel()
+                    for im in images
+                ]
+                features = np.stack(rows)
+            metrics = pipeline_metrics()
+            if metrics is not None:
+                mean_norm = float(
+                    np.mean(np.linalg.norm(features, axis=1))
+                )
+                metrics.feature_norm.observe(mean_norm)
+                span.set("mean_embedding_norm", mean_norm)
+            return features

@@ -29,6 +29,7 @@ from repro.array.covariance import estimate_noise_covariance
 from repro.array.geometry import MicrophoneArray
 from repro.acoustics.scene import BeepRecording
 from repro.config import BeepConfig, ImagingConfig
+from repro.core.telemetry import pipeline_metrics
 from repro.obs import ensure_trace, trace
 from repro.signal.analytic import analytic_signal
 from repro.signal.filters import BandpassFilter
@@ -244,12 +245,22 @@ class AcousticImager:
             subbands=self.config.subbands,
             distance_m=plane.distance_m,
             bytes=int(recording.samples.nbytes),
-        ):
+        ) as span:
             energies = [
                 self._band_energy(recording, plane, band_index)
                 for band_index in range(self.config.subbands)
             ]
             pixels = np.sqrt(np.mean(energies, axis=0))
+            metrics = pipeline_metrics()
+            if metrics is not None:
+                # Imaging fidelity: how far the brightest pixel (the body
+                # reflection of Eqs. 11-12) stands above the clutter floor.
+                floor = float(np.median(pixels)) + 1e-30
+                dynamic_range_db = 20.0 * np.log10(
+                    float(pixels.max()) / floor + 1e-30
+                )
+                metrics.image_dynamic_range_db.observe(dynamic_range_db)
+                span.set("dynamic_range_db", float(dynamic_range_db))
             return pixels.reshape(plane.resolution, plane.resolution)
 
     def _band_steering(
@@ -361,7 +372,13 @@ class AcousticImager:
         beamformed = np.einsum(
             "km,mks->ks", weights.conj(), segments, optimize=True
         )
-        return np.sum(np.abs(beamformed) ** 2, axis=1)
+        energies = np.sum(np.abs(beamformed) ** 2, axis=1)
+        metrics = pipeline_metrics()
+        if metrics is not None:
+            metrics.image_band_energy.labels(band=band_index).set(
+                float(energies.sum())
+            )
+        return energies
 
     def images(
         self, recordings: list[BeepRecording], plane: ImagingPlane

@@ -24,7 +24,8 @@ from repro.core.distance import DistanceEstimate, DistanceEstimator
 from repro.core.enrollment import build_training_features, stack_user_features
 from repro.core.features import FeatureExtractor
 from repro.core.imaging import AcousticImager, ImagingPlane
-from repro.obs import PipelineTrace, start_trace, trace
+from repro.core.telemetry import pipeline_metrics
+from repro.obs import DriftAlert, DriftSuite, PipelineTrace, start_trace, trace
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,12 @@ class AuthenticationResult:
             (``features.extract``) and the SVDD/SVM decision
             (``auth.predict``).  Render it with ``result.trace.format()``
             or aggregate many with :func:`repro.obs.aggregate`.
+        scores: Per-beep SVDD decision scores (positive = inside the
+            registered description) — the raw values behind
+            ``per_beep_labels``.
+        drift_alerts: Drift alerts newly raised by this attempt (score or
+            SNR distribution shifted vs. the registration-time baseline);
+            empty on healthy attempts.
 
     Example:
         Inspect where an attempt spent its time::
@@ -59,6 +66,8 @@ class AuthenticationResult:
     distance: DistanceEstimate
     per_beep_labels: tuple
     trace: PipelineTrace | None = None
+    scores: tuple = ()
+    drift_alerts: tuple[DriftAlert, ...] = ()
 
 
 class EchoImagePipeline:
@@ -112,6 +121,17 @@ class EchoImagePipeline:
         )
         self.feature_extractor = FeatureExtractor(
             self.config.features, mode=feature_mode
+        )
+        monitoring = self.config.monitoring
+        #: Drift monitors for the deployed service.  ``auth.score`` is
+        #: baselined from the enrollment decision scores at enroll time;
+        #: ``distance.snr_db`` self-baselines from the first attempts
+        #: (SNR is only measured per attempt, never at enrollment).
+        self.drift = DriftSuite(
+            window=monitoring.drift_window,
+            min_samples=monitoring.drift_min_samples,
+            mean_sigmas=monitoring.drift_mean_sigmas,
+            variance_ratio=monitoring.drift_variance_ratio,
         )
         self._multi_auth: MultiUserAuthenticator | None = None
         self._single_auth: SingleUserAuthenticator | None = None
@@ -175,6 +195,7 @@ class EchoImagePipeline:
                 images, plane, self.feature_extractor, augment_distances_m
             )
             auth = SingleUserAuthenticator(self.config.auth).fit(features)
+        self._freeze_score_baseline(auth.decision_function(features))
         self._single_auth = auth
         self._multi_auth = None
         return auth
@@ -207,9 +228,16 @@ class EchoImagePipeline:
             auth = MultiUserAuthenticator(self.config.auth).fit(
                 features, labels
             )
+        self._freeze_score_baseline(auth.spoofer_scores(features))
         self._multi_auth = auth
         self._single_auth = None
         return auth
+
+    def _freeze_score_baseline(self, enrollment_scores: np.ndarray) -> None:
+        """Freeze the ``auth.score`` drift baseline at registration time."""
+        monitor = self.drift.monitor("auth.score")
+        monitor.reset()
+        monitor.freeze_baseline(np.asarray(enrollment_scores).ravel())
 
     # ------------------------------------------------------------------
     # Authentication
@@ -244,11 +272,10 @@ class EchoImagePipeline:
                 features = self.feature_extractor.extract(images)
 
                 if self._multi_auth is not None:
-                    per_beep = tuple(
-                        self._multi_auth.predict(features).tolist()
-                    )
+                    labels, scores = self._multi_auth.decide(features)
+                    per_beep = tuple(labels.tolist())
                 else:
-                    accepted = self._single_auth.predict(features)
+                    accepted, scores = self._single_auth.decide(features)
                     per_beep = tuple(
                         "user" if flag else SPOOFER_LABEL
                         for flag in accepted
@@ -258,13 +285,39 @@ class EchoImagePipeline:
                 root.update(
                     label=str(label), accepted=label != SPOOFER_LABEL
                 )
+                alerts = self._record_attempt(
+                    label != SPOOFER_LABEL, scores, distance
+                )
         return AuthenticationResult(
             label=label,
             accepted=label != SPOOFER_LABEL,
             distance=distance,
             per_beep_labels=per_beep,
             trace=attempt_trace,
+            scores=tuple(float(s) for s in scores),
+            drift_alerts=alerts,
         )
+
+    def _record_attempt(
+        self,
+        accepted: bool,
+        scores: np.ndarray,
+        distance: DistanceEstimate,
+    ) -> tuple:
+        """Attempt-level telemetry: counters plus drift-monitor feeding."""
+        metrics = pipeline_metrics()
+        if metrics is not None:
+            metrics.auth_attempts.labels(
+                result="accept" if accepted else "reject"
+            ).inc()
+        alerts: list[DriftAlert] = []
+        score_monitor = self.drift.monitor("auth.score")
+        for score in np.asarray(scores).ravel():
+            alerts.extend(score_monitor.observe(float(score)))
+        alerts.extend(
+            self.drift.observe("distance.snr_db", distance.echo_snr_db)
+        )
+        return tuple(alerts)
 
 
 def _majority(labels: tuple) -> object:

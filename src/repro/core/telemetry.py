@@ -1,0 +1,145 @@
+"""Domain metrics recorded by the EchoImage pipeline.
+
+One module owns the metric catalogue so every stage emits consistent
+names and the full table can be documented (and asserted against) in one
+place — see the "Metrics & drift monitoring" section of
+``docs/ARCHITECTURE.md``.  Stages call :func:`pipeline_metrics` and
+record into the returned handle bundle; when metrics are globally
+disabled (:func:`repro.obs.set_metrics_enabled`) the accessor returns
+``None`` and the stage skips recording, which is how the
+metrics-overhead benchmark isolates the cost of collection.
+
+The catalogue (all names prefixed ``echoimage_``):
+
+========================================  =========  ==================  =====================================
+name                                      type       labels              observes
+========================================  =========  ==================  =====================================
+``echoimage_auth_attempts_total``         counter    ``result``          authenticate() outcomes (accept/reject)
+``echoimage_auth_decisions_total``        counter    ``decision``        per-beep decisions incl. spoof_reject
+``echoimage_auth_score``                  histogram  ``mode``            SVDD decision scores (Section V-E)
+``echoimage_auth_margin``                 histogram  —                   SVM inter-class vote margin
+``echoimage_distance_estimates_total``    counter    ``outcome``         ranging attempts (ok / no_echo)
+``echoimage_distance_echo_snr_db``        histogram  —                   body-echo SNR over envelope floor (Eq. 10)
+``echoimage_distance_echo_prominence``    gauge      —                   body-echo peak / strongest-peak ratio
+``echoimage_distance_user_m``             gauge      —                   last estimated user distance D_p
+``echoimage_image_dynamic_range_db``      histogram  —                   acoustic-image max/median pixel range (Eqs. 11-12)
+``echoimage_image_band_energy``           gauge      ``band``            per-sub-band summed pixel energy
+``echoimage_feature_embedding_norm``      histogram  —                   mean L2 norm of extracted embeddings
+========================================  =========  ==================  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+)
+
+#: Buckets for SVDD decision scores: symmetric around the accept
+#: boundary at 0 (scores are ``R^2 (1+margin) - d^2``, typically |s| < 1).
+SCORE_BUCKETS = (
+    -1.0, -0.5, -0.2, -0.1, -0.05, -0.02, 0.0,
+    0.02, 0.05, 0.1, 0.2, 0.5, 1.0,
+)
+
+#: Buckets for the SVM vote margin, normalised to [0, 1].
+MARGIN_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+#: Buckets for echo SNR in dB over the envelope floor.
+SNR_DB_BUCKETS = (3.0, 6.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
+
+#: Buckets for acoustic-image dynamic range in dB.
+DYNAMIC_RANGE_DB_BUCKETS = (3.0, 6.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
+
+#: Buckets for embedding L2 norms.
+NORM_BUCKETS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
+
+
+class PipelineMetrics:
+    """The bound metric-family handles of one registry.
+
+    Attributes mirror the catalogue in the module docstring; construction
+    registers every family (idempotently), so a freshly swapped-in
+    registry exposes the full catalogue after the first pipeline call.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.auth_attempts: MetricFamily = registry.counter(
+            "echoimage_auth_attempts_total",
+            "Authentication attempts by outcome",
+            labels=("result",),
+        )
+        self.auth_decisions: MetricFamily = registry.counter(
+            "echoimage_auth_decisions_total",
+            "Per-beep authentication decisions",
+            labels=("decision",),
+        )
+        self.auth_score: MetricFamily = registry.histogram(
+            "echoimage_auth_score",
+            "SVDD decision scores (positive = inside the user description)",
+            labels=("mode",),
+            buckets=SCORE_BUCKETS,
+        )
+        self.auth_margin: MetricFamily = registry.histogram(
+            "echoimage_auth_margin",
+            "Normalised inter-class vote margin of the n-class SVM",
+            buckets=MARGIN_BUCKETS,
+        )
+        self.distance_estimates: MetricFamily = registry.counter(
+            "echoimage_distance_estimates_total",
+            "Distance-estimation attempts by outcome",
+            labels=("outcome",),
+        )
+        self.distance_snr_db: MetricFamily = registry.histogram(
+            "echoimage_distance_echo_snr_db",
+            "Body-echo SNR over the averaged-envelope floor, in dB",
+            buckets=SNR_DB_BUCKETS,
+        )
+        self.distance_prominence: MetricFamily = registry.gauge(
+            "echoimage_distance_echo_prominence",
+            "Body-echo peak value over the strongest envelope peak",
+        )
+        self.distance_user_m: MetricFamily = registry.gauge(
+            "echoimage_distance_user_m",
+            "Last estimated horizontal user-array distance D_p, in metres",
+        )
+        self.image_dynamic_range_db: MetricFamily = registry.histogram(
+            "echoimage_image_dynamic_range_db",
+            "Acoustic-image dynamic range (max over median pixel), in dB",
+            buckets=DYNAMIC_RANGE_DB_BUCKETS,
+        )
+        self.image_band_energy: MetricFamily = registry.gauge(
+            "echoimage_image_band_energy",
+            "Summed per-grid pixel energy of the last imaged sub-band",
+            labels=("band",),
+        )
+        self.feature_norm: MetricFamily = registry.histogram(
+            "echoimage_feature_embedding_norm",
+            "Mean L2 norm of the extracted feature embeddings",
+            buckets=NORM_BUCKETS,
+        )
+
+
+_BOUND: dict[int, tuple[MetricsRegistry, PipelineMetrics]] = {}
+
+
+def pipeline_metrics() -> PipelineMetrics | None:
+    """The pipeline metric handles for the current default registry.
+
+    Returns ``None`` when metric recording is globally disabled, so call
+    sites read ``m = pipeline_metrics(); if m is not None: ...`` and pay
+    a single function call on the disabled path.
+    """
+    if not metrics_enabled():
+        return None
+    registry = get_registry()
+    key = id(registry)
+    bound = _BOUND.get(key)
+    if bound is None or bound[0] is not registry:
+        bound = (registry, PipelineMetrics(registry))
+        _BOUND.clear()  # one registry is live at a time; drop stale refs
+        _BOUND[key] = bound
+    return bound[1]

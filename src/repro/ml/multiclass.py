@@ -72,8 +72,8 @@ class OneVsOneSVC:
             self._machines[(first, second)] = machine
         return self
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict by pairwise voting with margin tie-breaking."""
+    def _tally(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class ``(votes, summed margins)`` of all pairwise machines."""
         if self.classes_ is None:
             raise RuntimeError("classifier not fitted; call fit(...) first")
         x = np.atleast_2d(np.asarray(x, dtype=float))
@@ -90,7 +90,38 @@ class OneVsOneSVC:
             votes[~hi_wins, index[lo]] += 1
             margins[:, index[hi]] += scores
             margins[:, index[lo]] -= scores
+        return votes, margins
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict by pairwise voting with margin tie-breaking."""
+        return self.predict_with_margins(x)[0]
+
+    def predict_with_margins(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted labels plus the normalised inter-class vote margin.
+
+        The margin is ``(votes_winner - votes_runner_up) / n_machines`` —
+        1.0 when every pairwise machine agrees on the winner, near 0 for
+        contested samples.  This is the *inter-class margin* the
+        score-drift telemetry tracks: shrinking margins mean registered
+        users are becoming harder to tell apart.  One tally serves both
+        outputs, so asking for margins costs nothing extra.
+        """
+        votes, margins = self._tally(x)
         # Lexicographic: votes first, margins second.
         combined = votes + 1e-9 * np.tanh(margins)
         winners = np.argmax(combined, axis=1)
-        return self.classes_[winners]
+        if votes.shape[1] < 2:
+            vote_margin = np.ones(votes.shape[0])
+        else:
+            ordered = np.sort(votes, axis=1)
+            vote_margin = (ordered[:, -1] - ordered[:, -2]) / max(
+                len(self._machines), 1
+            )
+        return self.classes_[winners], vote_margin
+
+    def vote_margins(self, x: np.ndarray) -> np.ndarray:
+        """The normalised vote margin alone (see
+        :meth:`predict_with_margins`)."""
+        return self.predict_with_margins(x)[1]

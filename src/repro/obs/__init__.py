@@ -9,12 +9,39 @@ The subsystem has three layers:
   turning traces into a stage-latency table (count, mean, p50, p95,
   bytes);
 * :mod:`repro.obs.profiler` — :class:`Profiler`, a sink that collects
-  every trace completed while installed.
+  every trace completed while installed;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms with Prometheus/JSON exposition (the
+  domain metrics recorded by the pipeline live in
+  :mod:`repro.core.telemetry`);
+* :mod:`repro.obs.drift` — sliding-window :class:`DriftMonitor` raising
+  structured :class:`DriftAlert` objects when score or signal-quality
+  distributions shift away from their registration-time baseline.
 
 The instrumented stage names emitted by the EchoImage pipeline are listed
-in :data:`STAGES` and documented in ``docs/ARCHITECTURE.md``.
+in :data:`STAGES`; the metric names are tabulated in
+``docs/ARCHITECTURE.md``.
 """
 
+from repro.obs.drift import (
+    DriftAlert,
+    DriftBaseline,
+    DriftMonitor,
+    DriftSuite,
+)
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_metrics_enabled,
+    set_registry,
+)
 from repro.obs.profiler import Profiler
 from repro.obs.report import (
     StageStats,
@@ -54,6 +81,21 @@ STAGES = (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "DriftAlert",
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftSuite",
     "PipelineTrace",
     "Span",
     "NULL_SPAN",

@@ -43,17 +43,45 @@ class Profiler:
     def __init__(self) -> None:
         self.traces: list[PipelineTrace] = []
         self._lock = threading.Lock()
+        self._installed = False
 
     # -- sink lifecycle ------------------------------------------------
 
+    @property
+    def installed(self) -> bool:
+        """Whether the profiler is currently registered as a sink."""
+        return self._installed
+
     def install(self) -> "Profiler":
-        """Start receiving completed traces."""
+        """Start receiving completed traces.
+
+        Raises:
+            RuntimeError: When already installed — installing twice would
+                register the sink twice and double-count every trace.
+        """
+        if self._installed:
+            raise RuntimeError(
+                "Profiler is already installed; call uninstall() before "
+                "installing it again"
+            )
         add_sink(self._record)
+        self._installed = True
         return self
 
     def uninstall(self) -> None:
-        """Stop receiving traces (collected ones are kept)."""
+        """Stop receiving traces (collected ones are kept).
+
+        Raises:
+            RuntimeError: When not installed — an unmatched uninstall is
+                always a lifecycle bug (e.g. a double ``__exit__``).
+        """
+        if not self._installed:
+            raise RuntimeError(
+                "Profiler is not installed; uninstall() must match a "
+                "preceding install()"
+            )
         remove_sink(self._record)
+        self._installed = False
 
     def __enter__(self) -> "Profiler":
         return self.install()

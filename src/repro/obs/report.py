@@ -28,7 +28,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Iterable
 
-from repro.obs.tracer import PipelineTrace
+from repro.obs.tracer import SCHEMA_VERSION, PipelineTrace
 
 #: Attribute key summed into :attr:`StageStats.bytes_processed`.
 BYTES_ATTRIBUTE = "bytes"
@@ -154,8 +154,16 @@ def render_text(stats: list[StageStats], title: str | None = None) -> str:
 
 
 def render_json(stats: list[StageStats], **kwargs) -> str:
-    """The stage-latency table as a JSON document."""
-    return json.dumps({"stages": [s.to_dict() for s in stats]}, **kwargs)
+    """The stage-latency table as a versioned JSON document.
+
+    The document carries ``"schema": 1`` (see
+    :data:`repro.obs.tracer.SCHEMA_VERSION`) so downstream consumers can
+    detect format changes.
+    """
+    return json.dumps(
+        {"schema": SCHEMA_VERSION, "stages": [s.to_dict() for s in stats]},
+        **kwargs,
+    )
 
 
 def stats_from_json(document: str) -> list[StageStats]:

@@ -39,6 +39,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import SCHEMA_VERSION
+
 
 @dataclass
 class Span:
@@ -157,8 +159,16 @@ class PipelineTrace:
     # -- serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-serialisable representation of the whole trace."""
-        return {"spans": [span.to_dict() for span in self.spans]}
+        """JSON-serialisable representation of the whole trace.
+
+        Carries a ``"schema"`` version field so downstream consumers can
+        detect format changes; :meth:`from_dict` accepts any document
+        whose version it understands.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "spans": [span.to_dict() for span in self.spans],
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineTrace":

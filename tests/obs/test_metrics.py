@@ -1,0 +1,296 @@
+"""Metrics registry: primitives, exposition and pipeline integration."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import EchoImagePipeline
+from repro.config import (
+    AuthenticationConfig,
+    EchoImageConfig,
+    ImagingConfig,
+)
+from repro.obs import (
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_metrics_enabled,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(MetricError):
+            Counter().inc(-1)
+
+    def test_threaded_increments_are_exact(self):
+        c = Counter()
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(2.0)
+        g.inc(0.5)
+        g.dec(1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        h = Histogram((1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(v)
+        # le=1 catches 0.5 and the boundary 1.0; le=2 catches 1.5 and 2.0.
+        assert h.bucket_counts() == (2, 2, 1)
+        assert h.cumulative_counts() == (2, 4, 5)
+        assert h.count == 5
+        assert h.sum == pytest.approx(104.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(MetricError):
+            Histogram(())
+        with pytest.raises(MetricError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram((float("inf"),))
+
+    def test_explicit_inf_bound_is_folded_into_implicit(self):
+        h = Histogram((1.0, float("inf")))
+        assert h.bounds == (1.0,)
+        h.observe(5.0)
+        assert h.bucket_counts() == (0, 1)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        assert reg.counter("a_total").value == 1.0
+
+    def test_conflicting_reregistration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(MetricError):
+            reg.gauge("a_total")
+        reg.counter("b_total", labels=("x",))
+        with pytest.raises(MetricError):
+            reg.counter("b_total", labels=("y",))
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("h", buckets=(3.0,))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("0bad")
+        with pytest.raises(MetricError):
+            reg.counter("ok", labels=("has space",))
+        with pytest.raises(MetricError):
+            reg.counter("ok", labels=("__reserved",))
+
+    def test_labelled_family_requires_labels_call(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", labels=("result",))
+        with pytest.raises(MetricError):
+            fam.inc()
+        with pytest.raises(MetricError):
+            fam.labels(wrong="x")
+        fam.labels(result="accept").inc(3)
+        assert fam.labels(result="accept").value == 3.0
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(5)
+        reg.reset()
+        assert reg.get("a_total") is not None
+        assert reg.counter("a_total").value == 0.0
+
+    def test_prometheus_golden(self):
+        reg = MetricsRegistry()
+        attempts = reg.counter(
+            "attempts_total", "Attempts by result", labels=("result",)
+        )
+        attempts.labels(result="accept").inc(2)
+        attempts.labels(result="reject").inc()
+        reg.gauge("distance_m", "Last distance").set(0.6)
+        scores = reg.histogram("score", "Scores", buckets=(0.0, 0.5))
+        for v in (-0.25, 0.5, 2.0):
+            scores.observe(v)
+        reg.counter("never_touched_total", "Registered, never observed")
+
+        assert reg.render_prometheus() == (
+            "# HELP attempts_total Attempts by result\n"
+            "# TYPE attempts_total counter\n"
+            'attempts_total{result="accept"} 2\n'
+            'attempts_total{result="reject"} 1\n'
+            "# HELP distance_m Last distance\n"
+            "# TYPE distance_m gauge\n"
+            "distance_m 0.6\n"
+            "# HELP score Scores\n"
+            "# TYPE score histogram\n"
+            'score_bucket{le="0"} 1\n'
+            'score_bucket{le="0.5"} 2\n'
+            'score_bucket{le="+Inf"} 3\n'
+            "score_sum 2.25\n"
+            "score_count 3\n"
+            "# HELP never_touched_total Registered, never observed\n"
+            "# TYPE never_touched_total counter\n"
+        )
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("x",)).labels(x='a"b\\c\nd').inc()
+        assert (
+            'c_total{x="a\\"b\\\\c\\nd"} 1' in reg.render_prometheus()
+        )
+
+    def test_json_export_is_versioned(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        data = json.loads(reg.to_json())
+        assert data["schema"] == SCHEMA_VERSION
+        by_name = {m["name"]: m for m in data["metrics"]}
+        assert by_name["a_total"]["samples"][0]["value"] == 1.0
+        hist = by_name["h"]
+        assert hist["buckets"] == [1.0]
+        assert hist["samples"][0]["bucket_counts"] == [1, 0]
+        assert hist["samples"][0]["count"] == 1
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_metrics_enabled_toggle(self):
+        assert metrics_enabled()
+        set_metrics_enabled(False)
+        try:
+            assert not metrics_enabled()
+        finally:
+            set_metrics_enabled(True)
+
+
+#: Metric families a real authenticate() run must populate.
+EXPECTED_POPULATED = (
+    "echoimage_auth_attempts_total",
+    "echoimage_auth_decisions_total",
+    "echoimage_auth_score",
+    "echoimage_distance_estimates_total",
+    "echoimage_distance_echo_snr_db",
+    "echoimage_distance_user_m",
+    "echoimage_image_dynamic_range_db",
+    "echoimage_image_band_energy",
+    "echoimage_feature_embedding_norm",
+)
+
+
+class TestPipelineIntegration:
+    def test_authenticate_populates_expected_metrics(
+        self, quiet_scene, chirp, subject
+    ):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            pipeline = EchoImagePipeline(
+                config=EchoImageConfig(
+                    imaging=ImagingConfig(grid_resolution=24),
+                    auth=AuthenticationConfig(svdd_margin=0.3),
+                )
+            )
+            rng = np.random.default_rng(0)
+            pipeline.enroll_user(
+                quiet_scene.record_beeps(
+                    chirp, subject.beep_clouds(0.7, 12, rng), rng
+                )
+            )
+            num_beeps = 3
+            result = pipeline.authenticate(
+                quiet_scene.record_beeps(
+                    chirp, subject.beep_clouds(0.7, num_beeps, rng), rng
+                )
+            )
+        finally:
+            set_registry(previous)
+
+        for name in EXPECTED_POPULATED:
+            family = registry.get(name)
+            assert family is not None, f"missing metric {name}"
+            assert family.samples(), f"metric {name} never observed"
+
+        outcome = "accept" if result.accepted else "reject"
+        attempts = registry.get("echoimage_auth_attempts_total")
+        assert attempts.labels(result=outcome).value == 1.0
+        # One SVDD score per attempt beep (enrollment scoring goes
+        # through decision_function, which is not instrumented).
+        scores = registry.get("echoimage_auth_score")
+        assert scores.labels(mode="svdd").count == num_beeps
+        assert (
+            registry.get("echoimage_distance_estimates_total")
+            .labels(outcome="ok")
+            .value
+            == 2.0
+        )
+        assert registry.get("echoimage_distance_user_m").value > 0.0
+
+    def test_disabled_metrics_record_nothing(
+        self, quiet_scene, chirp, subject
+    ):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        set_metrics_enabled(False)
+        try:
+            pipeline = EchoImagePipeline(
+                config=EchoImageConfig(
+                    imaging=ImagingConfig(grid_resolution=24),
+                    auth=AuthenticationConfig(svdd_margin=0.3),
+                )
+            )
+            rng = np.random.default_rng(1)
+            pipeline.enroll_user(
+                quiet_scene.record_beeps(
+                    chirp, subject.beep_clouds(0.7, 12, rng), rng
+                )
+            )
+            pipeline.authenticate(
+                quiet_scene.record_beeps(
+                    chirp, subject.beep_clouds(0.7, 3, rng), rng
+                )
+            )
+        finally:
+            set_metrics_enabled(True)
+            set_registry(previous)
+        assert all(not f.samples() for f in registry.families())

@@ -1,0 +1,69 @@
+"""Profiler install/uninstall discipline and export schema stamps."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    PipelineTrace,
+    Profiler,
+    start_trace,
+    trace,
+)
+from repro.obs.report import aggregate, render_json
+
+
+class TestReentrancy:
+    def test_double_install_raises(self):
+        profiler = Profiler().install()
+        try:
+            with pytest.raises(RuntimeError, match="already installed"):
+                profiler.install()
+        finally:
+            profiler.uninstall()
+
+    def test_unmatched_uninstall_raises(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError, match="not installed"):
+            profiler.uninstall()
+
+    def test_install_uninstall_cycle_reusable(self):
+        profiler = Profiler()
+        for _ in range(2):
+            profiler.install()
+            assert profiler.installed
+            with start_trace(), trace("stage"):
+                pass
+            profiler.uninstall()
+            assert not profiler.installed
+        assert len(profiler.traces) == 2
+
+    def test_context_manager_still_works(self):
+        profiler = Profiler()
+        with profiler:
+            assert profiler.installed
+            with start_trace(), trace("stage"):
+                pass
+        assert not profiler.installed
+        with pytest.raises(RuntimeError):
+            profiler.uninstall()
+
+
+class TestSchemaVersion:
+    def test_trace_dict_carries_schema(self):
+        with start_trace() as collected:
+            with trace("stage"):
+                pass
+        data = collected.to_dict()
+        assert data["schema"] == SCHEMA_VERSION
+        rebuilt = PipelineTrace.from_dict(data)
+        assert rebuilt.span_names() == {"stage"}
+
+    def test_report_json_carries_schema(self):
+        with start_trace() as collected:
+            with trace("stage"):
+                pass
+        data = json.loads(render_json(aggregate([collected])))
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["stages"][0]["name"] == "stage"

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -38,3 +40,33 @@ class TestRun:
         out = capsys.readouterr().out
         assert "Figure 8" in out
         assert "same user" in out
+
+    def test_run_drift(self, capsys):
+        assert main(["run", "drift"]) == 0
+        out = capsys.readouterr().out
+        assert "Drift detection" in out
+        assert "stable" in out and "shifted" in out
+
+    def test_metrics_flag_prints_prometheus(self, capsys, tmp_path):
+        json_path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "fig8", "--metrics", "--metrics-json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# Metrics (Prometheus text exposition)" in out
+        # fig8 images real beeps, so the imaging telemetry is populated.
+        assert "# TYPE echoimage_image_dynamic_range_db histogram" in out
+        assert "echoimage_image_dynamic_range_db_count" in out
+        data = json.loads(json_path.read_text())
+        assert data["schema"] == 1
+        assert any(
+            m["name"] == "echoimage_image_dynamic_range_db" and m["samples"]
+            for m in data["metrics"]
+        )
+
+    def test_metrics_json_unwritable_path_fails_fast(self, capsys):
+        code = main(
+            ["run", "fig8", "--metrics-json", "/nonexistent/dir/m.json"]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().out

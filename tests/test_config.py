@@ -12,6 +12,7 @@ from repro.config import (
     EchoImageConfig,
     FeatureConfig,
     ImagingConfig,
+    MonitoringConfig,
 )
 
 
@@ -96,3 +97,30 @@ class TestEchoImageConfig:
         config = EchoImageConfig()
         assert config.sample_rate == 48_000
         assert config.beep.center_hz == 2500.0
+
+
+class TestMonitoringConfig:
+    def test_defaults(self):
+        config = MonitoringConfig()
+        assert config.drift_window == 64
+        assert 2 <= config.drift_min_samples <= config.drift_window
+
+    def test_bundled_into_pipeline_config(self):
+        config = EchoImageConfig(
+            monitoring=MonitoringConfig(drift_window=8, drift_min_samples=4)
+        )
+        assert config.monitoring.drift_window == 8
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MonitoringConfig(drift_window=1)
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValueError):
+            MonitoringConfig(drift_window=8, drift_min_samples=9)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            MonitoringConfig(drift_mean_sigmas=0.0)
+        with pytest.raises(ValueError):
+            MonitoringConfig(drift_variance_ratio=1.0)
