@@ -7,15 +7,21 @@ Enrolls one synthetic user, authenticates a fresh attempt, and prints:
 3. a cache-on vs cache-off comparison of repeated-beep imaging — the
    steering-geometry cache that PR 1 landed (grid angles/ranges memoized
    on the plane, per-band steering matrices reused across beeps),
-4. a metrics-on vs metrics-off comparison of ``authenticate`` — the
+4. a batched vs sequential imaging comparison — ``image_batch``
+   (shared filter-bank front end + grouped-GEMM beamforming, the PR 3
+   serving-layer kernel) against the paper-shaped per-beep loop,
+5. a metrics-on vs metrics-off comparison of ``authenticate`` — the
    overhead of the PR 2 metrics registry and drift monitors, which must
    stay well under 5% of the pipeline wall time.
 
-The numbers printed by steps 3 and 4 are the source of the
-performance-baseline table in EXPERIMENTS.md.
+The numbers printed by steps 3-5 are the source of the
+performance-baseline table in EXPERIMENTS.md.  ``--quick`` runs only
+the batched-imaging smoke (bitwise parity + at-least-as-fast) and exits
+non-zero on regression; CI runs it on every push.
 
 Run:  PYTHONPATH=src python scripts/profile_pipeline.py
       PYTHONPATH=src python scripts/profile_pipeline.py --beeps 20 --repeats 5
+      PYTHONPATH=src python scripts/profile_pipeline.py --quick
 """
 
 from __future__ import annotations
@@ -59,12 +65,22 @@ def parse_args() -> argparse.Namespace:
         "--repeats", type=int, default=3,
         help="timing repeats for the cache comparison (default 3)",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: only compare batched vs sequential imaging on "
+        "a >=4-beep attempt and exit non-zero unless the batched path is "
+        "at least as fast (and numerically identical); used by CI",
+    )
     parser.add_argument("--seed", type=int, default=7, help="scene seed")
     return parser.parse_args()
 
 
 def time_imaging(
-    imager: AcousticImager, recordings, plane, repeats: int
+    imager: AcousticImager,
+    recordings,
+    plane,
+    repeats: int,
+    batched: bool = False,
 ) -> float:
     """Best-of-``repeats`` wall time of imaging all recordings once."""
     best = float("inf")
@@ -79,14 +95,72 @@ def time_imaging(
         )
         imager._steering_plane = None
         imager._steering_by_band = {}
+        imager._gather_key = None
+        imager._gather = None
         started = time.perf_counter()
-        imager.images(recordings, fresh_plane)
+        if batched:
+            imager.image_batch(recordings, fresh_plane)
+        else:
+            imager.images(recordings, fresh_plane)
         best = min(best, time.perf_counter() - started)
     return best
 
 
-def main() -> None:
+def run_quick(args) -> int:
+    """CI smoke: batched imaging must match and beat the sequential loop."""
+    from repro.core.imaging import ImagingPlane
+
+    rng = np.random.default_rng(args.seed)
+    scene = AcousticScene(noise=NoiseModel(kind="quiet", level_db_spl=30.0))
+    chirp = LFMChirp()
+    user = SyntheticSubject(subject_id=1)
+    num_beeps = max(args.beeps, 4)
+    config = EchoImageConfig(
+        imaging=ImagingConfig(
+            grid_resolution=args.resolution, subbands=args.subbands
+        )
+    )
+    attempt = scene.record_beeps(
+        chirp, user.beep_clouds(0.7, num_beeps, rng), rng
+    )
+    imager = AcousticImager(
+        array=scene.array, beep=config.beep, config=config.imaging
+    )
+    plane = ImagingPlane.from_config(0.75, config.imaging)
+
+    sequential = imager.images(attempt, plane)
+    batched = imager.image_batch(attempt, plane)
+    for index, (seq, bat) in enumerate(zip(sequential, batched)):
+        if not np.array_equal(seq, bat):
+            print(
+                f"FAIL: batched image {index} differs from the "
+                f"sequential path (max |err| "
+                f"{np.max(np.abs(seq - bat)):.3e})"
+            )
+            return 1
+
+    repeats = max(args.repeats, 5)
+    loop_s = time_imaging(imager, attempt, plane, repeats)
+    batch_s = time_imaging(imager, attempt, plane, repeats, batched=True)
+    speedup = loop_s / batch_s
+    print(
+        f"Batched imaging smoke ({num_beeps} beeps, resolution "
+        f"{args.resolution}, best of {repeats}):"
+    )
+    print(f"  sequential loop: {loop_s * 1e3:8.2f} ms")
+    print(f"  image_batch:     {batch_s * 1e3:8.2f} ms")
+    print(f"  speedup:         {speedup:8.2f}x")
+    if batch_s > loop_s:
+        print("FAIL: batched imaging is slower than the sequential loop")
+        return 1
+    print("OK: batched path matches bitwise and is at least as fast")
+    return 0
+
+
+def main() -> int:
     args = parse_args()
+    if args.quick:
+        return run_quick(args)
     rng = np.random.default_rng(args.seed)
 
     scene = AcousticScene(
@@ -153,6 +227,21 @@ def main() -> None:
     )
     print(f"  speedup:   {cold / warm:8.2f}x")
 
+    # --- batched vs sequential imaging -----------------------------------
+    # Both paths start from cold steering/gather caches each repeat, so
+    # the comparison isolates the batching itself: shared filter-bank
+    # front end + grouped-GEMM beamforming vs the per-beep loop.
+    loop_s = time_imaging(cached, attempt, plane, args.repeats)
+    batch_s = time_imaging(cached, attempt, plane, args.repeats, batched=True)
+    print()
+    print(
+        f"Batched imaging (image_batch), {len(attempt)}-beep attempt "
+        f"(best of {args.repeats}):"
+    )
+    print(f"  sequential loop: {loop_s * 1e3:8.2f} ms")
+    print(f"  image_batch:     {batch_s * 1e3:8.2f} ms")
+    print(f"  speedup:         {loop_s / batch_s:8.2f}x")
+
     # --- metrics overhead ------------------------------------------------
     # Interleave the on/off measurements so OS/thermal drift hits both
     # sides equally; best-of filters the remaining scheduling noise.
@@ -178,7 +267,10 @@ def main() -> None:
     print(f"  metrics off: {without_metrics * 1e3:8.2f} ms")
     print(f"  metrics on:  {with_metrics * 1e3:8.2f} ms")
     print(f"  overhead:    {overhead:+8.2f}% of pipeline wall time")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Regenerate the golden regression fixtures under tests/golden/fixtures.
+
+The golden tests pin the imaging/serving stack to frozen outputs; run
+this script ONLY when an intentional numerical change lands (new
+windowing, different steering convention, retuned filter bank) and
+commit the refreshed ``.npz`` files together with the change that
+motivated them.  Case definitions live in :mod:`repro.eval.golden` so
+this writer and the test readers can never disagree about how a case is
+built.
+
+Run:  PYTHONPATH=src python scripts/refresh_golden.py
+      PYTHONPATH=src python scripts/refresh_golden.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.eval.golden import (
+    GOLDEN_CASES,
+    compare_to_fixture,
+    compute_reference,
+    default_fixture_dir,
+    load_fixture,
+    write_fixture,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="(Re)compute the golden regression fixtures"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="fixture directory (default: tests/golden/fixtures)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "do not write anything; recompute every case and diff it "
+            "against the committed fixtures (exit 1 on mismatch)"
+        ),
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    fixture_dir = args.out or default_fixture_dir()
+    failed = False
+    for case in GOLDEN_CASES:
+        if args.check:
+            fixture = load_fixture(case, fixture_dir)
+            reports = compare_to_fixture(compute_reference(case), fixture)
+            if reports:
+                failed = True
+                print(f"[FAIL] {case.name}")
+                for report in reports:
+                    print(f"       {report}")
+            else:
+                print(f"[ ok ] {case.name}")
+        else:
+            path = write_fixture(case, fixture_dir)
+            size_kb = path.stat().st_size / 1024
+            print(f"[frozen] {case.name} -> {path} ({size_kb:.1f} KiB)")
+    if failed:
+        print(
+            "\nfixtures are stale or the pipeline changed numerically;\n"
+            "if the change is intentional, rerun without --check and "
+            "commit the refreshed fixtures",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

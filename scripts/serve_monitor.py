@@ -11,9 +11,17 @@ and at the end (write it to a file with ``--prom-file`` and point a
 Prometheus ``textfile`` collector — or ``curl``-replaying scraper — at
 it).
 
+With ``--backend`` the stream is served through the batch serving layer
+(:mod:`repro.serve`) instead of direct ``pipeline.authenticate`` calls:
+attempts are grouped into batches of ``--batch-size`` requests and
+dispatched to a worker pool, exercising the same bundle-sharing and
+degradation machinery a deployment would run.
+
 Run:  PYTHONPATH=src python scripts/serve_monitor.py
       PYTHONPATH=src python scripts/serve_monitor.py --attempts 60 \\
           --degrade-after 30 --dump-every 20 --metrics-json metrics.json
+      PYTHONPATH=src python scripts/serve_monitor.py --backend thread \\
+          --workers 4 --batch-size 8
 """
 
 from __future__ import annotations
@@ -101,6 +109,21 @@ def parse_args() -> argparse.Namespace:
         "user most of the time while rejecting the spoofer at the demo's "
         "coarse imaging resolution)",
     )
+    parser.add_argument(
+        "--backend", default="direct",
+        choices=("direct", "serial", "thread", "process"),
+        help="serve attempts directly (default) or through the "
+        "repro.serve batch layer on the chosen worker-pool backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count for --backend thread/process (0 = CPU count)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=8,
+        help="requests per served batch when --backend is not 'direct' "
+        "(default 8)",
+    )
     parser.add_argument("--seed", type=int, default=11, help="scene seed")
     return parser.parse_args()
 
@@ -144,7 +167,56 @@ def main() -> int:
         f"std {baseline.std:.4f} over {baseline.count} enrollment scores\n"
     )
 
+    server = None
+    if args.backend != "direct":
+        from repro.config import ServingConfig
+        from repro.serve import BatchAuthenticator, ModelBundle
+
+        server = BatchAuthenticator(
+            ModelBundle.from_pipeline(pipeline),
+            ServingConfig(backend=args.backend, max_workers=args.workers),
+        )
+        print(
+            f"serving through repro.serve: backend={args.backend}, "
+            f"workers={args.workers or 'auto'}, "
+            f"batch size {args.batch_size}\n"
+        )
+
+    def print_attempt(attempt, spoofing, result, note=""):
+        mean_score = float(np.mean(result.scores))
+        print(
+            f"[{attempt:4d}] {'spoof' if spoofing else 'user '} -> "
+            f"{'ACCEPT' if result.accepted else 'reject'}  "
+            f"score {mean_score:+.4f}  "
+            f"snr {result.distance.echo_snr_db:5.1f} dB{note}"
+        )
+        for alert in result.drift_alerts:
+            print(f"       DRIFT {json.dumps(alert.to_dict())}")
+
+    def flush_batch(pending):
+        from repro.serve import AuthenticationRequest
+
+        requests = [
+            AuthenticationRequest(str(attempt), tuple(recordings))
+            for attempt, _, recordings in pending
+        ]
+        responses = server.authenticate_batch(requests)
+        for (attempt, spoofing, _), response in zip(pending, responses):
+            if not response.ok:
+                print(
+                    f"[{attempt:4d}] {response.status} ({response.error})"
+                )
+                continue
+            note = (
+                f"  [degraded: {response.degradation}]"
+                if response.degradation
+                else ""
+            )
+            print_attempt(attempt, spoofing, response.result, note)
+        pending.clear()
+
     started = time.time()
+    pending: list = []
     for attempt in range(1, args.attempts + 1):
         spoofing = args.spoof_every and attempt % args.spoof_every == 0
         subject = spoofer if spoofing else user
@@ -156,22 +228,23 @@ def main() -> int:
         recordings = live_scene.record_beeps(
             chirp, subject.beep_clouds(0.7, args.beeps, rng), rng
         )
-        try:
-            result = pipeline.authenticate(recordings)
-        except DistanceEstimationError as error:
-            print(f"[{attempt:4d}] no-echo reject ({error})")
-            continue
-        mean_score = float(np.mean(result.scores))
-        print(
-            f"[{attempt:4d}] {'spoof' if spoofing else 'user '} -> "
-            f"{'ACCEPT' if result.accepted else 'reject'}  "
-            f"score {mean_score:+.4f}  "
-            f"snr {result.distance.echo_snr_db:5.1f} dB"
-        )
-        for alert in result.drift_alerts:
-            print(f"       DRIFT {json.dumps(alert.to_dict())}")
+        if server is not None:
+            pending.append((attempt, spoofing, recordings))
+            if len(pending) >= args.batch_size:
+                flush_batch(pending)
+        else:
+            try:
+                result = pipeline.authenticate(recordings)
+            except DistanceEstimationError as error:
+                print(f"[{attempt:4d}] no-echo reject ({error})")
+                continue
+            print_attempt(attempt, spoofing, result)
         if args.dump_every and attempt % args.dump_every == 0:
             print("\n" + registry.render_prometheus())
+    if server is not None:
+        if pending:
+            flush_batch(pending)
+        server.close()
 
     elapsed = time.time() - started
     print(

@@ -174,6 +174,36 @@ def _print_drift(scale: float) -> None:
         print(f"  alert: {alert.message}")
 
 
+def _print_serve_batch(scale: float) -> None:
+    rows = []
+    for backend in ("serial", "thread"):
+        result = experiments.run_serve_batch(backend=backend, scale=scale)
+        outcomes = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(result.outcomes.items())
+        )
+        rows.append(
+            [
+                backend,
+                result.num_requests,
+                f"{result.direct_s:.2f}",
+                f"{result.batch_s:.2f}",
+                outcomes,
+                f"{result.max_score_delta:.1e}",
+                "yes" if result.decisions_match else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["backend", "requests", "direct (s)", "batch (s)",
+             "outcomes", "max |Δscore|", "decisions match"],
+            rows,
+            title="Batch serving — worker-pool backends vs the direct "
+            "sequential loop",
+        )
+    )
+
+
 EXPERIMENTS = {
     "table1": _print_table1,
     "fig5": _print_fig5,
@@ -183,6 +213,7 @@ EXPERIMENTS = {
     "fig13": _print_fig13,
     "fig14": _print_fig14,
     "drift": _print_drift,
+    "serve-batch": _print_serve_batch,
 }
 
 

@@ -306,6 +306,64 @@ class MonitoringConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Parameters of the batched serving layer (:mod:`repro.serve`).
+
+    Attributes:
+        backend: Worker-pool flavour: ``"thread"`` (default; zero-copy
+            sharing of the model bundle, bit-identical to the sequential
+            path), ``"process"`` (sidesteps the GIL for CPU-bound NumPy
+            segments that do not release it), or ``"serial"`` (in-line
+            execution, the debugging baseline).
+        max_workers: Worker count; ``0`` picks ``os.cpu_count()``.
+        timeout_s: End-to-end budget for one submitted batch.  Requests
+            that have not finished when it expires are reported as
+            ``timeout`` failures; their work is abandoned, not
+            interrupted.
+        batched_imaging: Image each attempt's beeps through
+            :meth:`repro.core.imaging.AcousticImager.image_batch` instead
+            of the sequential per-beep loop.
+        degrade_on_error: Retry failed requests down the degradation
+            ladder (fewer beeps, then a coarser grid) before reporting
+            failure.
+
+    Example:
+        >>> cfg = ServingConfig(backend="serial")
+        >>> cfg.resolve_workers() >= 1
+        True
+        >>> ServingConfig(backend="fibre")
+        Traceback (most recent call last):
+            ...
+        ValueError: backend must be one of serial|thread|process, got 'fibre'
+    """
+
+    backend: str = "thread"
+    max_workers: int = 0
+    timeout_s: float = 30.0
+    batched_imaging: bool = True
+    degrade_on_error: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"backend must be one of serial|thread|process, "
+                f"got {self.backend!r}"
+            )
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def resolve_workers(self) -> int:
+        """The effective worker count (``max_workers`` or CPU count)."""
+        if self.max_workers:
+            return self.max_workers
+        import os
+
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
 class EchoImageConfig:
     """Bundle of all stage configurations for the EchoImage pipeline.
 

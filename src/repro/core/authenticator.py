@@ -68,6 +68,11 @@ class SingleUserAuthenticator:
         self._svdd: SVDD | None = None
         self._fitted = False
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed (decisions are available)."""
+        return self._fitted and self._svdd is not None
+
     def fit(self, features: np.ndarray) -> "SingleUserAuthenticator":
         """Enroll the legitimate user from their feature matrix.
 
@@ -157,6 +162,11 @@ class MultiUserAuthenticator:
             c=self.config.svm_c, kernel=_svm_kernel(self.config)
         )
         self.user_labels_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed (decisions are available)."""
+        return self.user_labels_ is not None and self._svdd is not None
 
     def fit(
         self, features: np.ndarray, labels: np.ndarray

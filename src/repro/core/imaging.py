@@ -201,6 +201,9 @@ class AcousticImager:
         self.steering_cache_enabled = steering_cache
         self._steering_plane: ImagingPlane | None = None
         self._steering_by_band: dict[int, np.ndarray] = {}
+        self._gather_key: tuple | None = None
+        self._gather: _SegmentGather | None = None
+        self._scratch: dict[tuple, np.ndarray] = {}
         self._beamformer_factory = beamformer_factory or (
             lambda arr, cov: MVDRBeamformer(
                 array=arr,
@@ -327,35 +330,92 @@ class AcousticImager:
     ) -> np.ndarray:
         filtered = self._bandpasses[band_index].apply(recording.samples)
         analytic = analytic_signal(filtered)
+        weights, was_cached = self._band_weights(
+            analytic, recording.emit_index, plane, band_index,
+            band_low, band_high,
+        )
+        span.set("steering_cached", was_cached)
+        gather = self._segment_gather(
+            plane,
+            sample_rate=recording.sample_rate,
+            emit_index=recording.emit_index,
+            num_samples=recording.num_samples,
+        )
+        energies = _grid_energies(
+            analytic,
+            weights,
+            gather,
+            self._scratch_buffer("beamformed", plane.num_grids, gather.length),
+            self._scratch_buffer("weights", plane.num_grids, recording.num_mics),
+        )
+        metrics = pipeline_metrics()
+        if metrics is not None:
+            metrics.image_band_energy.labels(band=band_index).set(
+                float(energies.sum())
+            )
+        return energies
+
+    def _band_weights(
+        self,
+        analytic: np.ndarray,
+        emit_index: int,
+        plane: ImagingPlane,
+        band_index: int,
+        band_low: float,
+        band_high: float,
+    ) -> tuple[np.ndarray, bool]:
+        """MVDR weights ``(K, M)`` of one beep for one sub-band.
+
+        Returns ``(weights, steering_was_cached)``.
+        """
         noise_cov = estimate_noise_covariance(
-            analytic, noise_samples=recording.emit_index
+            analytic, noise_samples=emit_index
         )
         beamformer: Beamformer = self._beamformer_factory(
             self.array, noise_cov
         )
         # Steer at the sub-band centre frequency.
         beamformer.frequency_hz = (band_low + band_high) / 2.0
-
         theta, phi = plane.grid_angles()
         steering, was_cached = self._band_steering(
             beamformer, plane, band_index
         )
-        span.set("steering_cached", was_cached)
         if steering is not None:
             weights = beamformer.weights_batch(
                 theta, phi, steering=steering
             )  # (K, M)
         else:
             weights = beamformer.weights_batch(theta, phi)  # (K, M)
+        return weights, was_cached
 
-        sample_rate = recording.sample_rate
+    def _segment_gather(
+        self,
+        plane: ImagingPlane,
+        sample_rate: float,
+        emit_index: int,
+        num_samples: int,
+    ) -> "_SegmentGather":
+        """Per-grid segment windows, grouped by their start sample.
+
+        Grid k's segment is centred on its round-trip delay ``2 D_k / c``
+        after the emission, ``S = 2 * safeguard + 1`` samples long, and
+        clamped inside the capture.  Because the delays are quantised to
+        samples, the K grids share only ~O(delay spread) distinct
+        windows; grouping the grids by window start lets the beamforming
+        kernel run one small GEMM per *window* on a contiguous slice of
+        the capture instead of materialising the full ``(M, K, S)``
+        segment tensor (a multi-megabyte gather per beep and sub-band).
+        The grouping depends only on the plane and the capture geometry
+        — not on the samples — so it is cached and replayed for every
+        beep and sub-band of an attempt.
+        """
+        key = (plane, sample_rate, emit_index, num_samples)
+        if self._gather_key == key and self._gather is not None:
+            return self._gather
         ranges = plane.grid_ranges()
         delays = 2.0 * ranges / self.speed_of_sound
-        centers = recording.emit_index + np.round(
-            delays * sample_rate
-        ).astype(int)
+        centers = emit_index + np.round(delays * sample_rate).astype(int)
         half = max(1, round(self.config.safeguard_s * sample_rate))
-        num_samples = recording.num_samples
         # Clamp segment windows inside the capture.
         starts = np.clip(centers - half, 0, num_samples - 1)
         length = 2 * half + 1
@@ -365,20 +425,42 @@ class AcousticImager:
                 "capture too short for the imaging segments; increase the "
                 "scene capture window or reduce the plane size"
             )
-
-        # Gather (K, M, S) segments and combine channels per grid.
-        gather = starts[:, None] + np.arange(length)[None, :]  # (K, S)
-        segments = analytic[:, gather]  # (M, K, S)
-        beamformed = np.einsum(
-            "km,mks->ks", weights.conj(), segments, optimize=True
+        order = np.argsort(starts, kind="stable")
+        sorted_starts = starts[order]
+        boundaries = np.flatnonzero(np.diff(sorted_starts)) + 1
+        groups = []
+        begin = 0
+        for end in [*boundaries.tolist(), starts.size]:
+            groups.append((int(sorted_starts[begin]), begin, int(end)))
+            begin = int(end)
+        order.setflags(write=False)
+        gather = _SegmentGather(
+            order=order, groups=tuple(groups), length=length
         )
-        energies = np.sum(np.abs(beamformed) ** 2, axis=1)
-        metrics = pipeline_metrics()
-        if metrics is not None:
-            metrics.image_band_energy.labels(band=band_index).set(
-                float(energies.sum())
-            )
-        return energies
+        self._gather_key = key
+        self._gather = gather
+        return gather
+
+    def _scratch_buffer(self, role: str, *shape: int) -> np.ndarray:
+        """A reusable complex work buffer of the requested shape.
+
+        The beamformed-segment tensors are megabytes per call, large
+        enough that a fresh ``np.empty`` per beep lands in ``mmap``-ed
+        memory and pays kernel page-fault cost on every write; reusing
+        one buffer per (role, shape) keeps the pages warm.  ``role``
+        separates buffers that are live at the same time.  Callers fully
+        overwrite the buffer before reading it.  (Like the steering
+        cache, this makes the imager stateful — share one imager per
+        worker, not across threads.)
+        """
+        key = (role, *shape)
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            if len(self._scratch) >= 4:  # bound memory across shapes
+                self._scratch.pop(next(iter(self._scratch)))
+            buffer = np.empty(shape, dtype=complex)
+            self._scratch[key] = buffer
+        return buffer
 
     def images(
         self, recordings: list[BeepRecording], plane: ImagingPlane
@@ -389,6 +471,213 @@ class AcousticImager:
         every subsequent beep reuses it (see ``steering_cache``).
         """
         return [self.image(rec, plane) for rec in recordings]
+
+    def image_batch(
+        self, recordings: list[BeepRecording], plane: ImagingPlane
+    ) -> list[np.ndarray]:
+        """Batched equivalent of :meth:`images` for one attempt.
+
+        The L beeps of an attempt share the imaging plane, so the heavy
+        per-beep front end — band-pass filtering and the Hilbert
+        transform — is evaluated once on the stacked ``(L, M, N)``
+        capture instead of L times, and the per-band steering matrices
+        are computed once and replayed (the cache the sequential path
+        only warms after the first beep).  The per-beep MVDR weights and
+        segment energies are still evaluated exactly as in
+        :meth:`image`, so the output matches the sequential path
+        bit-for-bit on every platform we test (the golden harness under
+        ``tests/golden`` enforces ≤1e-10 drift as a safety net).
+
+        Falls back to the sequential loop when the captures are
+        heterogeneous (different channel counts, lengths or sample
+        rates).  An empty list returns ``[]``.
+
+        Returns:
+            One ``(resolution, resolution)`` image per recording, in
+            input order.
+        """
+        if not recordings:
+            return []
+        if len(recordings) == 1 or not _stackable(recordings):
+            return self.images(recordings, plane)
+        with ensure_trace(), trace(
+            "imaging.image_batch",
+            num_beeps=len(recordings),
+            resolution=plane.resolution,
+            subbands=self.config.subbands,
+            distance_m=plane.distance_m,
+            bytes=int(sum(rec.samples.nbytes for rec in recordings)),
+        ):
+            stacked = np.stack(
+                [rec.samples for rec in recordings]
+            )  # (L, M, N)
+            energies = [
+                self._band_energy_batch(stacked, recordings, plane, band)
+                for band in range(self.config.subbands)
+            ]  # subbands x (L, K)
+            pixels = np.sqrt(np.mean(energies, axis=0))  # (L, K)
+            metrics = pipeline_metrics()
+            if metrics is not None:
+                for row in pixels:
+                    floor = float(np.median(row)) + 1e-30
+                    metrics.image_dynamic_range_db.observe(
+                        20.0 * np.log10(float(row.max()) / floor + 1e-30)
+                    )
+            return [
+                row.reshape(plane.resolution, plane.resolution)
+                for row in pixels
+            ]
+
+    def _band_energy_batch(
+        self,
+        stacked: np.ndarray,
+        recordings: list[BeepRecording],
+        plane: ImagingPlane,
+        band_index: int,
+    ) -> np.ndarray:
+        """Per-grid energies of one sub-band for all beeps, ``(L, K)``."""
+        band_low = self._subband_edges[band_index]
+        band_high = self._subband_edges[band_index + 1]
+        with trace(
+            "imaging.band",
+            band=band_index,
+            low_hz=float(band_low),
+            high_hz=float(band_high),
+            num_grids=plane.num_grids,
+            num_beeps=len(recordings),
+        ) as span:
+            # One zero-phase filter + Hilbert transform over the whole
+            # batch: both operate row-wise along the last axis, so each
+            # beep's analytic signal is bit-identical to the sequential
+            # path's while the per-call setup cost is paid once.
+            filtered = self._bandpasses[band_index].apply(stacked)
+            analytic = analytic_signal(filtered)  # (L, M, N)
+            num_beeps = len(recordings)
+            beamformed: np.ndarray | None = None
+            orders: list[np.ndarray] = []
+            any_cached = False
+            for index, recording in enumerate(recordings):
+                weights, was_cached = self._band_weights(
+                    analytic[index], recording.emit_index, plane,
+                    band_index, band_low, band_high,
+                )
+                any_cached = any_cached or was_cached
+                gather = self._segment_gather(
+                    plane,
+                    sample_rate=recording.sample_rate,
+                    emit_index=recording.emit_index,
+                    num_samples=recording.num_samples,
+                )
+                if beamformed is None:
+                    beamformed = self._scratch_buffer(
+                        "beamformed",
+                        num_beeps,
+                        plane.num_grids,
+                        gather.length,
+                    )
+                _beamform_segments(
+                    analytic[index],
+                    weights,
+                    gather,
+                    beamformed[index],
+                    self._scratch_buffer(
+                        "weights", plane.num_grids, recording.num_mics
+                    ),
+                )
+                orders.append(gather.order)
+            # One fused energy reduction over the whole batch; the
+            # row-wise einsum is bit-identical to the sequential path's
+            # per-beep reduction.
+            sorted_energies = np.einsum(
+                "lks,lks->lk", beamformed, beamformed.conj(), optimize=True
+            ).real
+            energies = np.empty((num_beeps, plane.num_grids))
+            for index, order in enumerate(orders):
+                energies[index, order] = sorted_energies[index]
+            span.set("steering_cached", any_cached)
+            metrics = pipeline_metrics()
+            if metrics is not None:
+                # Parity with the sequential loop: the gauge holds the
+                # band energy of the last beep imaged.
+                metrics.image_band_energy.labels(band=band_index).set(
+                    float(energies[-1].sum())
+                )
+            return energies
+
+
+@dataclass(frozen=True)
+class _SegmentGather:
+    """Grids grouped by shared segment window (see ``_segment_gather``).
+
+    Attributes:
+        order: Permutation sorting the K grids by window start.
+        groups: ``(start_sample, begin, end)`` triples: grids
+            ``order[begin:end]`` all use the window
+            ``[start_sample, start_sample + length)``.
+        length: Window length ``S = 2 * safeguard + 1``.
+    """
+
+    order: np.ndarray
+    groups: tuple[tuple[int, int, int], ...]
+    length: int
+
+
+def _beamform_segments(
+    analytic: np.ndarray,
+    weights: np.ndarray,
+    gather: _SegmentGather,
+    out: np.ndarray,
+    weight_scratch: np.ndarray,
+) -> None:
+    """Beamformed segments in window-sorted grid order, into ``(K, S)``.
+
+    One GEMM per distinct window: grids sharing a window start hit the
+    same contiguous capture slice, so nothing is gathered or copied
+    besides the ``(K, M)`` weight reorder (staged in ``weight_scratch``).
+    Both the sequential and the batched imaging paths call this with
+    identical per-beep operands, which is what keeps their outputs
+    bit-identical.
+    """
+    np.take(weights, gather.order, axis=0, out=weight_scratch)
+    np.conjugate(weight_scratch, out=weight_scratch)
+    for start, begin, end in gather.groups:
+        np.matmul(
+            weight_scratch[begin:end],
+            analytic[:, start : start + gather.length],
+            out=out[begin:end],
+        )
+
+
+def _grid_energies(
+    analytic: np.ndarray,
+    weights: np.ndarray,
+    gather: _SegmentGather,
+    beamformed: np.ndarray,
+    weight_scratch: np.ndarray,
+) -> np.ndarray:
+    """Beamformed segment energies per grid, shape ``(K,)``.
+
+    The shared kernel of the sequential imaging path; ``beamformed`` is
+    a fully-overwritten ``(K, S)`` work buffer and the energy sum is
+    fused into an einsum to skip the ``hypot``-based ``np.abs``
+    intermediate.
+    """
+    _beamform_segments(analytic, weights, gather, beamformed, weight_scratch)
+    energies = np.empty(gather.order.size)
+    energies[gather.order] = np.einsum(
+        "ks,ks->k", beamformed, beamformed.conj(), optimize=True
+    ).real
+    return energies
+
+
+def _stackable(recordings: list[BeepRecording]) -> bool:
+    """Whether all captures share one shape and sample rate."""
+    first = recordings[0]
+    return all(
+        rec.samples.shape == first.samples.shape
+        and rec.sample_rate == first.sample_rate
+        for rec in recordings[1:]
+    )
 
 
 _STEERING_SUPPORT: dict[type, bool] = {}

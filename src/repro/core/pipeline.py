@@ -78,6 +78,14 @@ class EchoImagePipeline:
         array: Microphone geometry (defaults to the ReSpeaker array).
         speed_of_sound: Speed of sound in m/s.
         feature_mode: "cnn" (paper design) or "raw" (ablation).
+        batched_imaging: Image each attempt through
+            :meth:`~repro.core.imaging.AcousticImager.image_batch`
+            instead of the sequential per-beep loop.  Outputs are
+            bit-identical (the golden harness under ``tests/golden``
+            enforces this); the batched path amortises the filter-bank
+            front end across the attempt's beeps.  Default off so the
+            seed pipeline stays byte-for-byte the paper's loop; the
+            serving layer (:mod:`repro.serve`) turns it on.
 
     Example::
 
@@ -104,8 +112,10 @@ class EchoImagePipeline:
         array: MicrophoneArray | None = None,
         speed_of_sound: float = 343.0,
         feature_mode: str = "cnn",
+        batched_imaging: bool = False,
     ) -> None:
         self.config = config or EchoImageConfig()
+        self.batched_imaging = batched_imaging
         self.array = array or respeaker_array()
         self.distance_estimator = DistanceEstimator(
             array=self.array,
@@ -167,7 +177,15 @@ class EchoImagePipeline:
         if distance_m is None:
             distance_m = self.estimate_distance(recordings).user_distance_m
         plane = self.imaging_plane(distance_m)
-        return self.imager.images(recordings, plane), plane
+        return self._image(recordings, plane), plane
+
+    def _image(
+        self, recordings: list[BeepRecording], plane: ImagingPlane
+    ) -> list[np.ndarray]:
+        """Image an attempt through the configured imaging path."""
+        if self.batched_imaging:
+            return self.imager.image_batch(recordings, plane)
+        return self.imager.images(recordings, plane)
 
     # ------------------------------------------------------------------
     # Enrollment
@@ -233,6 +251,40 @@ class EchoImagePipeline:
         self._single_auth = None
         return auth
 
+    def adopt_enrollment(
+        self,
+        single_auth: SingleUserAuthenticator | None = None,
+        multi_auth: MultiUserAuthenticator | None = None,
+        score_baseline=None,
+    ) -> None:
+        """Install already-fitted authenticators (model-bundle restore).
+
+        The serving layer snapshots fitted enrollment state once
+        (:class:`repro.serve.ModelBundle`) and replays it into worker
+        pipelines with this method instead of re-running enrollment per
+        worker.  Exactly one authenticator must be provided.
+
+        Args:
+            single_auth: A fitted single-user authenticator.
+            multi_auth: A fitted multi-user authenticator.
+            score_baseline: Optional frozen
+                :class:`repro.obs.DriftBaseline` for the ``auth.score``
+                drift monitor (the registration-time score distribution).
+        """
+        if (single_auth is None) == (multi_auth is None):
+            raise ValueError(
+                "provide exactly one of single_auth or multi_auth"
+            )
+        auth = single_auth if single_auth is not None else multi_auth
+        if not auth.is_fitted:
+            raise ValueError("authenticator is not fitted")
+        self._single_auth = single_auth
+        self._multi_auth = multi_auth
+        monitor = self.drift.monitor("auth.score")
+        monitor.reset()
+        if score_baseline is not None:
+            monitor.baseline = score_baseline
+
     def _freeze_score_baseline(self, enrollment_scores: np.ndarray) -> None:
         """Freeze the ``auth.score`` drift baseline at registration time."""
         monitor = self.drift.monitor("auth.score")
@@ -268,7 +320,7 @@ class EchoImagePipeline:
             ) as root:
                 distance = self.estimate_distance(recordings)
                 plane = self.imaging_plane(distance.user_distance_m)
-                images = self.imager.images(recordings, plane)
+                images = self._image(recordings, plane)
                 features = self.feature_extractor.extract(images)
 
                 if self._multi_auth is not None:

@@ -25,6 +25,9 @@ name                                      type       labels              observe
 ``echoimage_image_dynamic_range_db``      histogram  —                   acoustic-image max/median pixel range (Eqs. 11-12)
 ``echoimage_image_band_energy``           gauge      ``band``            per-sub-band summed pixel energy
 ``echoimage_feature_embedding_norm``      histogram  —                   mean L2 norm of extracted embeddings
+``echoimage_serve_requests_total``        counter    ``outcome``         batch-serving requests (ok/degraded/error/timeout)
+``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
+``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
 ========================================  =========  ==================  =====================================
 """
 
@@ -55,6 +58,11 @@ DYNAMIC_RANGE_DB_BUCKETS = (3.0, 6.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
 
 #: Buckets for embedding L2 norms.
 NORM_BUCKETS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
+
+#: Buckets for per-request serving latency, in seconds.
+SERVE_LATENCY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 class PipelineMetrics:
@@ -120,6 +128,21 @@ class PipelineMetrics:
             "echoimage_feature_embedding_norm",
             "Mean L2 norm of the extracted feature embeddings",
             buckets=NORM_BUCKETS,
+        )
+        self.serve_requests: MetricFamily = registry.counter(
+            "echoimage_serve_requests_total",
+            "Batch-serving requests by outcome",
+            labels=("outcome",),
+        )
+        self.serve_degradations: MetricFamily = registry.counter(
+            "echoimage_serve_degradations_total",
+            "Degradation-ladder fallbacks taken while serving",
+            labels=("step",),
+        )
+        self.serve_request_latency: MetricFamily = registry.histogram(
+            "echoimage_serve_request_latency_seconds",
+            "Per-request wall time inside the serving worker pool",
+            buckets=SERVE_LATENCY_BUCKETS,
         )
 
 

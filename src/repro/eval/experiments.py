@@ -825,3 +825,154 @@ def run_augmentation_study(
                 )
             )
     return AugmentationStudyResult(train_sizes=train_sizes, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# Serving — batched, parallel authentication (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeBatchResult:
+    """Result of the batch-serving experiment.
+
+    Attributes:
+        backend: Worker-pool backend the batch ran on.
+        num_requests: Served requests.
+        beeps_per_request: Beeps in each request's attempt.
+        outcomes: ``status -> count`` over the responses.
+        direct_s: Wall time of the sequential one-by-one reference loop.
+        batch_s: Wall time of ``authenticate_batch`` over all requests.
+        max_score_delta: Worst per-beep score deviation between the
+            served and direct decisions (0.0 on the thread backend).
+        decisions_match: Whether every served accept/reject decision
+            equals the direct loop's.
+    """
+
+    backend: str
+    num_requests: int
+    beeps_per_request: int
+    outcomes: dict
+    direct_s: float
+    batch_s: float
+    max_score_delta: float
+    decisions_match: bool
+
+
+def run_serve_batch(
+    num_requests: int = 6,
+    beeps_per_request: int = 4,
+    backend: str = "thread",
+    workers: int = 0,
+    resolution: int = 24,
+    seed_base: int = 20230048,
+    scale: float | None = None,
+) -> ServeBatchResult:
+    """Serve a batch of attempts and reconcile it against direct calls.
+
+    Enrolls one synthetic user, snapshots the pipeline into a
+    :class:`repro.serve.ModelBundle`, and serves ``num_requests``
+    authentication attempts through
+    :class:`repro.serve.BatchAuthenticator` on the chosen backend.  The
+    same attempts also run through the plain sequential
+    ``pipeline.authenticate`` loop, and the result records both wall
+    times plus the worst score deviation — the operational counterpart
+    of the golden regression tests.
+
+    Args:
+        num_requests: Attempts in the served batch (scaled by ``scale``).
+        beeps_per_request: Beeps per attempt.
+        backend: ``serial`` / ``thread`` / ``process``.
+        workers: Worker count (0 = CPU count).
+        resolution: Imaging grid resolution.
+        seed_base: Experiment seed.
+        scale: Workload scale applied to the request count.
+
+    Returns:
+        The :class:`ServeBatchResult`.
+    """
+    import time
+
+    from repro.acoustics.noise import NoiseModel
+    from repro.acoustics.scene import AcousticScene
+    from repro.array.geometry import respeaker_array
+    from repro.body.subject import SyntheticSubject
+    from repro.config import (
+        AuthenticationConfig,
+        ImagingConfig,
+        ServingConfig,
+    )
+    from repro.core.pipeline import EchoImagePipeline
+    from repro.serve import (
+        AuthenticationRequest,
+        BatchAuthenticator,
+        ModelBundle,
+    )
+    from repro.signal.chirp import LFMChirp
+
+    num_requests = max(scaled(num_requests, scale), 2)
+    scene = AcousticScene(
+        array=respeaker_array(),
+        noise=NoiseModel(kind="quiet", level_db_spl=30.0),
+    )
+    chirp = LFMChirp()
+    subject = SyntheticSubject(subject_id=1)
+
+    def record(num_beeps: int, seed: int):
+        rng = np.random.default_rng(seed)
+        clouds = subject.beep_clouds(0.7, num_beeps, rng)
+        return scene.record_beeps(chirp, clouds, rng)
+
+    config = EchoImageConfig(
+        imaging=ImagingConfig(grid_resolution=resolution),
+        auth=AuthenticationConfig(svdd_margin=0.3),
+    )
+    pipeline = EchoImagePipeline(config=config)
+    pipeline.enroll_user(record(3 * beeps_per_request, seed_base))
+    attempts = [
+        record(beeps_per_request, seed_base + 1 + i)
+        for i in range(num_requests)
+    ]
+
+    started = time.perf_counter()
+    direct = [pipeline.authenticate(list(attempt)) for attempt in attempts]
+    direct_s = time.perf_counter() - started
+
+    bundle = ModelBundle.from_pipeline(pipeline)
+    requests = [
+        AuthenticationRequest(f"req-{i}", tuple(attempt))
+        for i, attempt in enumerate(attempts)
+    ]
+    serving = ServingConfig(backend=backend, max_workers=workers)
+    with BatchAuthenticator(bundle, serving) as server:
+        started = time.perf_counter()
+        responses = server.authenticate_batch(requests)
+        batch_s = time.perf_counter() - started
+
+    outcomes: dict = {}
+    max_delta = 0.0
+    decisions_match = True
+    for response, reference in zip(responses, direct):
+        outcomes[response.status] = outcomes.get(response.status, 0) + 1
+        if response.result is None:
+            decisions_match = False
+            continue
+        if bool(response.result.accepted) != bool(reference.accepted):
+            decisions_match = False
+        delta = np.max(
+            np.abs(
+                np.asarray(response.result.scores)
+                - np.asarray(reference.scores)
+            )
+        )
+        max_delta = max(max_delta, float(delta))
+    return ServeBatchResult(
+        backend=backend,
+        num_requests=num_requests,
+        beeps_per_request=beeps_per_request,
+        outcomes=outcomes,
+        direct_s=direct_s,
+        batch_s=batch_s,
+        max_score_delta=max_delta,
+        decisions_match=decisions_match,
+    )

@@ -73,11 +73,13 @@ STAGES = (
     "distance.estimate",
     "distance.envelope",
     "imaging.image",
+    "imaging.image_batch",
     "imaging.band",
     "features.extract",
     "auth.predict",
     "auth.svdd",
     "auth.svm",
+    "serve.batch",
 )
 
 __all__ = [

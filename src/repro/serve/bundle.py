@@ -1,0 +1,137 @@
+"""Read-only snapshot of an enrolled pipeline's model state.
+
+Workers in the serving pool must never recompute enrollment state: the
+fitted SVDD/SVM (with their scaler snapshots), the registration-time
+score baseline and the warm steering cache are captured once from an
+enrolled :class:`~repro.core.pipeline.EchoImagePipeline` into a
+:class:`ModelBundle`, and every worker rebuilds a lightweight pipeline
+around that shared state.  The bundle is picklable (unlike the pipeline,
+whose beamformer factory is a closure), which is what lets the process
+backend ship it to worker interpreters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.array.geometry import MicrophoneArray
+from repro.config import EchoImageConfig
+from repro.core.authenticator import (
+    MultiUserAuthenticator,
+    SingleUserAuthenticator,
+)
+from repro.core.imaging import ImagingPlane
+from repro.core.pipeline import EchoImagePipeline
+from repro.obs.drift import DriftBaseline
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """Everything a serving worker needs to authenticate requests.
+
+    Attributes:
+        config: The enrolled pipeline's stage configuration.
+        array: Microphone geometry.
+        speed_of_sound: Speed of sound the pipeline was built with.
+        feature_mode: Feature-extractor mode ("cnn" or "raw").
+        single_auth: Fitted single-user authenticator (or ``None``).
+        multi_auth: Fitted multi-user authenticator (or ``None``).
+        score_baseline: Frozen registration-time ``auth.score``
+            distribution for the drift monitors.
+        steering_plane: Plane whose steering matrices are cached.
+        steering_by_band: Warm per-sub-band steering matrices for
+            ``steering_plane`` (read-only arrays, shared across workers
+            of the thread backend).
+    """
+
+    config: EchoImageConfig
+    array: MicrophoneArray
+    speed_of_sound: float
+    feature_mode: str
+    single_auth: SingleUserAuthenticator | None = None
+    multi_auth: MultiUserAuthenticator | None = None
+    score_baseline: DriftBaseline | None = None
+    steering_plane: ImagingPlane | None = None
+    steering_by_band: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.single_auth is None) == (self.multi_auth is None):
+            raise ValueError(
+                "bundle needs exactly one of single_auth or multi_auth"
+            )
+
+    @classmethod
+    def from_pipeline(cls, pipeline: EchoImagePipeline) -> "ModelBundle":
+        """Snapshot an enrolled pipeline.
+
+        Raises:
+            RuntimeError: When the pipeline has no enrolled users yet.
+        """
+        single = pipeline._single_auth
+        multi = pipeline._multi_auth
+        if single is None and multi is None:
+            raise RuntimeError(
+                "cannot bundle an un-enrolled pipeline; call enroll_user "
+                "or enroll_users first"
+            )
+        steering_by_band = {}
+        for band, steering in pipeline.imager._steering_by_band.items():
+            steering = np.asarray(steering)
+            steering.setflags(write=False)
+            steering_by_band[band] = steering
+        return cls(
+            config=pipeline.config,
+            array=pipeline.array,
+            speed_of_sound=pipeline.imager.speed_of_sound,
+            feature_mode=pipeline.feature_extractor.mode,
+            single_auth=single,
+            multi_auth=multi,
+            score_baseline=pipeline.drift.monitor("auth.score").baseline,
+            steering_plane=pipeline.imager._steering_plane,
+            steering_by_band=steering_by_band,
+        )
+
+    def build_pipeline(
+        self,
+        config: EchoImageConfig | None = None,
+        batched_imaging: bool = True,
+    ) -> EchoImagePipeline:
+        """A worker pipeline wired to this bundle's shared model state.
+
+        Args:
+            config: Optional stage-config override (used by the
+                degradation ladder for coarser-grid variants); defaults
+                to the enrolled configuration.
+            batched_imaging: Whether the worker images attempts through
+                :meth:`~repro.core.imaging.AcousticImager.image_batch`.
+
+        Returns:
+            A ready-to-serve pipeline.  The authenticators (and their
+            scaler snapshots) are shared, not copied; they are read-only
+            at decision time.
+        """
+        effective = config or self.config
+        pipeline = EchoImagePipeline(
+            config=effective,
+            array=self.array,
+            speed_of_sound=self.speed_of_sound,
+            feature_mode=self.feature_mode,
+            batched_imaging=batched_imaging,
+        )
+        pipeline.adopt_enrollment(
+            single_auth=self.single_auth,
+            multi_auth=self.multi_auth,
+            score_baseline=self.score_baseline,
+        )
+        if (
+            self.steering_plane is not None
+            and effective.imaging == self.config.imaging
+        ):
+            # Warm start: replay the enrolled plane's steering matrices
+            # so a worker's first request skips the steering trigonometry
+            # when it lands on the same (snapped) plane.
+            pipeline.imager._steering_plane = self.steering_plane
+            pipeline.imager._steering_by_band = dict(self.steering_by_band)
+        return pipeline

@@ -1,0 +1,385 @@
+"""Batched, parallel execution of authentication requests.
+
+:class:`BatchAuthenticator` fans a batch of
+:class:`~repro.serve.requests.AuthenticationRequest` objects across a
+worker pool and returns one response per request, in input order.  Three
+backends share the same worker logic:
+
+``serial``
+    In-line execution on the calling thread — the debugging baseline and
+    the reference the golden harness compares against.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Workers share
+    the model bundle zero-copy (fitted SVDD/SVM, steering caches), so
+    results are bit-identical to the serial path.  NumPy releases the
+    GIL inside the imaging GEMMs, which is where attempts spend most of
+    their time.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; the (picklable)
+    bundle is shipped once per worker via the pool initializer.
+
+Each worker authenticates at full fidelity first and, on failure, walks
+the :mod:`~repro.serve.degradation` ladder before giving up.  The parent
+process records per-request outcomes into :mod:`repro.core.telemetry`
+(``echoimage_serve_*`` families) and wraps every batch in a
+``serve.batch`` trace span.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from time import monotonic, perf_counter
+from typing import Callable
+
+from repro.config import EchoImageConfig, ServingConfig
+from repro.core.pipeline import EchoImagePipeline
+from repro.core.telemetry import pipeline_metrics
+from repro.obs import ensure_trace, trace
+from repro.serve.bundle import ModelBundle
+from repro.serve.degradation import DegradationPolicy, DegradationStep
+from repro.serve.requests import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    AuthenticationRequest,
+    AuthenticationResponse,
+)
+
+#: Signature of the pipeline-construction seam: ``(bundle, config,
+#: batched_imaging) -> pipeline``.  Tests inject crashing/hanging
+#: pipelines through it; production leaves it at
+#: :meth:`ModelBundle.build_pipeline`.
+PipelineFactory = Callable[
+    [ModelBundle, EchoImageConfig | None, bool], EchoImagePipeline
+]
+
+
+def _default_factory(
+    bundle: ModelBundle,
+    config: EchoImageConfig | None,
+    batched_imaging: bool,
+) -> EchoImagePipeline:
+    return bundle.build_pipeline(config, batched_imaging=batched_imaging)
+
+
+class _WorkerRuntime:
+    """Per-worker pipelines plus the degradation walk.
+
+    One runtime belongs to exactly one worker (thread or process): the
+    imager's scratch buffers make pipelines thread-unsafe, so runtimes
+    are never shared.  Pipelines are built lazily per degradation step
+    and reused across requests, keeping enrollment state shared (through
+    the bundle) and steering caches warm.
+    """
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        policy: DegradationPolicy,
+        batched_imaging: bool,
+        degrade_on_error: bool,
+        factory: PipelineFactory,
+    ) -> None:
+        self.bundle = bundle
+        self.policy = policy
+        self.batched_imaging = batched_imaging
+        self.degrade_on_error = degrade_on_error
+        self.factory = factory
+        self._pipelines: dict[str | None, EchoImagePipeline] = {}
+
+    def _pipeline(self, step: DegradationStep | None) -> EchoImagePipeline:
+        key = None if step is None else step.name
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            config = None if step is None else step.scale_config(
+                self.bundle.config
+            )
+            pipeline = self.factory(self.bundle, config, self.batched_imaging)
+            self._pipelines[key] = pipeline
+        return pipeline
+
+    def run(self, request: AuthenticationRequest) -> AuthenticationResponse:
+        """Serve one request, degrading on failure."""
+        start = perf_counter()
+        try:
+            result = self._pipeline(None).authenticate(
+                list(request.recordings)
+            )
+            return AuthenticationResponse(
+                request_id=request.request_id,
+                status=STATUS_OK,
+                result=result,
+                latency_s=perf_counter() - start,
+            )
+        except Exception as exc:  # noqa: BLE001 — isolate request failures
+            last_error = exc
+        if self.degrade_on_error:
+            for step in self.policy.steps:
+                try:
+                    result = self._pipeline(step).authenticate(
+                        step.select_recordings(request.recordings)
+                    )
+                    return AuthenticationResponse(
+                        request_id=request.request_id,
+                        status=STATUS_DEGRADED,
+                        result=result,
+                        degradation=step.name,
+                        latency_s=perf_counter() - start,
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    last_error = exc
+        return AuthenticationResponse(
+            request_id=request.request_id,
+            status=STATUS_ERROR,
+            error=repr(last_error),
+            latency_s=perf_counter() - start,
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-backend plumbing: the runtime lives in a module global of the
+# worker interpreter, installed once by the pool initializer.
+# ----------------------------------------------------------------------
+
+_PROCESS_RUNTIME: _WorkerRuntime | None = None
+
+
+def _init_process_worker(
+    bundle: ModelBundle,
+    policy: DegradationPolicy,
+    batched_imaging: bool,
+    degrade_on_error: bool,
+) -> None:
+    global _PROCESS_RUNTIME
+    _PROCESS_RUNTIME = _WorkerRuntime(
+        bundle, policy, batched_imaging, degrade_on_error, _default_factory
+    )
+
+
+def _process_run(request: AuthenticationRequest) -> AuthenticationResponse:
+    assert _PROCESS_RUNTIME is not None, "pool initializer did not run"
+    return _PROCESS_RUNTIME.run(request)
+
+
+class BatchAuthenticator:
+    """Serve batches of authentication requests through a worker pool.
+
+    Args:
+        bundle: Frozen enrollment snapshot every worker serves from.
+        config: Serving parameters (backend, worker count, batch
+            timeout, …); defaults to :class:`~repro.config.ServingConfig`.
+        policy: Degradation ladder walked on per-request failure.
+        pipeline_factory: Seam for tests to inject faulty pipelines;
+            ignored by the ``process`` backend (worker interpreters
+            always build real pipelines from the bundle).
+
+    Example::
+
+        bundle = ModelBundle.from_pipeline(enrolled_pipeline)
+        with BatchAuthenticator(bundle) as server:
+            responses = server.authenticate_batch(requests)
+        accepted = [r for r in responses if r.ok and r.result.accepted]
+
+    The pool is created lazily on the first batch and torn down by
+    :meth:`close` (or the ``with`` block).  One instance must only be
+    driven from one thread at a time.
+    """
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        config: ServingConfig | None = None,
+        policy: DegradationPolicy | None = None,
+        pipeline_factory: PipelineFactory | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.config = config or ServingConfig()
+        self.policy = policy or DegradationPolicy()
+        self._factory = pipeline_factory or _default_factory
+        if (
+            pipeline_factory is not None
+            and self.config.backend == "process"
+        ):
+            raise ValueError(
+                "pipeline_factory injection is not supported by the "
+                "process backend (workers rebuild from the bundle)"
+            )
+        self._pool: Executor | None = None
+        # Thread backend: one runtime per worker thread (pipelines are
+        # not thread-safe — the imager reuses scratch buffers).
+        self._local = threading.local()
+        self._serial_runtime: _WorkerRuntime | None = None
+
+    # -- worker-side entry points --------------------------------------
+
+    def _make_runtime(self) -> _WorkerRuntime:
+        return _WorkerRuntime(
+            self.bundle,
+            self.policy,
+            self.config.batched_imaging,
+            self.config.degrade_on_error,
+            self._factory,
+        )
+
+    def _thread_run(
+        self, request: AuthenticationRequest
+    ) -> AuthenticationResponse:
+        runtime = getattr(self._local, "runtime", None)
+        if runtime is None:
+            runtime = self._make_runtime()
+            self._local.runtime = runtime
+        return runtime.run(request)
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self) -> Executor | None:
+        if self.config.backend == "serial" or self._pool is not None:
+            return self._pool
+        workers = self.config.resolve_workers()
+        if self.config.backend == "thread":
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(
+                    self.bundle,
+                    self.policy,
+                    self.config.batched_imaging,
+                    self.config.degrade_on_error,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Pending work is cancelled; already-running requests are
+        abandoned to finish on their own.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchAuthenticator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------
+
+    def authenticate_batch(
+        self, requests: list[AuthenticationRequest]
+    ) -> list[AuthenticationResponse]:
+        """Serve a batch; one response per request, in input order.
+
+        The whole batch shares one ``config.timeout_s`` budget: requests
+        still unfinished when it expires come back with status
+        ``"timeout"``.  A worker failure never raises here — it becomes
+        a structured ``"error"`` response for that request only.
+        """
+        requests = list(requests)
+        with ensure_trace(), trace(
+            "serve.batch",
+            backend=self.config.backend,
+            num_requests=len(requests),
+        ) as span:
+            if not requests:
+                responses: list[AuthenticationResponse] = []
+            elif self.config.backend == "serial":
+                responses = self._serve_serial(requests)
+            else:
+                responses = self._serve_pooled(requests)
+            outcomes: dict[str, int] = {}
+            for response in responses:
+                outcomes[response.status] = (
+                    outcomes.get(response.status, 0) + 1
+                )
+            span.update(**{f"num_{k}": v for k, v in outcomes.items()})
+            self._record_batch(responses)
+        return responses
+
+    def _serve_serial(
+        self, requests: list[AuthenticationRequest]
+    ) -> list[AuthenticationResponse]:
+        if self._serial_runtime is None:
+            self._serial_runtime = self._make_runtime()
+        deadline = monotonic() + self.config.timeout_s
+        responses = []
+        for request in requests:
+            if monotonic() >= deadline:
+                responses.append(self._timeout_response(request))
+            else:
+                responses.append(self._serial_runtime.run(request))
+        return responses
+
+    def _serve_pooled(
+        self, requests: list[AuthenticationRequest]
+    ) -> list[AuthenticationResponse]:
+        pool = self._ensure_pool()
+        assert pool is not None
+        if self.config.backend == "thread":
+            submit = lambda request: pool.submit(self._thread_run, request)
+        else:
+            submit = lambda request: pool.submit(_process_run, request)
+        deadline = monotonic() + self.config.timeout_s
+        futures: list[tuple[AuthenticationRequest, Future]] = [
+            (request, submit(request)) for request in requests
+        ]
+        responses = []
+        for request, future in futures:
+            try:
+                responses.append(
+                    future.result(timeout=max(0.0, deadline - monotonic()))
+                )
+            except FuturesTimeoutError:
+                future.cancel()
+                responses.append(self._timeout_response(request))
+            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
+                responses.append(
+                    AuthenticationResponse(
+                        request_id=request.request_id,
+                        status=STATUS_ERROR,
+                        error=repr(exc),
+                    )
+                )
+        return responses
+
+    def _timeout_response(
+        self, request: AuthenticationRequest
+    ) -> AuthenticationResponse:
+        return AuthenticationResponse(
+            request_id=request.request_id,
+            status=STATUS_TIMEOUT,
+            error=(
+                f"request did not finish inside the batch budget of "
+                f"{self.config.timeout_s}s"
+            ),
+        )
+
+    def _record_batch(
+        self, responses: list[AuthenticationResponse]
+    ) -> None:
+        """Parent-side telemetry: one counter bump per request outcome."""
+        metrics = pipeline_metrics()
+        if metrics is None:
+            return
+        for response in responses:
+            metrics.serve_requests.labels(outcome=response.status).inc()
+            if response.degradation is not None:
+                metrics.serve_degradations.labels(
+                    step=response.degradation
+                ).inc()
+            if response.latency_s is not None:
+                metrics.serve_request_latency.observe(response.latency_s)

@@ -1,0 +1,91 @@
+"""Request/response dataclasses of the batch serving layer.
+
+A serving client wraps each authentication attempt (the L beep captures
+of one user interaction) in an :class:`AuthenticationRequest` and submits
+many of them at once to :class:`repro.serve.BatchAuthenticator`, which
+returns one :class:`AuthenticationResponse` per request in input order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acoustics.scene import BeepRecording
+from repro.core.pipeline import AuthenticationResult
+
+#: The request completed through the full-fidelity pipeline.
+STATUS_OK = "ok"
+#: The request completed, but only after a degradation-ladder fallback.
+STATUS_DEGRADED = "degraded"
+#: The request failed at every degradation level.
+STATUS_ERROR = "error"
+#: The request did not finish inside the batch's time budget.
+STATUS_TIMEOUT = "timeout"
+
+#: Every status a response can carry.
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_ERROR, STATUS_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class AuthenticationRequest:
+    """One authentication attempt queued for batch serving.
+
+    Attributes:
+        request_id: Caller-chosen identifier echoed in the response.
+        recordings: The attempt's beep captures, one per probing beep.
+
+    Example:
+        >>> import numpy as np
+        >>> rec = BeepRecording(
+        ...     samples=np.zeros((2, 16)), sample_rate=16000.0, emit_index=0)
+        >>> AuthenticationRequest("alice-1", (rec,)).num_beeps
+        1
+    """
+
+    request_id: str
+    recordings: tuple[BeepRecording, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "recordings", tuple(self.recordings))
+        if not self.recordings:
+            raise ValueError(f"request {self.request_id!r} has no recordings")
+
+    @property
+    def num_beeps(self) -> int:
+        """Number of beep captures in the attempt."""
+        return len(self.recordings)
+
+
+@dataclass(frozen=True)
+class AuthenticationResponse:
+    """Outcome of one served request.
+
+    Attributes:
+        request_id: Echo of the request's identifier.
+        status: One of :data:`STATUSES`.
+        result: The pipeline's decision; ``None`` on error/timeout.
+        error: ``repr`` of the terminal exception for ``error`` responses
+            (and the budget description for ``timeout`` ones).
+        degradation: Name of the degradation step that produced the
+            result, for ``degraded`` responses.
+        latency_s: Wall time spent on the request inside the worker;
+            ``None`` when the request timed out in the queue.
+    """
+
+    request_id: str
+    status: str
+    result: AuthenticationResult | None = None
+    error: str | None = None
+    degradation: str | None = None
+    latency_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {self.status!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """Whether a decision was produced (full fidelity or degraded)."""
+        return self.status in (STATUS_OK, STATUS_DEGRADED)

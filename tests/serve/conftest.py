@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving-layer tests.
+
+The enrolled pipeline is expensive (synthetic scene + SVDD enrollment),
+so it is built once per module from the first golden case — the same
+deterministic scenario the golden regression fixtures freeze.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.golden import GOLDEN_CASES, build_case
+from repro.serve import ModelBundle
+
+
+@pytest.fixture(scope="module")
+def enrolled():
+    """(pipeline, attempt_recordings) of the first golden case."""
+    return build_case(GOLDEN_CASES[0])
+
+
+@pytest.fixture(scope="module")
+def bundle(enrolled):
+    pipeline, _ = enrolled
+    return ModelBundle.from_pipeline(pipeline)

@@ -1,0 +1,94 @@
+"""Model-bundle snapshot semantics: sharing, pickling, warm caches."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import EchoImageConfig, ImagingConfig
+from repro.core.pipeline import EchoImagePipeline
+from repro.serve import ModelBundle
+
+
+class TestFromPipeline:
+    def test_unenrolled_pipeline_rejected(self):
+        with pytest.raises(RuntimeError, match="un-enrolled"):
+            ModelBundle.from_pipeline(EchoImagePipeline())
+
+    def test_snapshot_shares_fitted_authenticator(self, enrolled, bundle):
+        pipeline, _ = enrolled
+        assert bundle.single_auth is pipeline._single_auth
+        assert bundle.multi_auth is None
+        assert bundle.score_baseline is not None
+
+    def test_steering_cache_captured_read_only(self, enrolled, bundle):
+        assert bundle.steering_plane is not None
+        assert bundle.steering_by_band
+        for steering in bundle.steering_by_band.values():
+            assert not steering.flags.writeable
+
+    def test_exactly_one_authenticator_enforced(self, bundle):
+        with pytest.raises(ValueError, match="exactly one"):
+            ModelBundle(
+                config=bundle.config,
+                array=bundle.array,
+                speed_of_sound=bundle.speed_of_sound,
+                feature_mode=bundle.feature_mode,
+            )
+
+
+class TestBuildPipeline:
+    def test_worker_matches_source_pipeline_bitwise(self, enrolled, bundle):
+        pipeline, attempt = enrolled
+        reference = pipeline.authenticate(attempt)
+        worker = bundle.build_pipeline(batched_imaging=False)
+        served = worker.authenticate(attempt)
+        assert served.label == reference.label
+        assert np.array_equal(
+            np.asarray(served.scores), np.asarray(reference.scores)
+        )
+
+    def test_steering_cache_warm_started(self, bundle):
+        worker = bundle.build_pipeline()
+        assert worker.imager._steering_plane is bundle.steering_plane
+        assert worker.imager._steering_by_band
+
+    def test_cache_not_replayed_onto_different_imaging_config(self, bundle):
+        coarse = EchoImageConfig(
+            beep=bundle.config.beep,
+            distance=bundle.config.distance,
+            imaging=ImagingConfig(grid_resolution=8),
+            features=bundle.config.features,
+            auth=bundle.config.auth,
+            monitoring=bundle.config.monitoring,
+        )
+        worker = bundle.build_pipeline(config=coarse)
+        assert worker.imager._steering_plane is None
+        assert worker.config.imaging.grid_resolution == 8
+
+    def test_drift_baseline_restored(self, enrolled, bundle):
+        pipeline, _ = enrolled
+        worker = bundle.build_pipeline()
+        assert (
+            worker.drift.monitor("auth.score").baseline
+            is bundle.score_baseline
+        )
+
+
+class TestPickleRoundTrip:
+    def test_bundle_pickles_and_serves(self, enrolled, bundle):
+        pipeline, attempt = enrolled
+        clone = pickle.loads(pickle.dumps(bundle))
+        reference = pipeline.authenticate(attempt)
+        served = clone.build_pipeline(batched_imaging=False).authenticate(
+            attempt
+        )
+        assert served.label == reference.label
+        np.testing.assert_allclose(
+            np.asarray(served.scores),
+            np.asarray(reference.scores),
+            rtol=0.0,
+            atol=1e-10,
+        )

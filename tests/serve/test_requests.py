@@ -1,0 +1,50 @@
+"""Validation behaviour of the serving wire-format dataclasses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.scene import BeepRecording
+from repro.serve import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUSES,
+    AuthenticationRequest,
+    AuthenticationResponse,
+)
+
+
+def _recording() -> BeepRecording:
+    return BeepRecording(
+        samples=np.zeros((2, 16)), sample_rate=16000.0, emit_index=0
+    )
+
+
+class TestAuthenticationRequest:
+    def test_recordings_coerced_to_tuple(self):
+        request = AuthenticationRequest("r1", [_recording(), _recording()])
+        assert isinstance(request.recordings, tuple)
+        assert request.num_beeps == 2
+
+    def test_empty_recordings_rejected(self):
+        with pytest.raises(ValueError, match="no recordings"):
+            AuthenticationRequest("r1", ())
+
+
+class TestAuthenticationResponse:
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="status must be one of"):
+            AuthenticationResponse("r1", "maybe")
+
+    @pytest.mark.parametrize("status", STATUSES)
+    def test_every_declared_status_accepted(self, status):
+        assert AuthenticationResponse("r1", status).status == status
+
+    def test_ok_covers_full_fidelity_and_degraded(self):
+        assert AuthenticationResponse("r1", STATUS_OK).ok
+        assert AuthenticationResponse("r1", STATUS_DEGRADED).ok
+        assert not AuthenticationResponse("r1", STATUS_ERROR).ok
+        assert not AuthenticationResponse("r1", STATUS_TIMEOUT).ok

@@ -32,6 +32,7 @@ class TestExports:
             "repro.ml.nn",
             "repro.core",
             "repro.eval",
+            "repro.serve",
             "repro.io",
             "repro.attacks",
             "repro.cli",
