@@ -1,0 +1,132 @@
+"""Pretty-print a flight-recorder black-box file.
+
+The serving layer's :class:`repro.obs.FlightRecorder` writes a versioned
+JSON document (``"schema": 1``, ``"kind": "flight_recorder"``) when a
+batch fails or on demand (``scripts/serve_monitor.py --flight-json``,
+``FlightRecorder.dump``).  This script renders that file for a human:
+a summary header, one line per retained request record, the structured
+events, and — with ``--traces`` — each request's span tree via
+:meth:`repro.obs.PipelineTrace.format`.
+
+Run:  PYTHONPATH=src python scripts/obs_dump.py flight.json
+      PYTHONPATH=src python scripts/obs_dump.py flight.json --traces
+      PYTHONPATH=src python scripts/obs_dump.py flight.json --limit 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import SCHEMA_VERSION, PipelineTrace
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="pretty-print an EchoImage flight-recorder black box"
+    )
+    parser.add_argument("file", help="black-box JSON file to render")
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only show the newest N requests and events",
+    )
+    parser.add_argument(
+        "--traces", action="store_true",
+        help="also render each request's pipeline span tree",
+    )
+    return parser.parse_args()
+
+
+def _stamp(epoch: float | None) -> str:
+    if epoch is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
+
+
+def _tail(items: list[dict], limit: int | None) -> list[dict]:
+    if limit is None or limit < 0 or limit >= len(items):
+        return items
+    return items[len(items) - limit:]
+
+
+def render(document: dict, limit: int | None, with_traces: bool) -> str:
+    """The black-box document as human-readable text."""
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION or document.get("kind") != "flight_recorder":
+        raise ValueError(
+            f"not a flight-recorder black box (schema={schema!r}, "
+            f"kind={document.get('kind')!r})"
+        )
+    lines = [
+        "# Flight-recorder black box",
+        f"retained {len(document.get('requests', []))} of "
+        f"{document.get('total_requests', 0)} requests "
+        f"({document.get('dropped_requests', 0)} dropped), "
+        f"{len(document.get('events', []))} of "
+        f"{document.get('total_events', 0)} events "
+        f"(ring sizes {document.get('max_requests')}/"
+        f"{document.get('max_events')})",
+        "",
+        "## Requests (oldest first)",
+    ]
+    requests = _tail(document.get("requests", []), limit)
+    if not requests:
+        lines.append("(none retained)")
+    for record in requests:
+        latency = record.get("latency_s")
+        parts = [
+            f"[{record.get('seq', '?'):>5}]",
+            _stamp(record.get("recorded_at")),
+            f"{record.get('request_id')!s:<12}",
+            f"{record.get('status', '?'):<8}",
+            f"{latency * 1e3:8.1f} ms" if latency is not None else "       - ",
+        ]
+        if record.get("degradation"):
+            parts.append(f"degraded:{record['degradation']}")
+        if record.get("error"):
+            parts.append(f"error={record['error']}")
+        if record.get("trace") is None:
+            parts.append("(no trace)")
+        lines.append("  ".join(parts))
+        if with_traces and record.get("trace") is not None:
+            trace = PipelineTrace.from_dict(record["trace"])
+            lines.extend("      " + row for row in trace.format().splitlines())
+    lines += ["", "## Events (oldest first)"]
+    events = _tail(document.get("events", []), limit)
+    if not events:
+        lines.append("(none retained)")
+    for event in events:
+        details = {
+            key: value
+            for key, value in event.items()
+            if key not in ("kind", "seq", "recorded_at")
+        }
+        lines.append(
+            f"[{event.get('seq', '?'):>5}]  {_stamp(event.get('recorded_at'))}"
+            f"  {event.get('kind', '?'):<12}  {json.dumps(details)}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    args = parse_args()
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(render(document, args.limit, args.traces))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into head & co.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,11 +17,23 @@ attempts are grouped into batches of ``--batch-size`` requests and
 dispatched to a worker pool, exercising the same bundle-sharing and
 degradation machinery a deployment would run.
 
+With ``--obs-port`` the live observability endpoint
+(:class:`repro.obs.ObservabilityServer`) runs for the whole lifetime of
+the monitor: ``/metrics`` serves the Prometheus dump, ``/healthz`` is
+up from startup, ``/readyz`` flips to 200 once enrollment finishes (and
+back to 503 if the worker pool shuts down), ``/traces`` serves the
+flight recorder and ``/drift`` the alerts raised so far.  The flight
+recorder is always on; ``--flight-json`` writes its black-box file at
+the end (pretty-print it with ``scripts/obs_dump.py``).
+
 Run:  PYTHONPATH=src python scripts/serve_monitor.py
       PYTHONPATH=src python scripts/serve_monitor.py --attempts 60 \\
           --degrade-after 30 --dump-every 20 --metrics-json metrics.json
       PYTHONPATH=src python scripts/serve_monitor.py --backend thread \\
           --workers 4 --batch-size 8
+      PYTHONPATH=src python scripts/serve_monitor.py --backend thread \\
+          --obs-port 9102 --flight-json flight.json &
+      curl -s http://127.0.0.1:9102/metrics
 """
 
 from __future__ import annotations
@@ -44,7 +56,13 @@ from repro.config import (
     MonitoringConfig,
 )
 from repro.core.distance import DistanceEstimationError
-from repro.obs import MetricsRegistry, set_registry
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    ObservabilityServer,
+    set_flight_recorder,
+    set_registry,
+)
 from repro.signal.chirp import LFMChirp
 
 
@@ -124,6 +142,22 @@ def parse_args() -> argparse.Namespace:
         help="requests per served batch when --backend is not 'direct' "
         "(default 8)",
     )
+    parser.add_argument(
+        "--obs-port", type=int, default=None, metavar="PORT",
+        help="serve the live observability endpoint (/metrics /healthz "
+        "/readyz /traces /drift) on this port for the whole run "
+        "(0 = ephemeral; the bound port is printed)",
+    )
+    parser.add_argument(
+        "--obs-host", default="127.0.0.1",
+        help="bind address of the observability endpoint "
+        "(default loopback)",
+    )
+    parser.add_argument(
+        "--flight-json", metavar="FILE", default=None,
+        help="write the flight-recorder black-box JSON to FILE at the "
+        "end (also the auto-dump destination on batch failures)",
+    )
     parser.add_argument("--seed", type=int, default=11, help="scene seed")
     return parser.parse_args()
 
@@ -133,6 +167,8 @@ def main() -> int:
     rng = np.random.default_rng(args.seed)
     registry = MetricsRegistry()
     set_registry(registry)
+    recorder = FlightRecorder(auto_dump_path=args.flight_json)
+    set_flight_recorder(recorder)
 
     chirp = LFMChirp()
     user = SyntheticSubject(subject_id=1)
@@ -150,6 +186,28 @@ def main() -> int:
         ),
     )
     pipeline = EchoImagePipeline(config=config)
+
+    # Readiness: enrollment done, and (when batch-serving) pool alive.
+    state: dict = {"enrolled": False, "server": None}
+
+    def ready() -> bool:
+        server = state["server"]
+        return state["enrolled"] and (server is None or server.alive)
+
+    obs_server = None
+    if args.obs_port is not None:
+        obs_server = ObservabilityServer(
+            host=args.obs_host,
+            port=args.obs_port,
+            registry=registry,
+            recorder=recorder,
+            readiness=ready,
+            drift_source=pipeline.drift.alerts,
+        ).start()
+        print(
+            f"[observability endpoint on {obs_server.url()} — "
+            f"/metrics /healthz /readyz /traces /drift]\n"
+        )
 
     print(
         f"Enrolling user 1 ({args.enroll_beeps} beeps), then serving "
@@ -176,11 +234,14 @@ def main() -> int:
             ModelBundle.from_pipeline(pipeline),
             ServingConfig(backend=args.backend, max_workers=args.workers),
         )
+        state["server"] = server
         print(
             f"serving through repro.serve: backend={args.backend}, "
             f"workers={args.workers or 'auto'}, "
             f"batch size {args.batch_size}\n"
         )
+
+    state["enrolled"] = True  # bundle (if any) loaded: /readyz goes 200
 
     def print_attempt(attempt, spoofing, result, note=""):
         mean_score = float(np.mean(result.scores))
@@ -236,8 +297,18 @@ def main() -> int:
             try:
                 result = pipeline.authenticate(recordings)
             except DistanceEstimationError as error:
+                recorder.record_request(str(attempt), "error", error=repr(error))
                 print(f"[{attempt:4d}] no-echo reject ({error})")
                 continue
+            recorder.record_request(str(attempt), "ok", trace=result.trace)
+            for alert in result.drift_alerts:
+                recorder.record_event(
+                    "drift_alert",
+                    request_id=str(attempt),
+                    monitor=alert.monitor,
+                    alert_kind=alert.kind,
+                    message=alert.message,
+                )
             print_attempt(attempt, spoofing, result)
         if args.dump_every and attempt % args.dump_every == 0:
             print("\n" + registry.render_prometheus())
@@ -266,6 +337,11 @@ def main() -> int:
         with open(args.metrics_json, "w", encoding="utf-8") as handle:
             handle.write(registry.to_json(indent=2))
         print(f"[metrics written to {args.metrics_json}]")
+    if args.flight_json:
+        recorder.dump(args.flight_json)
+        print(f"[flight-recorder black box written to {args.flight_json}]")
+    if obs_server is not None:
+        obs_server.stop()
     return 0
 
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli run fig5 --profile --profile-json stages.json
     python -m repro.cli run fig11 --metrics
     python -m repro.cli run drift --metrics-json metrics.json
+    python -m repro.cli run fig11 --metrics --obs-port 9102
 """
 
 from __future__ import annotations
@@ -269,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the metrics registry as versioned JSON to FILE "
         "(implies --metrics)",
     )
+    runner.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live observability endpoint (/metrics, /healthz, "
+        "/readyz, /traces, /drift) on this port while the experiments "
+        "run (0 = ephemeral)",
+    )
     return parser
 
 
@@ -323,6 +333,18 @@ def main(argv: list[str] | None = None) -> int:
         # importing process collected before.
         registry = MetricsRegistry()
         set_registry(registry)
+
+    obs_server = None
+    if args.obs_port is not None:
+        from repro.obs import ObservabilityServer
+
+        # Scrapes follow the default registry, so a later --metrics swap
+        # is picked up automatically.
+        obs_server = ObservabilityServer(port=args.obs_port).start()
+        print(
+            f"[observability endpoint on {obs_server.url()} — "
+            f"/metrics /healthz /readyz /traces /drift]"
+        )
     try:
         for name in names:
             started = time.time()
@@ -332,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if profiler is not None:
             profiler.uninstall()
+        if obs_server is not None:
+            obs_server.stop()
     if profiler is not None:
         print()
         print(

@@ -306,6 +306,59 @@ class MonitoringConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Parameters of the live observability endpoint and flight recorder.
+
+    Attributes:
+        host: Bind address of the HTTP endpoint (loopback by default —
+            expose it deliberately, the endpoint has no auth).
+        port: TCP port; ``0`` picks an ephemeral port (useful in tests —
+            read the bound port back from
+            :attr:`repro.obs.ObservabilityServer.port`).
+        flight_max_requests: Completed request records the flight
+            recorder retains (ring buffer, oldest evicted).
+        flight_max_events: Structured events retained (timeouts,
+            degradations, drift alerts, worker errors).
+        flight_dump_path: When set, the serving layer automatically
+            writes the black-box JSON file here whenever a batch
+            contains failed requests; ``None`` disables auto dumps.
+
+    Example:
+        >>> cfg = ObservabilityConfig(port=9102)
+        >>> cfg.host, cfg.flight_max_requests
+        ('127.0.0.1', 256)
+        >>> ObservabilityConfig(port=-1)
+        Traceback (most recent call last):
+            ...
+        ValueError: port must lie in [0, 65535], got -1
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    flight_max_requests: int = 256
+    flight_max_events: int = 512
+    flight_dump_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(
+                f"port must lie in [0, 65535], got {self.port}"
+            )
+        if self.flight_max_requests < 1 or self.flight_max_events < 1:
+            raise ValueError("flight-recorder ring sizes must be >= 1")
+
+    def build_recorder(self):
+        """A :class:`repro.obs.FlightRecorder` with these parameters."""
+        from repro.obs import FlightRecorder
+
+        return FlightRecorder(
+            max_requests=self.flight_max_requests,
+            max_events=self.flight_max_events,
+            auto_dump_path=self.flight_dump_path,
+        )
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Parameters of the batched serving layer (:mod:`repro.serve`).
 

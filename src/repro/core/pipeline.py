@@ -369,6 +369,13 @@ class EchoImagePipeline:
         alerts.extend(
             self.drift.observe("distance.snr_db", distance.echo_snr_db)
         )
+        if metrics is not None:
+            # Surface edge-triggered drift on /metrics, not only on
+            # AuthenticationResult.drift_alerts.
+            for alert in alerts:
+                metrics.drift_alerts.labels(
+                    monitor=alert.monitor, kind=alert.kind
+                ).inc()
         return tuple(alerts)
 
 

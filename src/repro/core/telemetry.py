@@ -25,6 +25,7 @@ name                                      type       labels              observe
 ``echoimage_image_dynamic_range_db``      histogram  —                   acoustic-image max/median pixel range (Eqs. 11-12)
 ``echoimage_image_band_energy``           gauge      ``band``            per-sub-band summed pixel energy
 ``echoimage_feature_embedding_norm``      histogram  —                   mean L2 norm of extracted embeddings
+``echoimage_drift_alerts_total``          counter    ``monitor``, ``kind``  edge-triggered drift alerts raised per monitor
 ``echoimage_serve_requests_total``        counter    ``outcome``         batch-serving requests (ok/degraded/error/timeout)
 ``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
 ``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
@@ -128,6 +129,11 @@ class PipelineMetrics:
             "echoimage_feature_embedding_norm",
             "Mean L2 norm of the extracted feature embeddings",
             buckets=NORM_BUCKETS,
+        )
+        self.drift_alerts: MetricFamily = registry.counter(
+            "echoimage_drift_alerts_total",
+            "Edge-triggered drift alerts raised, by monitor and kind",
+            labels=("monitor", "kind"),
         )
         self.serve_requests: MetricFamily = registry.counter(
             "echoimage_serve_requests_total",

@@ -16,7 +16,14 @@ The subsystem has three layers:
   :mod:`repro.core.telemetry`);
 * :mod:`repro.obs.drift` — sliding-window :class:`DriftMonitor` raising
   structured :class:`DriftAlert` objects when score or signal-quality
-  distributions shift away from their registration-time baseline.
+  distributions shift away from their registration-time baseline;
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, a bounded ring
+  buffer of recent request traces and structured events (timeouts,
+  degradations, drift alerts) that dumps a versioned JSON black-box
+  file on demand or on batch failure;
+* :mod:`repro.obs.server` — :class:`ObservabilityServer`, a
+  dependency-free ``http.server`` endpoint exposing ``/metrics``,
+  ``/healthz``, ``/readyz``, ``/traces`` and ``/drift`` live.
 
 The instrumented stage names emitted by the EchoImage pipeline are listed
 in :data:`STAGES`; the metric names are tabulated in
@@ -42,7 +49,13 @@ from repro.obs.metrics import (
     set_metrics_enabled,
     set_registry,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
 from repro.obs.profiler import Profiler
+from repro.obs.server import ObservabilityServer
 from repro.obs.report import (
     StageStats,
     aggregate,
@@ -57,6 +70,7 @@ from repro.obs.tracer import (
     Span,
     add_sink,
     current_trace,
+    emit_trace,
     ensure_trace,
     remove_sink,
     set_tracing,
@@ -98,12 +112,17 @@ __all__ = [
     "DriftBaseline",
     "DriftMonitor",
     "DriftSuite",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "ObservabilityServer",
     "PipelineTrace",
     "Span",
     "NULL_SPAN",
     "trace",
     "start_trace",
     "ensure_trace",
+    "emit_trace",
     "current_trace",
     "set_tracing",
     "tracing_enabled",

@@ -221,6 +221,30 @@ class Histogram:
         with self._lock:
             return tuple(self._bucket_counts)
 
+    def add_counts(
+        self, bucket_counts: Sequence[int], sum: float, count: int
+    ) -> None:
+        """Fold another histogram's raw counts into this one.
+
+        This is the histogram half of cross-process metric merging
+        (:meth:`MetricsRegistry.merge`): ``bucket_counts`` must be the
+        non-cumulative per-bucket counts of a histogram with identical
+        bounds, ``+Inf`` bucket last.
+        """
+        counts = [int(c) for c in bucket_counts]
+        if len(counts) != len(self.bounds) + 1:
+            raise MetricError(
+                f"expected {len(self.bounds) + 1} bucket counts, "
+                f"got {len(counts)}"
+            )
+        if any(c < 0 for c in counts) or count < 0:
+            raise MetricError("histogram counts cannot be negative")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._bucket_counts[i] += c
+            self._sum += float(sum)
+            self._count += int(count)
+
     def cumulative_counts(self) -> tuple[int, ...]:
         """Cumulative counts as exposed by Prometheus ``_bucket`` series."""
         counts = self.bucket_counts()
@@ -479,6 +503,61 @@ class MetricsRegistry:
     def to_json(self, **kwargs) -> str:
         """The :meth:`to_dict` snapshot as a JSON document."""
         return json.dumps(self.to_dict(), **kwargs)
+
+    # -- cross-process propagation -------------------------------------
+
+    def snapshot(self) -> dict:
+        """A serialisable snapshot suitable for :meth:`merge`.
+
+        A worker process collects into a fresh registry, snapshots it
+        and ships the (JSON-serialisable, hence picklable) document back
+        to the parent, which folds it into its own registry.  Because
+        the worker registry starts empty, the snapshot *is* the delta.
+        """
+        return self.to_dict()
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        Counter values and histogram bucket counts/sums are treated as
+        deltas and added; gauges are last-write-wins (the snapshot's
+        value replaces the local one).  Families missing locally are
+        registered from the snapshot's metadata, so merging into an
+        empty registry reproduces the worker's totals exactly.
+
+        Raises:
+            MetricError: On a schema the registry does not understand or
+                a kind/label/bucket conflict with an existing family.
+        """
+        version = snapshot.get("schema")
+        if version != SCHEMA_VERSION:
+            raise MetricError(
+                f"cannot merge metrics snapshot with schema {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        for entry in snapshot.get("metrics", []):
+            kind = entry["type"]
+            if kind not in _KINDS:
+                raise MetricError(f"unknown metric kind {kind!r}")
+            family = self._register(
+                kind,
+                entry["name"],
+                entry.get("help", ""),
+                tuple(entry.get("label_names", ())),
+                tuple(entry["buckets"]) if kind == "histogram" else None,
+            )
+            for sample in entry.get("samples", []):
+                child = family.labels(**sample.get("labels", {}))
+                if kind == "counter":
+                    child.inc(sample["value"])
+                elif kind == "gauge":
+                    child.set(sample["value"])
+                else:
+                    child.add_counts(
+                        sample["bucket_counts"],
+                        sample["sum"],
+                        sample["count"],
+                    )
 
 
 def _label_text(label_dict: dict) -> str:

@@ -1,0 +1,260 @@
+"""Live observability endpoint (stdlib ``http.server``, no dependencies).
+
+:class:`ObservabilityServer` exposes the in-process telemetry of a
+serving deployment over plain HTTP, so metrics, traces and drift state
+are retrievable *after the fact* without attaching a debugger:
+
+=============  ===========================================================
+path           returns
+=============  ===========================================================
+``/metrics``   Prometheus text exposition of the metrics registry
+``/healthz``   200 while the endpoint thread is alive (liveness)
+``/readyz``    200 when the readiness probe passes, 503 otherwise
+``/traces``    flight-recorder black-box JSON (``?limit=N`` for recent N)
+``/drift``     drift alerts raised so far, as versioned JSON
+=============  ===========================================================
+
+The server runs on a daemon thread (`ThreadingHTTPServer`), so scrapes
+during an active batch never block serving — handlers only take the
+registry/recorder locks for the duration of one snapshot.
+
+Example::
+
+    from repro.obs import ObservabilityServer, get_registry
+
+    server = ObservabilityServer(registry=get_registry()).start()
+    print(server.url("/metrics"))   # scrape me
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.flight import FlightRecorder, get_flight_recorder
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    get_registry,
+)
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request to the owning :class:`ObservabilityServer`."""
+
+    # Keep HTTP/1.1 keep-alive off: scrapers open one-shot connections
+    # and lingering sockets would delay shutdown.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # endpoint traffic must not spam the serving logs
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        obs: "ObservabilityServer" = self.server.obs  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._reply(
+                    200,
+                    obs.registry.render_prometheus(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            elif route == "/healthz":
+                self._reply(200, "ok\n", "text/plain; charset=utf-8")
+            elif route == "/readyz":
+                ready = obs.check_ready()
+                self._reply(
+                    200 if ready else 503,
+                    "ready\n" if ready else "unavailable\n",
+                    "text/plain; charset=utf-8",
+                )
+            elif route == "/traces":
+                limit = _parse_limit(parse_qs(parsed.query))
+                self._reply_json(200, obs.recorder.to_dict(limit))
+            elif route == "/drift":
+                self._reply_json(200, obs.drift_document())
+            else:
+                self._reply_json(
+                    404,
+                    {
+                        "error": "unknown path",
+                        "path": parsed.path,
+                        "endpoints": sorted(ENDPOINTS),
+                    },
+                )
+        except BrokenPipeError:  # scraper went away mid-write
+            pass
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, status: int, document: dict) -> None:
+        self._reply(
+            status,
+            json.dumps(document, indent=2) + "\n",
+            "application/json; charset=utf-8",
+        )
+
+
+#: The paths the server answers (everything else is a JSON 404).
+ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/traces", "/drift")
+
+
+def _parse_limit(query: dict) -> int | None:
+    values = query.get("limit")
+    if not values:
+        return None
+    try:
+        return max(0, int(values[-1]))
+    except ValueError:
+        return None
+
+
+class ObservabilityServer:
+    """Serve live telemetry over HTTP from a daemon thread.
+
+    Args:
+        config: Optional :class:`repro.config.ObservabilityConfig`
+            carrying host/port (keyword arguments below override it).
+        host: Bind address (default loopback).
+        port: TCP port; ``0`` picks an ephemeral port (read it back from
+            :attr:`port` after :meth:`start` — this is what tests use).
+        registry: Metrics registry scraped by ``/metrics``; defaults to
+            the process-wide registry at each scrape.
+        recorder: Flight recorder served by ``/traces``; defaults to the
+            process-wide recorder.
+        readiness: Zero-argument probe for ``/readyz``; truthy means
+            ready.  ``None`` reports ready whenever the server runs.
+        drift_source: Zero-argument callable returning the current
+            drift alerts (e.g. ``pipeline.drift.alerts``) for
+            ``/drift``; ``None`` serves an empty alert list.
+
+    The server is restart-safe in the sense that ``start``/``stop`` are
+    idempotent; a stopped instance cannot be started again (build a new
+    one).
+    """
+
+    def __init__(
+        self,
+        config=None,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        registry: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        readiness: Callable[[], bool] | None = None,
+        drift_source: Callable[[], list] | None = None,
+    ) -> None:
+        if config is not None:
+            host = config.host if host is None else host
+            port = config.port if port is None else port
+        self.host = host if host is not None else "127.0.0.1"
+        self.requested_port = port if port is not None else 0
+        self._registry = registry
+        self._recorder = recorder
+        self.readiness = readiness
+        self.drift_source = drift_source
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+
+    # -- telemetry sources ---------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry scraped by ``/metrics``."""
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The flight recorder served by ``/traces``."""
+        return (
+            self._recorder
+            if self._recorder is not None
+            else get_flight_recorder()
+        )
+
+    def check_ready(self) -> bool:
+        """The ``/readyz`` verdict: running and readiness probe truthy."""
+        if self._httpd is None or self._stopped:
+            return False
+        if self.readiness is None:
+            return True
+        try:
+            return bool(self.readiness())
+        except Exception:  # noqa: BLE001 - a broken probe means not ready
+            return False
+
+    def drift_document(self) -> dict:
+        """The ``/drift`` payload: alerts raised so far, versioned."""
+        alerts = []
+        if self.drift_source is not None:
+            for alert in self.drift_source():
+                alerts.append(
+                    alert.to_dict() if hasattr(alert, "to_dict") else alert
+                )
+        return {"schema": SCHEMA_VERSION, "alerts": alerts}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._stopped:
+            raise RuntimeError("a stopped ObservabilityServer cannot restart")
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        httpd.daemon_threads = True
+        httpd.obs = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        self._stopped = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ephemeral port 0 after start)."""
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "") -> str:
+        """Absolute URL of ``path`` on this endpoint."""
+        return f"http://{self.host}:{self.port}{path}"

@@ -276,6 +276,18 @@ def _notify_sinks(completed: PipelineTrace) -> None:
         sink(completed)
 
 
+def emit_trace(completed: PipelineTrace) -> None:
+    """Deliver an already-completed trace to every registered sink.
+
+    The serving layer uses this to *replay* traces that were collected
+    in a worker process: the worker serialises each completed trace and
+    ships it back with the response, and the parent emits it here so
+    sinks (e.g. :class:`repro.obs.Profiler`) observe exactly what they
+    would have seen had the attempt run in-process.
+    """
+    _notify_sinks(completed)
+
+
 @contextmanager
 def start_trace():
     """Open a new collecting :class:`PipelineTrace` on this thread.

@@ -23,6 +23,22 @@ the :mod:`~repro.serve.degradation` ladder before giving up.  The parent
 process records per-request outcomes into :mod:`repro.core.telemetry`
 (``echoimage_serve_*`` families) and wraps every batch in a
 ``serve.batch`` trace span.
+
+**Cross-worker telemetry propagation.**  Serial and thread workers
+record pipeline metrics and traces straight into the parent's global
+registry/sinks.  Process workers cannot — their increments land in the
+worker interpreter and would be silently lost — so ``_process_run``
+collects each request's telemetry into a fresh per-request registry and
+ships the delta (plus the serialised traces) back piggybacked on the
+:class:`~repro.serve.requests.AuthenticationResponse`; the parent merges
+the delta into its registry and replays the traces through the sink API,
+making all three backends report identical totals.
+
+**Flight recorder.**  Every completed batch is written into the
+process-wide :class:`~repro.obs.FlightRecorder` (request records plus
+timeout/degradation/drift/crash events); a batch containing failures
+triggers an automatic black-box dump when the recorder has a dump path
+configured.
 """
 
 from __future__ import annotations
@@ -35,13 +51,27 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     TimeoutError as FuturesTimeoutError,
 )
+from dataclasses import replace
 from time import monotonic, perf_counter
 from typing import Callable
 
 from repro.config import EchoImageConfig, ServingConfig
 from repro.core.pipeline import EchoImagePipeline
 from repro.core.telemetry import pipeline_metrics
-from repro.obs import ensure_trace, trace
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    PipelineTrace,
+    add_sink,
+    emit_trace,
+    ensure_trace,
+    get_flight_recorder,
+    get_registry,
+    metrics_enabled,
+    remove_sink,
+    set_registry,
+    trace,
+)
 from repro.serve.bundle import ModelBundle
 from repro.serve.degradation import DegradationPolicy, DegradationStep
 from repro.serve.requests import (
@@ -165,8 +195,28 @@ def _init_process_worker(
 
 
 def _process_run(request: AuthenticationRequest) -> AuthenticationResponse:
+    """Serve one request in a worker interpreter, capturing telemetry.
+
+    The request runs against a fresh, empty metrics registry and a
+    trace-collecting sink, so the registry snapshot afterwards *is* the
+    request's metric delta.  Both ride back to the parent on the
+    response (see ``BatchAuthenticator._finalize_response``).
+    """
     assert _PROCESS_RUNTIME is not None, "pool initializer did not run"
-    return _PROCESS_RUNTIME.run(request)
+    fresh = MetricsRegistry()
+    captured: list[PipelineTrace] = []
+    previous = set_registry(fresh)
+    add_sink(captured.append)
+    try:
+        response = _PROCESS_RUNTIME.run(request)
+    finally:
+        remove_sink(captured.append)
+        set_registry(previous)
+    return replace(
+        response,
+        metrics_delta=fresh.snapshot(),
+        worker_traces=tuple(t.to_dict() for t in captured if t),
+    )
 
 
 class BatchAuthenticator:
@@ -180,6 +230,9 @@ class BatchAuthenticator:
         pipeline_factory: Seam for tests to inject faulty pipelines;
             ignored by the ``process`` backend (worker interpreters
             always build real pipelines from the bundle).
+        recorder: Flight recorder batches are written into; defaults to
+            the process-wide recorder
+            (:func:`repro.obs.get_flight_recorder`) resolved per batch.
 
     Example::
 
@@ -199,11 +252,14 @@ class BatchAuthenticator:
         config: ServingConfig | None = None,
         policy: DegradationPolicy | None = None,
         pipeline_factory: PipelineFactory | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.bundle = bundle
         self.config = config or ServingConfig()
         self.policy = policy or DegradationPolicy()
         self._factory = pipeline_factory or _default_factory
+        self._recorder = recorder
+        self._closed = False
         if (
             pipeline_factory is not None
             and self.config.backend == "process"
@@ -267,9 +323,29 @@ class BatchAuthenticator:
         Pending work is cancelled; already-running requests are
         abandoned to finish on their own.
         """
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the authenticator can still serve (never closed).
+
+        This is the serving half of a ``/readyz`` probe: readiness is
+        typically ``bundle loaded and server.alive``, and flips false
+        the moment :meth:`close` runs.
+        """
+        return not self._closed
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The flight recorder batches are written into."""
+        return (
+            self._recorder
+            if self._recorder is not None
+            else get_flight_recorder()
+        )
 
     def __enter__(self) -> "BatchAuthenticator":
         return self
@@ -290,7 +366,7 @@ class BatchAuthenticator:
         a structured ``"error"`` response for that request only.
         """
         requests = list(requests)
-        with ensure_trace(), trace(
+        with ensure_trace() as batch_trace, trace(
             "serve.batch",
             backend=self.config.backend,
             num_requests=len(requests),
@@ -308,6 +384,8 @@ class BatchAuthenticator:
                 )
             span.update(**{f"num_{k}": v for k, v in outcomes.items()})
             self._record_batch(responses)
+        if requests:
+            self._record_flight(responses, batch_trace)
         return responses
 
     def _serve_serial(
@@ -341,7 +419,11 @@ class BatchAuthenticator:
         for request, future in futures:
             try:
                 responses.append(
-                    future.result(timeout=max(0.0, deadline - monotonic()))
+                    self._finalize_response(
+                        future.result(
+                            timeout=max(0.0, deadline - monotonic())
+                        )
+                    )
                 )
             except FuturesTimeoutError:
                 future.cancel()
@@ -355,6 +437,26 @@ class BatchAuthenticator:
                     )
                 )
         return responses
+
+    def _finalize_response(
+        self, response: AuthenticationResponse
+    ) -> AuthenticationResponse:
+        """Apply (and strip) a process worker's telemetry piggyback.
+
+        The worker's metric delta is merged into the parent's global
+        registry — counters and histograms add, gauges are last-write —
+        and its traces are replayed through the parent's sink API, so
+        the ``process`` backend reports the same totals as ``serial``
+        and ``thread``.  Thread/serial responses carry no piggyback and
+        pass through untouched.
+        """
+        if response.metrics_delta is None and not response.worker_traces:
+            return response
+        if response.metrics_delta is not None and metrics_enabled():
+            get_registry().merge(response.metrics_delta)
+        for trace_document in response.worker_traces:
+            emit_trace(PipelineTrace.from_dict(trace_document))
+        return replace(response, metrics_delta=None, worker_traces=())
 
     def _timeout_response(
         self, request: AuthenticationRequest
@@ -383,3 +485,72 @@ class BatchAuthenticator:
                 ).inc()
             if response.latency_s is not None:
                 metrics.serve_request_latency.observe(response.latency_s)
+
+    def _record_flight(
+        self,
+        responses: list[AuthenticationResponse],
+        batch_trace: PipelineTrace | None,
+    ) -> None:
+        """Write the batch into the flight recorder; dump on failure.
+
+        Every response becomes a request record (timed-out/errored
+        requests have no worker trace, so they carry the enclosing
+        ``serve.batch`` trace as their decision context); timeouts,
+        errors, degradations and drift alerts become structured events.
+        A batch containing timeouts or errors triggers an automatic
+        black-box dump when the recorder has a dump path configured.
+        """
+        recorder = self.recorder
+        batch_document = batch_trace.to_dict() if batch_trace else None
+        failed: list[str] = []
+        for response in responses:
+            trace_document = None
+            if response.result is not None and response.result.trace:
+                trace_document = response.result.trace.to_dict()
+            elif response.status in (STATUS_TIMEOUT, STATUS_ERROR):
+                trace_document = batch_document
+            recorder.record_request(
+                response.request_id,
+                response.status,
+                latency_s=response.latency_s,
+                degradation=response.degradation,
+                error=response.error,
+                trace=trace_document,
+            )
+            if response.status == STATUS_TIMEOUT:
+                failed.append(response.request_id)
+                recorder.record_event(
+                    "timeout",
+                    request_id=response.request_id,
+                    error=response.error,
+                    backend=self.config.backend,
+                )
+            elif response.status == STATUS_ERROR:
+                failed.append(response.request_id)
+                recorder.record_event(
+                    "worker_error",
+                    request_id=response.request_id,
+                    error=response.error,
+                    backend=self.config.backend,
+                )
+            elif response.degradation is not None:
+                recorder.record_event(
+                    "degradation",
+                    request_id=response.request_id,
+                    step=response.degradation,
+                )
+            if response.result is not None:
+                for alert in response.result.drift_alerts:
+                    recorder.record_event(
+                        "drift_alert",
+                        request_id=response.request_id,
+                        monitor=alert.monitor,
+                        alert_kind=alert.kind,
+                        message=alert.message,
+                    )
+        if failed:
+            recorder.auto_dump(
+                "batch contained failed requests",
+                request_ids=failed,
+                backend=self.config.backend,
+            )

@@ -70,6 +70,17 @@ class AuthenticationResponse:
             result, for ``degraded`` responses.
         latency_s: Wall time spent on the request inside the worker;
             ``None`` when the request timed out in the queue.
+        metrics_delta: Telemetry piggyback used by the ``process``
+            backend: the worker's metric increments for this request as
+            a :meth:`repro.obs.MetricsRegistry.snapshot` document.  The
+            parent merges it into the global registry and strips the
+            field before the response reaches callers, so serial,
+            thread and process backends report identical totals.
+        worker_traces: Telemetry piggyback used by the ``process``
+            backend: the serialised
+            :class:`~repro.obs.PipelineTrace` documents completed in
+            the worker while serving this request.  Replayed through
+            the parent's trace sinks, then stripped.
     """
 
     request_id: str
@@ -78,6 +89,8 @@ class AuthenticationResponse:
     error: str | None = None
     degradation: str | None = None
     latency_s: float | None = None
+    metrics_delta: dict | None = None
+    worker_traces: tuple = ()
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

