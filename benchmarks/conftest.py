@@ -13,21 +13,56 @@ per pipeline stage — at the end of the session:
 
     pytest benchmarks/bench_fig11_confusion.py --benchmark-only -s \
         --stage-profile
+
+Pass ``--bench-json PATH`` to also append the benches' single-shot wall
+times and reproduced numbers (the scalar fields of each experiment's
+result dataclass) to the ``BENCH_*.json`` artifact stream of
+:mod:`repro.bench` — a directory PATH picks the next ``BENCH_<seq>.json``
+there, a ``.json`` PATH is written directly:
+
+    pytest benchmarks/bench_fig08_image_feasibility.py --benchmark-only \
+        -s --bench-json .
+
+Single-shot records carry ``repeats=1`` and zero IQR; gate-compare them
+only against other paper-figure artifacts, and note that reproduced
+numbers are recorded with ``higher_is_better=True``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import time
 
 import pytest
 
 from repro.obs import Profiler
 
+#: ``(case_name, duration_s, result)`` per run_once call this session.
+_BENCH_RECORDS: list[tuple[str, float, object]] = []
+_BENCH_NAMES: set[str] = set()
+
+
+def _unique_name(stem: str) -> str:
+    name = stem
+    suffix = 2
+    while name in _BENCH_NAMES:
+        name = f"{stem}.{suffix}"
+        suffix += 1
+    _BENCH_NAMES.add(name)
+    return name
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
-                              iterations=1)
+    started = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    duration = time.perf_counter() - started
+    _BENCH_RECORDS.append(
+        (_unique_name(f"paperfig.{func.__name__}"), duration, result)
+    )
+    return result
 
 
 def _profiling_requested(config) -> bool:
@@ -57,3 +92,83 @@ def stage_profiler(request):
             print(f"\n{report}")
     else:  # pragma: no cover - capture plugin always present under pytest
         print(f"\n{report}")
+
+
+def _result_numbers(result) -> dict[str, float]:
+    """The scalar int/float fields of an experiment-result dataclass."""
+    if not dataclasses.is_dataclass(result):
+        return {}
+    numbers: dict[str, float] = {}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name, None)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            numbers[field.name] = float(value)
+    return numbers
+
+
+def _bench_case_records() -> list[dict]:
+    cases: list[dict] = []
+    for name, duration, result in _BENCH_RECORDS:
+        cases.append(
+            {
+                "name": name,
+                "kind": "perf",
+                "group": "paperfig",
+                "description": "single-shot paper-figure bench wall time",
+                "unit": "s",
+                "repeats": 1,
+                "warmup": 0,
+                "median_s": duration,
+                "iqr_s": 0.0,
+                "mad_s": 0.0,
+                "mean_s": duration,
+                "min_s": duration,
+                "max_s": duration,
+                "cv": 0.0,
+                "outliers": 0,
+                "converged": False,
+                "total_s": duration,
+            }
+        )
+        for field_name, value in _result_numbers(result).items():
+            cases.append(
+                {
+                    "name": f"{name}.{field_name}",
+                    "kind": "quality",
+                    "group": "paperfig",
+                    "description": "reproduced number from the "
+                    "paper-figure bench result",
+                    "unit": "value",
+                    "value": value,
+                    "higher_is_better": True,
+                    "meta": {"source": name},
+                }
+            )
+    return cases
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the opted-in ``--bench-json`` artifact at session end."""
+    try:
+        destination = session.config.getoption("--bench-json")
+    except ValueError:  # option not registered (conftest loaded late)
+        destination = None
+    if not destination or not _BENCH_RECORDS:
+        return
+    from pathlib import Path
+
+    from repro.bench import (
+        build_artifact,
+        next_artifact_path,
+        save_artifact,
+    )
+
+    path = Path(destination)
+    if path.is_dir() or not path.suffix:
+        path = next_artifact_path(path)
+    document = build_artifact(_bench_case_records(), suite="paperfig")
+    save_artifact(document, path)
+    print(f"\n[{len(_BENCH_RECORDS)} paper-figure bench record(s) "
+          f"-> {path}]")

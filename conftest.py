@@ -19,3 +19,13 @@ def pytest_addoption(parser):
         help="collect pipeline traces during the benches and print the "
         "aggregated per-stage latency table at session end",
     )
+    parser.addoption(
+        "--bench-json",
+        metavar="PATH",
+        default=None,
+        help="append the paper-figure benches' single-shot wall times "
+        "and reproduced numbers to the BENCH_*.json artifact stream: "
+        "PATH is either a directory (next BENCH_<seq>.json is created "
+        "there) or an explicit .json file; only acted on by "
+        "benchmarks/conftest.py",
+    )

@@ -1,0 +1,139 @@
+"""Gate a fresh BENCH artifact against a baseline, or render trajectories.
+
+Two modes:
+
+* **gate** (default) — compare a new artifact against a baseline with
+  the noise-aware thresholds of :mod:`repro.bench.compare`; exits 1 on
+  a blocking regression (this is the CI ``perf-gate``):
+
+      PYTHONPATH=src python scripts/bench_compare.py fresh.json \\
+          --against BENCH_0001.json
+      PYTHONPATH=src python scripts/bench_compare.py fresh.json \\
+          --against BENCH_0001.json --timing-threshold 4.0
+
+  Omitting the positional artifact compares the two newest artifacts in
+  ``--dir`` (previous vs latest).
+
+* **trajectory** — render every ``BENCH_*.json`` in a directory as the
+  markdown table EXPERIMENTS.md embeds:
+
+      PYTHONPATH=src python scripts/bench_compare.py --trajectory .
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    DEFAULT_QUALITY_TOLERANCE,
+    DEFAULT_TIMING_RATIO,
+    compare_artifacts,
+    list_artifacts,
+    load_artifact,
+    render_directory,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="EchoImage benchmark regression gate / trajectory "
+        "report"
+    )
+    parser.add_argument(
+        "artifact", nargs="?", default=None,
+        help="the fresh BENCH_*.json to judge (default: the newest in "
+        "--dir)",
+    )
+    parser.add_argument(
+        "--against", metavar="BASELINE", default=None,
+        help="baseline artifact to compare against (default: the "
+        "second-newest in --dir)",
+    )
+    parser.add_argument(
+        "--dir", metavar="DIR", default=".",
+        help="artifact stream directory (default: current directory)",
+    )
+    parser.add_argument(
+        "--timing-threshold", type=float, default=DEFAULT_TIMING_RATIO,
+        metavar="RATIO",
+        help=f"fail a perf case when new/old median exceeds RATIO and "
+        f"the shift clears the pooled IQR (default "
+        f"{DEFAULT_TIMING_RATIO}; raise on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--quality-threshold", type=float,
+        default=DEFAULT_QUALITY_TOLERANCE, metavar="TOL",
+        help=f"fail a quality case when the metric worsens by more than "
+        f"TOL (default {DEFAULT_QUALITY_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="do not fail when a baseline case is absent from the fresh "
+        "artifact",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="DIR", default=None,
+        help="render the BENCH_*.json stream in DIR as a markdown table "
+        "and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def _resolve_pair(args) -> tuple[str, str] | None:
+    """The (baseline, fresh) paths, or ``None`` with a message printed."""
+    fresh = args.artifact
+    baseline = args.against
+    if fresh is None or baseline is None:
+        stream = list_artifacts(args.dir)
+        if fresh is None:
+            if not stream:
+                print(f"no BENCH_*.json artifacts in {args.dir!r}",
+                      file=sys.stderr)
+                return None
+            fresh = str(stream[-1])
+            stream = stream[:-1]
+        if baseline is None:
+            if not stream:
+                print(
+                    "no baseline: pass --against or accumulate two "
+                    "artifacts", file=sys.stderr,
+                )
+                return None
+            baseline = str(stream[-1])
+    return baseline, fresh
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.trajectory is not None:
+        try:
+            print(render_directory(args.trajectory))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    pair = _resolve_pair(args)
+    if pair is None:
+        return 2
+    baseline_path, fresh_path = pair
+    baseline = load_artifact(baseline_path)
+    fresh = load_artifact(fresh_path)
+    print(f"baseline: {baseline_path} "
+          f"(sha {(baseline['environment'].get('git_sha') or '?')[:9]})")
+    print(f"current:  {fresh_path} "
+          f"(sha {(fresh['environment'].get('git_sha') or '?')[:9]})")
+    report = compare_artifacts(
+        baseline,
+        fresh,
+        timing_ratio=args.timing_threshold,
+        quality_tolerance=args.quality_threshold,
+        allow_missing=args.allow_missing,
+    )
+    print(report.render_text())
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Run the continuous-benchmarking suite and write a BENCH artifact.
+
+Executes the registered perf cases (hot kernels + end-to-end serving
+paths, timed with warmup/adaptive-repeat robust statistics) and quality
+cases (EER, identification accuracy, spoofer detection at fixed seeds),
+stamps the environment fingerprint, and writes the next
+``BENCH_<seq>.json`` in the artifact directory.
+
+Run:  PYTHONPATH=src python scripts/bench_run.py --quick
+      PYTHONPATH=src python scripts/bench_run.py --full
+      PYTHONPATH=src python scripts/bench_run.py --quick --filter imaging
+      PYTHONPATH=src python scripts/bench_run.py --quick --output fresh.json
+
+Then gate or inspect with ``scripts/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import (
+    build_artifact,
+    next_artifact_path,
+    save_artifact,
+)
+from repro.bench.cases import BenchContext
+from repro.bench.registry import DEFAULT_REGISTRY
+from repro.bench.runner import run_cases
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="EchoImage continuous-benchmarking runner"
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="run the quick suite (the CI perf-gate selection; default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="run every case with deeper timing statistics",
+    )
+    parser.add_argument(
+        "--filter", metavar="REGEX", default=None,
+        help="only run cases whose name matches this regex",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the artifact to FILE instead of the next "
+        "BENCH_<seq>.json in --output-dir",
+    )
+    parser.add_argument(
+        "--output-dir", metavar="DIR", default=".",
+        help="artifact stream directory (default: current directory)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the selected cases and exit without running",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    suite = "full" if args.full else "quick"
+    cases = DEFAULT_REGISTRY.select(suite=suite, pattern=args.filter)
+    if not cases:
+        print(f"no cases match suite={suite!r} filter={args.filter!r}",
+              file=sys.stderr)
+        return 2
+    if args.list:
+        for case in cases:
+            print(f"{case.name:<28s} [{case.kind}] {case.description}")
+        return 0
+
+    destination = (
+        Path(args.output) if args.output
+        else next_artifact_path(args.output_dir)
+    )
+    print(f"running {len(cases)} bench case(s), suite={suite}")
+    started = time.perf_counter()
+    with BenchContext() as context:
+        records = run_cases(
+            cases, context=context, suite=suite, progress=print
+        )
+    elapsed = time.perf_counter() - started
+
+    document = build_artifact(records, suite=suite)
+    save_artifact(document, destination)
+    perf = sum(1 for r in records if r["kind"] == "perf")
+    quality = len(records) - perf
+    print(
+        f"[{perf} perf + {quality} quality case(s) in {elapsed:.1f}s "
+        f"-> {destination}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

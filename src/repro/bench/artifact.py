@@ -1,0 +1,188 @@
+"""Versioned ``BENCH_<seq>.json`` benchmark artifacts.
+
+One artifact is one benchmark session: an environment fingerprint
+(commit, interpreter, numpy, CPU budget, ``REPRO_SCALE``), the suite
+that ran, and a list of case records — perf cases carrying the full
+:class:`~repro.bench.timer.TimingResult` statistics, quality cases
+carrying a reproduced metric value.  Artifacts are append-only: each run
+writes the next ``BENCH_0001.json``, ``BENCH_0002.json``, … in the
+artifact directory, and the accumulated stream is the repo's performance
+trajectory (:mod:`repro.bench.trajectory`).
+
+Like the metrics/trace/flight dumps, every document is stamped with a
+schema version and refuses to load under a version it does not
+understand — a gate comparing artifacts written by two different code
+generations must fail loudly, not silently mis-read fields.
+
+Example:
+    >>> from repro.bench.artifact import build_artifact, validate_artifact
+    >>> doc = build_artifact(
+    ...     [{"name": "x", "kind": "quality", "value": 0.5,
+    ...       "higher_is_better": True, "unit": "rate"}],
+    ...     suite="quick", created_unix=0.0,
+    ...     environment={"git_sha": None})
+    >>> validate_artifact(doc)["schema"]
+    1
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+
+from repro.obs.envinfo import environment_fingerprint
+
+#: Version stamp of the ``BENCH_*.json`` document layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Artifact file-name pattern (``BENCH_0001.json`` …).
+ARTIFACT_RE = re.compile(r"^BENCH_(\d{4,})\.json$")
+
+#: Required statistics fields of a perf case record.
+PERF_FIELDS = ("median_s", "iqr_s", "repeats")
+
+#: Required fields of a quality case record.
+QUALITY_FIELDS = ("value", "higher_is_better")
+
+
+class ArtifactError(ValueError):
+    """Raised on malformed or unsupported benchmark artifacts."""
+
+
+def build_artifact(
+    cases: list[dict],
+    suite: str,
+    environment: dict | None = None,
+    created_unix: float | None = None,
+) -> dict:
+    """Assemble (and validate) one artifact document.
+
+    Args:
+        cases: Case records, as produced by :mod:`repro.bench.runner`.
+        suite: Which selection ran (``quick`` / ``full`` / ``paperfig``).
+        environment: Fingerprint override; defaults to the live
+            :func:`~repro.obs.envinfo.environment_fingerprint`.
+        created_unix: Creation timestamp override (defaults to now).
+
+    Returns:
+        The schema-stamped, JSON-serialisable document.
+    """
+    document = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "suite": suite,
+        "created_unix": (
+            time.time() if created_unix is None else float(created_unix)
+        ),
+        "environment": (
+            environment_fingerprint() if environment is None else environment
+        ),
+        "cases": list(cases),
+    }
+    return validate_artifact(document)
+
+
+def validate_artifact(document: dict) -> dict:
+    """Check an artifact document; returns it unchanged when valid.
+
+    Raises:
+        ArtifactError: On an unknown schema version, a non-bench
+            document, or case records missing their statistics.
+    """
+    if not isinstance(document, dict):
+        raise ArtifactError(f"artifact must be an object, got "
+                            f"{type(document).__name__}")
+    version = document.get("schema")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"unsupported bench artifact schema {version!r} "
+            f"(this code reads schema {BENCH_SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "bench":
+        raise ArtifactError(
+            f"not a bench artifact: kind={document.get('kind')!r}"
+        )
+    cases = document.get("cases")
+    if not isinstance(cases, list):
+        raise ArtifactError("artifact 'cases' must be a list")
+    if not isinstance(document.get("environment"), dict):
+        raise ArtifactError("artifact 'environment' must be a mapping")
+    seen: set[str] = set()
+    for case in cases:
+        if not isinstance(case, dict) or "name" not in case:
+            raise ArtifactError(f"case record without a name: {case!r}")
+        name = case["name"]
+        if name in seen:
+            raise ArtifactError(f"duplicate case name {name!r}")
+        seen.add(name)
+        kind = case.get("kind")
+        if kind == "perf":
+            missing = [f for f in PERF_FIELDS if f not in case]
+        elif kind == "quality":
+            missing = [f for f in QUALITY_FIELDS if f not in case]
+        else:
+            raise ArtifactError(
+                f"case {name!r} has unknown kind {kind!r}"
+            )
+        if missing:
+            raise ArtifactError(
+                f"case {name!r} is missing fields {missing}"
+            )
+    return document
+
+
+def save_artifact(document: dict, path: str | Path) -> Path:
+    """Validate and write an artifact document; returns the path."""
+    validate_artifact(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Load and validate one ``BENCH_*.json`` document.
+
+    Raises:
+        ArtifactError: On malformed JSON or an unsupported schema.
+        FileNotFoundError: When the file does not exist.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"{path} is not valid JSON: {error}") from error
+    try:
+        return validate_artifact(document)
+    except ArtifactError as error:
+        raise ArtifactError(f"{path}: {error}") from error
+
+
+def artifact_seq(path: str | Path) -> int | None:
+    """The sequence number encoded in an artifact file name, or ``None``."""
+    match = ARTIFACT_RE.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def list_artifacts(directory: str | Path) -> list[Path]:
+    """All ``BENCH_*.json`` files in ``directory``, in sequence order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [
+        p for p in directory.iterdir()
+        if p.is_file() and ARTIFACT_RE.match(p.name)
+    ]
+    return sorted(found, key=lambda p: (artifact_seq(p), p.name))
+
+
+def next_artifact_path(directory: str | Path) -> Path:
+    """The next free ``BENCH_<seq>.json`` path in ``directory``."""
+    existing = list_artifacts(directory)
+    next_seq = (artifact_seq(existing[-1]) + 1) if existing else 1
+    return Path(directory) / f"BENCH_{next_seq:04d}.json"

@@ -1,0 +1,504 @@
+"""The benchmark-case catalogue over the EchoImage hot paths.
+
+Perf cases cover each kernel the serving stack leans on — the matched
+filter, MVDR steering/covariance/weights, per-beep vs batched imaging,
+CNN embedding extraction — plus the end-to-end paths
+(``Pipeline.authenticate`` and :class:`repro.serve.BatchAuthenticator`
+batch throughput on every backend).  Quality cases re-run the paper's
+evaluation protocol (:mod:`repro.eval.experiments`) at small fixed seeds
+and track the headline numbers: the SVDD-gate EER, identification
+accuracy and spoofer detection.
+
+All workloads are deterministic (fixed seeds, fixed shapes) and shared
+through the memoizing :class:`BenchContext`, so setup cost — scene
+simulation, enrollment, worker-pool spawns — is paid once per session
+and never lands inside a timed region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import perf_case, quality_case
+
+#: Base seed of every bench workload; changing it invalidates baselines.
+BENCH_SEED = 20230048
+
+#: Imaging resolution of the bench pipelines (small enough for CI, big
+#: enough that the grouped-GEMM beamformer dominates authenticate()).
+BENCH_RESOLUTION = 24
+
+#: Beeps per authentication attempt in the end-to-end cases.
+ATTEMPT_BEEPS = 4
+
+#: Requests per served batch in the throughput cases.
+BATCH_REQUESTS = 6
+
+#: Beeps per request in the served batches (kept small; throughput
+#: cases measure dispatch + pipeline, not one giant attempt).
+BATCH_BEEPS = 2
+
+#: Inner-loop factor of the sub-100µs array kernels.  A timed region
+#: that small is dominated by scheduler and CPU-frequency jitter on
+#: small VMs — between-run medians swing 2x while the within-run IQR
+#: stays tiny, so the gate's pooled-IQR key cannot absorb the swing.
+#: Looping puts each timed invocation in the stable millisecond range;
+#: the recorded time is for the whole loop.
+MICRO_LOOP = 25
+
+
+def _looped(fn, n: int = MICRO_LOOP):
+    def run():
+        for _ in range(n):
+            fn()
+
+    return run
+
+
+class BenchContext:
+    """Memoized deterministic workloads shared by the bench cases.
+
+    Args:
+        seed: Base RNG seed of every synthetic workload.
+
+    Every factory is cached under a key, so two cases asking for the
+    enrolled pipeline get the same object and the session pays
+    enrollment once.  Serving pools opened by :meth:`authenticator` are
+    closed by :meth:`close` (the runner calls it).
+    """
+
+    def __init__(self, seed: int = BENCH_SEED) -> None:
+        self.seed = seed
+        self._memo: dict = {}
+        self._authenticators: dict = {}
+
+    def memo(self, key, build):
+        """Build-once cache: ``build()`` runs only for an unseen key."""
+        if key not in self._memo:
+            self._memo[key] = build()
+        return self._memo[key]
+
+    def close(self) -> None:
+        """Shut down every serving pool the context opened."""
+        for authenticator in self._authenticators.values():
+            authenticator.close()
+        self._authenticators.clear()
+
+    def __enter__(self) -> "BenchContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scene & signals ----------------------------------------------
+
+    def scene(self):
+        """A quiet ReSpeaker-array scene (the paper's lab setup)."""
+
+        def build():
+            from repro.acoustics.noise import NoiseModel
+            from repro.acoustics.scene import AcousticScene
+            from repro.array.geometry import respeaker_array
+
+            return AcousticScene(
+                array=respeaker_array(),
+                noise=NoiseModel(kind="quiet", level_db_spl=30.0),
+            )
+
+        return self.memo("scene", build)
+
+    def chirp(self):
+        """The paper's probing chirp."""
+
+        def build():
+            from repro.signal.chirp import LFMChirp
+
+            return LFMChirp()
+
+        return self.memo("chirp", build)
+
+    def recordings(self, subject_id: int, num_beeps: int, seed_offset: int):
+        """Deterministic beep captures of one synthetic subject."""
+
+        def build():
+            from repro.body.subject import SyntheticSubject
+
+            rng = np.random.default_rng(self.seed + seed_offset)
+            subject = SyntheticSubject(subject_id=subject_id)
+            clouds = subject.beep_clouds(0.7, num_beeps, rng)
+            return self.scene().record_beeps(self.chirp(), clouds, rng)
+
+        return self.memo(("recordings", subject_id, num_beeps, seed_offset),
+                         build)
+
+    # -- enrolled pipeline --------------------------------------------
+
+    def config(self):
+        """The bench pipeline configuration (fixed, small)."""
+
+        def build():
+            from repro.config import (
+                AuthenticationConfig,
+                EchoImageConfig,
+                ImagingConfig,
+            )
+
+            return EchoImageConfig(
+                imaging=ImagingConfig(grid_resolution=BENCH_RESOLUTION),
+                auth=AuthenticationConfig(svdd_margin=0.3),
+            )
+
+        return self.memo("config", build)
+
+    def pipeline(self):
+        """A single-user pipeline enrolled on subject 1."""
+
+        def build():
+            from repro.core.pipeline import EchoImagePipeline
+
+            pipeline = EchoImagePipeline(config=self.config())
+            pipeline.enroll_user(self.recordings(1, 3 * ATTEMPT_BEEPS, 0))
+            return pipeline
+
+        return self.memo("pipeline", build)
+
+    def attempt(self):
+        """A fresh legitimate authentication attempt."""
+        return self.recordings(1, ATTEMPT_BEEPS, 1)
+
+    def plane(self):
+        """The imaging plane at the attempt's estimated distance."""
+
+        def build():
+            pipeline = self.pipeline()
+            distance = pipeline.estimate_distance(self.attempt())
+            return pipeline.imaging_plane(distance.user_distance_m)
+
+        return self.memo("plane", build)
+
+    def images(self):
+        """The attempt's acoustic images (feature-extraction input)."""
+        return self.memo(
+            "images",
+            lambda: self.pipeline().imager.images(self.attempt(),
+                                                  self.plane()),
+        )
+
+    # -- serving ------------------------------------------------------
+
+    def bundle(self):
+        """The enrolled pipeline snapshotted for serving."""
+
+        def build():
+            from repro.serve import ModelBundle
+
+            return ModelBundle.from_pipeline(self.pipeline())
+
+        return self.memo("bundle", build)
+
+    def requests(self):
+        """The served batch: deterministic requests over fresh attempts."""
+
+        def build():
+            from repro.serve import AuthenticationRequest
+
+            return [
+                AuthenticationRequest(
+                    f"bench-{i}",
+                    tuple(self.recordings(1, BATCH_BEEPS, 100 + i)),
+                )
+                for i in range(BATCH_REQUESTS)
+            ]
+
+        return self.memo("requests", build)
+
+    def authenticator(self, backend: str):
+        """A live :class:`BatchAuthenticator` on ``backend`` (pooled)."""
+        if backend not in self._authenticators:
+            from repro.config import ServingConfig
+            from repro.serve import BatchAuthenticator
+
+            self._authenticators[backend] = BatchAuthenticator(
+                self.bundle(), ServingConfig(backend=backend)
+            )
+        return self._authenticators[backend]
+
+    # -- multi-user evaluation ----------------------------------------
+
+    def overall_performance(self):
+        """The Figure-11 protocol at a small fixed workload."""
+
+        def build():
+            from repro.eval.experiments import run_overall_performance
+
+            return run_overall_performance(
+                num_registered=3,
+                num_spoofers=2,
+                train_chirps=12,
+                test_chirps=6,
+                config=self.config(),
+                seed_base=self.seed,
+            )
+
+        return self.memo("overall_performance", build)
+
+    def gate_scores(self):
+        """Per-beep SVDD scores of legit vs spoofer attempts.
+
+        Returns:
+            ``(genuine, impostor)`` score arrays from 6 attempts each of
+            subject 1 (enrolled) and subject 9 (never enrolled) against
+            the single-user pipeline.
+        """
+
+        def build():
+            pipeline = self.pipeline()
+            genuine: list[float] = []
+            impostor: list[float] = []
+            for i in range(6):
+                legit = self.recordings(1, BATCH_BEEPS, 200 + i)
+                genuine.extend(pipeline.authenticate(legit).scores)
+                spoof = self.recordings(9, BATCH_BEEPS, 300 + i)
+                impostor.extend(pipeline.authenticate(spoof).scores)
+            return np.asarray(genuine), np.asarray(impostor)
+
+        return self.memo("gate_scores", build)
+
+
+# ---------------------------------------------------------------------------
+# Perf cases — kernels
+# ---------------------------------------------------------------------------
+
+
+@perf_case(
+    "signal.matched_filter",
+    group="signal",
+    description="Matched-filter an 8-beep, 6-channel capture stack "
+    "against the probing chirp",
+)
+def _bench_matched_filter(ctx: BenchContext):
+    from repro.signal.correlation import matched_filter
+
+    template = ctx.chirp().samples()
+    stack = np.stack(
+        [np.real(r.samples) for r in ctx.recordings(1, 8, 50)]
+    )
+
+    return lambda: matched_filter(stack, template)
+
+
+@perf_case(
+    "array.steering_vectors",
+    group="array",
+    description="Steering matrix for a 24x24 imaging grid "
+    "(576 look directions, 6 mics), x25 per timed invocation",
+)
+def _bench_steering(ctx: BenchContext):
+    from repro.array.beamforming import MVDRBeamformer
+
+    beamformer = MVDRBeamformer(array=ctx.scene().array)
+    grid = np.linspace(-0.8, 0.8, BENCH_RESOLUTION**2)
+
+    return _looped(lambda: beamformer.steering_batch(grid, grid))
+
+
+@perf_case(
+    "array.mvdr_weights",
+    group="array",
+    description="MVDR weights for 576 look directions from a "
+    "precomputed steering matrix, x25 per timed invocation",
+)
+def _bench_mvdr_weights(ctx: BenchContext):
+    from repro.array.beamforming import MVDRBeamformer
+
+    beamformer = MVDRBeamformer(array=ctx.scene().array)
+    grid = np.linspace(-0.8, 0.8, BENCH_RESOLUTION**2)
+    steering = beamformer.steering_batch(grid, grid)
+
+    return _looped(
+        lambda: beamformer.weights_batch(grid, grid, steering)
+    )
+
+
+@perf_case(
+    "array.noise_covariance",
+    group="array",
+    description="Sample covariance + diagonal loading over a 6-channel "
+    "noise capture, x25 per timed invocation",
+)
+def _bench_covariance(ctx: BenchContext):
+    from repro.array.covariance import diagonal_loading, sample_covariance
+
+    rng = np.random.default_rng(ctx.seed)
+    snapshots = (
+        rng.standard_normal((6, 4096)) + 1j * rng.standard_normal((6, 4096))
+    )
+
+    return _looped(
+        lambda: diagonal_loading(sample_covariance(snapshots), 1e-3)
+    )
+
+
+@perf_case(
+    "distance.estimate",
+    group="distance",
+    description="Echo-delay distance estimation over a 4-beep attempt",
+)
+def _bench_distance(ctx: BenchContext):
+    pipeline = ctx.pipeline()
+    attempt = ctx.attempt()
+
+    return lambda: pipeline.estimate_distance(attempt)
+
+
+@perf_case(
+    "imaging.image",
+    group="imaging",
+    description="Single-beep acoustic image on a warm 24x24 plane "
+    "(the paper's per-beep imager)",
+)
+def _bench_image(ctx: BenchContext):
+    imager = ctx.pipeline().imager
+    plane = ctx.plane()
+    recording = ctx.attempt()[0]
+    imager.image(recording, plane)  # warm the steering-geometry cache
+
+    return lambda: imager.image(recording, plane)
+
+
+@perf_case(
+    "imaging.image_batch",
+    group="imaging",
+    description="Batched imaging of an 8-beep attempt "
+    "(grouped-GEMM serving kernel)",
+)
+def _bench_image_batch(ctx: BenchContext):
+    imager = ctx.pipeline().imager
+    plane = ctx.plane()
+    recordings = ctx.recordings(1, 8, 60)
+    imager.image_batch(recordings, plane)  # warm caches
+
+    return lambda: imager.image_batch(recordings, plane)
+
+
+@perf_case(
+    "features.extract",
+    group="features",
+    description="Frozen-CNN embedding extraction over a 4-image attempt",
+)
+def _bench_features(ctx: BenchContext):
+    extractor = ctx.pipeline().feature_extractor
+    images = ctx.images()
+
+    return lambda: extractor.extract(images)
+
+
+# ---------------------------------------------------------------------------
+# Perf cases — end-to-end paths
+# ---------------------------------------------------------------------------
+
+
+@perf_case(
+    "pipeline.authenticate",
+    group="pipeline",
+    description="End-to-end authentication of a 4-beep attempt "
+    "(distance -> imaging -> features -> decision)",
+)
+def _bench_authenticate(ctx: BenchContext):
+    pipeline = ctx.pipeline()
+    attempt = ctx.attempt()
+
+    return lambda: pipeline.authenticate(attempt)
+
+
+def _serve_builder(backend: str):
+    def build(ctx: BenchContext):
+        authenticator = ctx.authenticator(backend)
+        requests = ctx.requests()
+        authenticator.authenticate_batch(requests)  # spawn/warm the pool
+
+        return lambda: authenticator.authenticate_batch(requests)
+
+    return build
+
+
+perf_case(
+    "serve.batch_serial",
+    group="serve",
+    description=f"BatchAuthenticator throughput, serial backend "
+    f"({BATCH_REQUESTS} requests x {BATCH_BEEPS} beeps)",
+)(_serve_builder("serial"))
+
+perf_case(
+    "serve.batch_thread",
+    group="serve",
+    description=f"BatchAuthenticator throughput, thread backend "
+    f"({BATCH_REQUESTS} requests x {BATCH_BEEPS} beeps)",
+)(_serve_builder("thread"))
+
+perf_case(
+    "serve.batch_process",
+    group="serve",
+    quick=False,
+    description=f"BatchAuthenticator throughput, process backend "
+    f"({BATCH_REQUESTS} requests x {BATCH_BEEPS} beeps; full suite "
+    "only — pool spawn dominates quick budgets)",
+    timer={"warmup": 1, "max_time_s": 10.0},
+)(_serve_builder("process"))
+
+
+# ---------------------------------------------------------------------------
+# Quality cases — reproduced numbers at fixed seeds
+# ---------------------------------------------------------------------------
+
+
+@quality_case(
+    "quality.eer",
+    group="quality",
+    unit="rate",
+    higher_is_better=False,
+    description="SVDD-gate equal error rate, 6 legit vs 6 spoofer "
+    "attempts at seed 20230048",
+)
+def _quality_eer(ctx: BenchContext):
+    from repro.ml.roc import roc_curve
+
+    genuine, impostor = ctx.gate_scores()
+    curve = roc_curve(genuine, impostor)
+    return float(curve.equal_error_rate()), {
+        "genuine_scores": int(genuine.size),
+        "impostor_scores": int(impostor.size),
+        "auc": float(curve.auc),
+    }
+
+
+@quality_case(
+    "quality.identification_accuracy",
+    group="quality",
+    unit="rate",
+    higher_is_better=True,
+    description="n-class SVM identification accuracy on accepted images "
+    "(Figure-11 protocol, 3 users / 2 spoofers, seed 20230048)",
+)
+def _quality_identification(ctx: BenchContext):
+    result = ctx.overall_performance()
+    return float(result.identification_accuracy), {
+        "num_registered": 3,
+        "num_spoofers": 2,
+    }
+
+
+@quality_case(
+    "quality.spoofer_detection",
+    group="quality",
+    unit="rate",
+    higher_is_better=True,
+    description="Fraction of spoofer images rejected by the SVDD gate "
+    "(Figure-11 protocol, seed 20230048)",
+)
+def _quality_spoofer_detection(ctx: BenchContext):
+    result = ctx.overall_performance()
+    return float(result.spoofer_accuracy), {
+        "num_registered": 3,
+        "num_spoofers": 2,
+    }

@@ -1,0 +1,284 @@
+"""Noise-aware comparison of two benchmark artifacts — the CI gate.
+
+A naive gate (``new > old * 1.1 -> fail``) flaps: shared CI runners
+routinely jitter 20-50% run to run.  This gate is two-keyed, so timing
+fails only when a regression is *both*
+
+* **relatively large** — the new median exceeds the baseline median by
+  more than the ratio threshold, *and*
+* **statistically visible** — the median shift exceeds the pooled IQR
+  of the two runs, so pure run-to-run spread cannot trip it.
+
+Quality cases are deterministic at fixed seeds, so they gate on a plain
+absolute tolerance (strict by default) in the direction the metric cares
+about.  Cases present in the baseline but absent from the current run
+fail by default — silently dropping a tracked number is itself a
+regression of the benchmark suite.
+
+Example:
+    >>> from repro.bench.compare import compare_artifacts
+    >>> base = {"schema": 1, "kind": "bench", "suite": "quick",
+    ...         "created_unix": 0.0, "environment": {},
+    ...         "cases": [{"name": "k", "kind": "perf", "repeats": 9,
+    ...                    "median_s": 0.1, "iqr_s": 0.001}]}
+    >>> cur = {**base, "cases": [{"name": "k", "kind": "perf",
+    ...        "repeats": 9, "median_s": 0.25, "iqr_s": 0.001}]}
+    >>> report = compare_artifacts(base, cur)
+    >>> report.failed, report.cases[0].status
+    (True, 'regressed')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.artifact import validate_artifact
+
+#: Timing fails when ``new_median > old_median * DEFAULT_TIMING_RATIO``
+#: (and the shift clears the pooled IQR).  1.5 catches a genuine 2x
+#: slowdown with margin while tolerating scheduler jitter.
+DEFAULT_TIMING_RATIO = 1.5
+
+#: Quality fails when the metric worsens by more than this (absolute).
+DEFAULT_QUALITY_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """The verdict on one case name across the two artifacts.
+
+    Attributes:
+        name: Case name.
+        kind: ``perf`` / ``quality`` (from whichever side has it).
+        status: ``ok`` / ``improved`` / ``regressed`` / ``new`` /
+            ``missing``.
+        baseline: Baseline headline value (median seconds or metric).
+        current: Current headline value.
+        ratio: ``current / baseline`` when both exist and baseline > 0.
+        detail: One-line human-readable explanation.
+    """
+
+    name: str
+    kind: str
+    status: str
+    baseline: float | None = None
+    current: float | None = None
+    ratio: float | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every case verdict plus the aggregate gate decision.
+
+    Attributes:
+        cases: Per-case verdicts, baseline order then new cases.
+        failed: Whether the gate should reject (any ``regressed``, or
+            ``missing`` unless allowed).
+        timing_ratio: Ratio threshold the report was computed with.
+        quality_tolerance: Quality tolerance used.
+    """
+
+    cases: list[CaseComparison] = field(default_factory=list)
+    failed: bool = False
+    timing_ratio: float = DEFAULT_TIMING_RATIO
+    quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE
+
+    @property
+    def regressions(self) -> list[CaseComparison]:
+        """The cases that caused the failure."""
+        return [c for c in self.cases
+                if c.status in ("regressed", "missing")]
+
+    def render_text(self) -> str:
+        """A readable per-case table plus the verdict line."""
+        lines = [
+            f"{'case':<32s} {'status':<10s} {'baseline':>12s} "
+            f"{'current':>12s} {'ratio':>7s}  detail"
+        ]
+        for case in self.cases:
+            lines.append(
+                f"{case.name:<32s} {case.status:<10s} "
+                f"{_fmt(case.baseline, case.kind):>12s} "
+                f"{_fmt(case.current, case.kind):>12s} "
+                f"{case.ratio:>7.2f}  {case.detail}"
+                if case.ratio is not None
+                else f"{case.name:<32s} {case.status:<10s} "
+                f"{_fmt(case.baseline, case.kind):>12s} "
+                f"{_fmt(case.current, case.kind):>12s} "
+                f"{'-':>7s}  {case.detail}"
+            )
+        verdict = "FAIL" if self.failed else "PASS"
+        bad = len(self.regressions)
+        lines.append(
+            f"gate: {verdict} — {len(self.cases)} case(s) compared, "
+            f"{bad} blocking (timing ratio > {self.timing_ratio:g} beyond "
+            f"pooled IQR; quality tolerance {self.quality_tolerance:g})"
+        )
+        return "\n".join(lines)
+
+
+def _fmt(value: float | None, kind: str) -> str:
+    if value is None:
+        return "-"
+    if kind == "perf":
+        return f"{value * 1e3:.3f}ms"
+    return f"{value:.4f}"
+
+
+def compare_artifacts(
+    baseline: dict,
+    current: dict,
+    timing_ratio: float = DEFAULT_TIMING_RATIO,
+    quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE,
+    allow_missing: bool = False,
+) -> ComparisonReport:
+    """Diff two artifacts into a gate decision.
+
+    Args:
+        baseline: The committed/previous artifact document.
+        current: The freshly produced artifact document.
+        timing_ratio: Relative timing threshold (fail above it, when the
+            shift also clears the pooled IQR).
+        quality_tolerance: Absolute tolerance on quality metrics in the
+            harmful direction.
+        allow_missing: Downgrade baseline cases absent from the current
+            run from failures to notes.
+
+    Returns:
+        The :class:`ComparisonReport`.
+
+    Raises:
+        ArtifactError: When either document is malformed.
+        ValueError: On nonsensical thresholds.
+    """
+    if timing_ratio <= 1.0:
+        raise ValueError(f"timing_ratio must be > 1, got {timing_ratio}")
+    if quality_tolerance < 0:
+        raise ValueError(
+            f"quality_tolerance must be >= 0, got {quality_tolerance}"
+        )
+    validate_artifact(baseline)
+    validate_artifact(current)
+    base_cases = {c["name"]: c for c in baseline["cases"]}
+    cur_cases = {c["name"]: c for c in current["cases"]}
+
+    comparisons: list[CaseComparison] = []
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            status = "missing" if not allow_missing else "ok"
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    kind=base["kind"],
+                    status=status,
+                    baseline=_headline(base),
+                    detail="case present in baseline but not in this run",
+                )
+            )
+            continue
+        if cur["kind"] != base["kind"]:
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    kind=cur["kind"],
+                    status="regressed",
+                    baseline=_headline(base),
+                    current=_headline(cur),
+                    detail=f"kind changed {base['kind']} -> {cur['kind']}",
+                )
+            )
+            continue
+        if base["kind"] == "perf":
+            comparisons.append(
+                _compare_perf(name, base, cur, timing_ratio)
+            )
+        else:
+            comparisons.append(
+                _compare_quality(name, base, cur, quality_tolerance)
+            )
+    for name, cur in cur_cases.items():
+        if name not in base_cases:
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    kind=cur["kind"],
+                    status="new",
+                    current=_headline(cur),
+                    detail="no baseline yet",
+                )
+            )
+
+    failed = any(c.status in ("regressed", "missing") for c in comparisons)
+    return ComparisonReport(
+        cases=comparisons,
+        failed=failed,
+        timing_ratio=timing_ratio,
+        quality_tolerance=quality_tolerance,
+    )
+
+
+def _headline(case: dict) -> float:
+    return float(
+        case["median_s"] if case["kind"] == "perf" else case["value"]
+    )
+
+
+def _compare_perf(
+    name: str, base: dict, cur: dict, timing_ratio: float
+) -> CaseComparison:
+    old = float(base["median_s"])
+    new = float(cur["median_s"])
+    pooled_iqr = float(base.get("iqr_s", 0.0)) + float(cur.get("iqr_s", 0.0))
+    ratio = new / old if old > 0 else None
+    common = dict(name=name, kind="perf", baseline=old, current=new,
+                  ratio=ratio)
+    if ratio is None:
+        return CaseComparison(
+            status="ok", detail="baseline median is 0; timing not gated",
+            **common,
+        )
+    if ratio > timing_ratio and (new - old) > pooled_iqr:
+        return CaseComparison(
+            status="regressed",
+            detail=f"slowdown {ratio:.2f}x exceeds {timing_ratio:g}x and "
+            f"shift {(new - old) * 1e3:.3f}ms > pooled IQR "
+            f"{pooled_iqr * 1e3:.3f}ms",
+            **common,
+        )
+    if ratio < 1.0 / timing_ratio and (old - new) > pooled_iqr:
+        return CaseComparison(
+            status="improved",
+            detail=f"speedup {1.0 / ratio:.2f}x beyond noise",
+            **common,
+        )
+    return CaseComparison(status="ok", detail="within noise", **common)
+
+
+def _compare_quality(
+    name: str, base: dict, cur: dict, tolerance: float
+) -> CaseComparison:
+    old = float(base["value"])
+    new = float(cur["value"])
+    higher_better = bool(cur.get("higher_is_better",
+                                 base.get("higher_is_better", True)))
+    worsening = (old - new) if higher_better else (new - old)
+    ratio = new / old if old != 0 else None
+    common = dict(name=name, kind="quality", baseline=old, current=new,
+                  ratio=ratio)
+    direction = "higher" if higher_better else "lower"
+    if worsening > tolerance:
+        return CaseComparison(
+            status="regressed",
+            detail=f"{direction}-is-better metric worsened by "
+            f"{worsening:.4f} (> {tolerance:g})",
+            **common,
+        )
+    if -worsening > tolerance:
+        return CaseComparison(
+            status="improved",
+            detail=f"metric improved by {-worsening:.4f}",
+            **common,
+        )
+    return CaseComparison(status="ok", detail="within tolerance", **common)

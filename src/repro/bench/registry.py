@@ -1,0 +1,178 @@
+"""The benchmark-case registry.
+
+A :class:`BenchCase` names one number the repo tracks per commit —
+either a *perf* case (a zero-argument callable whose wall time is
+measured by :func:`repro.bench.timer.measure`) or a *quality* case (a
+reproduced metric such as the EER or the identification accuracy at a
+fixed seed).  Cases register themselves at import time through the
+:func:`perf_case` / :func:`quality_case` decorators; the catalogue of
+real cases lives in :mod:`repro.bench.cases`.
+
+Case builders receive a shared context object (the
+:class:`~repro.bench.cases.BenchContext`) carrying memoized workloads —
+scenes, enrolled pipelines, serving bundles — so expensive setup is
+built once per session and excluded from every timed region.
+
+Example:
+    >>> from repro.bench.registry import BenchCase, BenchRegistry
+    >>> reg = BenchRegistry()
+    >>> @reg.perf_case("demo.noop", group="demo")
+    ... def _build(ctx):
+    ...     return lambda: None
+    >>> [c.name for c in reg.select(suite="quick")]
+    ['demo.noop']
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark case.
+
+    Attributes:
+        name: Unique dotted case name (``imaging.image_batch``).
+        kind: ``"perf"`` (timed) or ``"quality"`` (metric value).
+        group: Subsystem bucket, used for filtering and display.
+        build: Perf — ``build(ctx) -> callable`` returning the function
+            to time.  Quality — ``build(ctx) -> float | (float, dict)``
+            returning the metric value and optional metadata.
+        description: One-line what-this-measures.
+        quick: Whether the case belongs to the ``--quick`` suite (the
+            CI gate); ``False`` marks full-suite-only cases.
+        unit: Unit of the reported value (``"s"`` for perf).
+        higher_is_better: Gate direction for quality cases.
+        timer: Per-case overrides for :func:`repro.bench.timer.measure`
+            (``warmup``, ``min_repeats``, ``max_repeats``,
+            ``target_cv``, ``max_time_s``).
+    """
+
+    name: str
+    kind: str
+    group: str
+    build: Callable
+    description: str = ""
+    quick: bool = True
+    unit: str = "s"
+    higher_is_better: bool = False
+    timer: Mapping | None = None
+
+
+class BenchRegistry:
+    """An ordered, name-unique collection of benchmark cases."""
+
+    def __init__(self) -> None:
+        self._cases: dict[str, BenchCase] = {}
+
+    def register(self, case: BenchCase) -> BenchCase:
+        """Add a case; duplicate names are an error."""
+        if case.kind not in ("perf", "quality"):
+            raise ValueError(f"unknown case kind {case.kind!r}")
+        if case.name in self._cases:
+            raise ValueError(f"bench case {case.name!r} already registered")
+        self._cases[case.name] = case
+        return case
+
+    def perf_case(
+        self,
+        name: str,
+        group: str,
+        description: str = "",
+        quick: bool = True,
+        timer: Mapping | None = None,
+    ):
+        """Decorator registering a perf-case builder."""
+
+        def decorate(build: Callable) -> Callable:
+            self.register(
+                BenchCase(
+                    name=name,
+                    kind="perf",
+                    group=group,
+                    build=build,
+                    description=description,
+                    quick=quick,
+                    unit="s",
+                    timer=timer,
+                )
+            )
+            return build
+
+        return decorate
+
+    def quality_case(
+        self,
+        name: str,
+        group: str,
+        description: str = "",
+        quick: bool = True,
+        unit: str = "rate",
+        higher_is_better: bool = True,
+    ):
+        """Decorator registering a quality-case builder."""
+
+        def decorate(build: Callable) -> Callable:
+            self.register(
+                BenchCase(
+                    name=name,
+                    kind="quality",
+                    group=group,
+                    build=build,
+                    description=description,
+                    quick=quick,
+                    unit=unit,
+                    higher_is_better=higher_is_better,
+                )
+            )
+            return build
+
+        return decorate
+
+    def all_cases(self) -> list[BenchCase]:
+        """Every registered case, in registration order."""
+        return list(self._cases.values())
+
+    def get(self, name: str) -> BenchCase | None:
+        """The case registered under ``name``, or ``None``."""
+        return self._cases.get(name)
+
+    def select(
+        self, suite: str = "quick", pattern: str | None = None
+    ) -> list[BenchCase]:
+        """The cases a run should execute.
+
+        Args:
+            suite: ``"quick"`` keeps only ``quick=True`` cases;
+                ``"full"`` keeps everything.
+            pattern: Optional regex matched (``re.search``) against case
+                names.
+
+        Raises:
+            ValueError: On an unknown suite name or a bad pattern.
+        """
+        if suite not in ("quick", "full"):
+            raise ValueError(f"unknown suite {suite!r} (quick/full)")
+        cases = self.all_cases()
+        if suite == "quick":
+            cases = [c for c in cases if c.quick]
+        if pattern is not None:
+            try:
+                matcher = re.compile(pattern)
+            except re.error as error:
+                raise ValueError(
+                    f"bad case filter {pattern!r}: {error}"
+                ) from error
+            cases = [c for c in cases if matcher.search(c.name)]
+        return cases
+
+
+#: The process-wide registry :mod:`repro.bench.cases` populates.
+DEFAULT_REGISTRY = BenchRegistry()
+
+#: Module-level decorator aliases bound to the default registry.
+perf_case = DEFAULT_REGISTRY.perf_case
+quality_case = DEFAULT_REGISTRY.quality_case

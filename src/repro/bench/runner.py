@@ -1,0 +1,180 @@
+"""Execution of benchmark cases into artifact case records.
+
+:func:`run_cases` walks a case selection, times perf cases with the
+adaptive timer and evaluates quality cases, and returns the list of
+JSON-ready case records the artifact layer persists.  Each case runs
+under its own pipeline trace with a ``bench.case`` root span (so
+``--stage-profile``-style tooling and the flight recorder see benchmark
+work like any other), and every run feeds the ``echoimage_bench_*``
+metrics so a scrape of a long-lived process shows what the last
+benchmark session measured.
+
+Example:
+    >>> from repro.bench.registry import BenchRegistry
+    >>> from repro.bench.runner import run_cases
+    >>> reg = BenchRegistry()
+    >>> @reg.perf_case("demo.noop", group="demo",
+    ...                timer={"min_repeats": 2, "max_repeats": 3})
+    ... def _build(ctx):
+    ...     return lambda: None
+    >>> records = run_cases(reg.select("quick"), context=None)
+    >>> records[0]["name"], records[0]["kind"]
+    ('demo.noop', 'perf')
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.bench.registry import BenchCase
+from repro.bench.timer import measure
+from repro.obs import get_registry
+from repro.obs.tracer import start_trace, trace
+
+#: Timer defaults per suite: the quick suite trades statistical depth
+#: for CI wall time; the full suite converges harder.
+SUITE_TIMER_DEFAULTS: dict[str, dict] = {
+    "quick": {
+        "warmup": 1,
+        "min_repeats": 5,
+        "max_repeats": 20,
+        "target_cv": 0.10,
+        "max_time_s": 1.5,
+    },
+    "full": {
+        "warmup": 2,
+        "min_repeats": 10,
+        "max_repeats": 50,
+        "target_cv": 0.05,
+        "max_time_s": 5.0,
+    },
+}
+
+
+def _bench_metrics(registry):
+    """The ``echoimage_bench_*`` metric families (registered on demand)."""
+    return {
+        "cases": registry.counter(
+            "echoimage_bench_cases_total",
+            "Benchmark cases executed",
+            labels=("kind",),
+        ),
+        "duration": registry.gauge(
+            "echoimage_bench_case_duration_seconds",
+            "Median wall time of the last run of each perf case",
+            labels=("case",),
+        ),
+        "quality": registry.gauge(
+            "echoimage_bench_quality",
+            "Value of the last run of each quality case",
+            labels=("case",),
+        ),
+    }
+
+
+def run_cases(
+    cases: Iterable[BenchCase],
+    context=None,
+    suite: str = "quick",
+    timer_overrides: Mapping | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Execute ``cases`` and return their artifact records.
+
+    Args:
+        cases: The selection to run (see
+            :meth:`repro.bench.registry.BenchRegistry.select`).
+        context: The shared workload context passed to every case
+            builder (``None`` is fine for self-contained cases).
+        suite: Timer-default profile (``quick`` / ``full``).
+        timer_overrides: Extra :func:`~repro.bench.timer.measure`
+            keyword overrides applied to every perf case (after the
+            suite defaults, before the case's own ``timer`` mapping).
+        progress: Optional per-case callback (e.g. ``print``).
+
+    Returns:
+        One JSON-serialisable record per case, in execution order.
+    """
+    defaults = SUITE_TIMER_DEFAULTS.get(suite, SUITE_TIMER_DEFAULTS["quick"])
+    metrics = _bench_metrics(get_registry())
+    records: list[dict] = []
+    for case in cases:
+        with start_trace():
+            with trace(
+                "bench.case", case=case.name, kind=case.kind,
+                group=case.group,
+            ) as span:
+                if case.kind == "perf":
+                    record = _run_perf(case, context, defaults,
+                                       timer_overrides)
+                    span.set("median_s", record["median_s"])
+                    span.set("repeats", record["repeats"])
+                    metrics["duration"].labels(case=case.name).set(
+                        record["median_s"]
+                    )
+                else:
+                    record = _run_quality(case, context)
+                    span.set("value", record["value"])
+                    metrics["quality"].labels(case=case.name).set(
+                        record["value"]
+                    )
+                metrics["cases"].labels(kind=case.kind).inc()
+        records.append(record)
+        if progress is not None:
+            progress(_format_progress(record))
+    return records
+
+
+def _run_perf(
+    case: BenchCase,
+    context,
+    defaults: Mapping,
+    timer_overrides: Mapping | None,
+) -> dict:
+    fn = case.build(context)
+    options = dict(defaults)
+    if timer_overrides:
+        options.update(timer_overrides)
+    if case.timer:
+        options.update(case.timer)
+    result = measure(fn, **options)
+    record = {
+        "name": case.name,
+        "kind": "perf",
+        "group": case.group,
+        "description": case.description,
+        "unit": case.unit,
+    }
+    record.update(result.to_dict())
+    return record
+
+
+def _run_quality(case: BenchCase, context) -> dict:
+    outcome = case.build(context)
+    meta: dict = {}
+    if isinstance(outcome, tuple):
+        value, meta = outcome
+    else:
+        value = outcome
+    return {
+        "name": case.name,
+        "kind": "quality",
+        "group": case.group,
+        "description": case.description,
+        "unit": case.unit,
+        "value": float(value),
+        "higher_is_better": case.higher_is_better,
+        "meta": dict(meta),
+    }
+
+
+def _format_progress(record: dict) -> str:
+    if record["kind"] == "perf":
+        return (
+            f"  {record['name']:<28s} median "
+            f"{record['median_s'] * 1e3:9.3f} ms  "
+            f"iqr {record['iqr_s'] * 1e3:8.3f} ms  "
+            f"n={record['repeats']}"
+            f"{'' if record['converged'] else '  (not converged)'}"
+        )
+    return f"  {record['name']:<28s} value  {record['value']:9.4f}"

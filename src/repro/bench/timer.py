@@ -1,0 +1,183 @@
+"""A statistically honest micro/macro benchmark timer.
+
+Single-shot wall times flap: the first call pays cache warmup, a
+background process steals a core, the allocator hiccups.  The continuous
+benchmarking gate (:mod:`repro.bench.compare`) can only hold a tight
+threshold if the numbers it compares are stable, so :func:`measure`
+
+* runs ``warmup`` untimed calls first (JIT-ish caches, steering memos,
+  pool spawns);
+* repeats adaptively — at least ``min_repeats`` samples, then keeps
+  sampling until the robust coefficient of variation (IQR / median)
+  drops under ``target_cv`` or a repeat/time cap is hit;
+* reports *robust* statistics — median, IQR, MAD — next to the plain
+  mean/min/max, so one stolen core widens the spread instead of moving
+  the headline number;
+* counts outliers (samples beyond ``median + 3 * 1.4826 * MAD``) so a
+  noisy run is visible in the artifact;
+* reads an injectable monotonic ``clock`` (default
+  :func:`time.perf_counter`) exactly twice per invocation, which makes
+  the repeat/convergence logic unit-testable under a fake clock.
+
+Example:
+    >>> from repro.bench.timer import measure
+    >>> ticks = iter(range(100))                # fake clock: 1s per call
+    >>> result = measure(lambda: None, warmup=1, min_repeats=4,
+    ...                  target_cv=0.5, clock=lambda: next(ticks))
+    >>> result.repeats, result.median_s, result.converged
+    (4, 1.0, True)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro.obs.report import percentile
+
+#: Scale factor turning a MAD into a stdev-comparable spread for normal
+#: data; the classic 1 / Phi^-1(3/4).
+MAD_TO_SIGMA = 1.4826
+
+#: Samples farther than this many (scaled) MADs above the median are
+#: flagged as outliers.
+OUTLIER_MADS = 3.0
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """The distribution of one benchmark case's repeat wall times.
+
+    Attributes:
+        repeats: Timed samples taken (warmup excluded).
+        warmup: Untimed warmup calls that preceded the samples.
+        median_s: Median sample duration — the headline number.
+        iqr_s: Interquartile range (p75 - p25) of the samples.
+        mad_s: Median absolute deviation from the median.
+        mean_s: Plain mean.
+        min_s: Fastest sample.
+        max_s: Slowest sample.
+        cv: Robust coefficient of variation (IQR / median; 0 when the
+            median is 0).
+        outliers: Samples beyond ``median + 3 * 1.4826 * MAD``.
+        converged: Whether ``cv <= target_cv`` was reached before a
+            repeat/time cap stopped the sampling.
+        total_s: Summed wall time of all samples plus warmup.
+    """
+
+    repeats: int
+    warmup: int
+    median_s: float
+    iqr_s: float
+    mad_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    cv: float
+    outliers: int
+    converged: bool
+    total_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (artifact case fields)."""
+        return asdict(self)
+
+
+def robust_cv(samples: list[float]) -> float:
+    """IQR / median of ``samples`` (0.0 when the median is 0)."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    median = percentile(samples, 50.0)
+    if median <= 0.0:
+        return 0.0
+    return (percentile(samples, 75.0) - percentile(samples, 25.0)) / median
+
+
+def measure(
+    fn,
+    *,
+    warmup: int = 1,
+    min_repeats: int = 5,
+    max_repeats: int = 30,
+    target_cv: float = 0.10,
+    max_time_s: float = 2.0,
+    clock=time.perf_counter,
+) -> TimingResult:
+    """Time ``fn()`` adaptively until the spread is trustworthy.
+
+    Sampling stops at the first of: the robust CV dropping to
+    ``target_cv`` (with at least ``min_repeats`` samples), the
+    ``max_repeats`` cap, or the ``max_time_s`` wall-time budget (which
+    still guarantees two samples, so an IQR always exists).
+
+    Args:
+        fn: Zero-argument callable to benchmark.
+        warmup: Untimed leading calls.
+        min_repeats: Samples to take before testing convergence.
+        max_repeats: Hard repeat cap.
+        target_cv: Robust-CV convergence threshold.
+        max_time_s: Wall-time budget over warmup plus samples.
+        clock: Monotonic clock, read exactly twice per invocation.
+
+    Returns:
+        The :class:`TimingResult`.
+
+    Raises:
+        ValueError: On nonsensical parameters.
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if min_repeats < 2:
+        raise ValueError(f"min_repeats must be >= 2, got {min_repeats}")
+    if max_repeats < min_repeats:
+        raise ValueError(
+            f"max_repeats ({max_repeats}) < min_repeats ({min_repeats})"
+        )
+    if target_cv <= 0:
+        raise ValueError(f"target_cv must be positive, got {target_cv}")
+    if max_time_s <= 0:
+        raise ValueError(f"max_time_s must be positive, got {max_time_s}")
+
+    spent = 0.0
+    for _ in range(warmup):
+        started = clock()
+        fn()
+        spent += clock() - started
+
+    samples: list[float] = []
+    converged = False
+    while True:
+        started = clock()
+        fn()
+        duration = clock() - started
+        samples.append(duration)
+        spent += duration
+        n = len(samples)
+        if n >= min_repeats and robust_cv(samples) <= target_cv:
+            converged = True
+            break
+        if n >= max_repeats:
+            break
+        if spent >= max_time_s and n >= 2:
+            break
+
+    median = percentile(samples, 50.0)
+    iqr = percentile(samples, 75.0) - percentile(samples, 25.0)
+    deviations = [abs(s - median) for s in samples]
+    mad = percentile(deviations, 50.0)
+    cutoff = median + OUTLIER_MADS * MAD_TO_SIGMA * mad
+    outliers = sum(1 for s in samples if s > cutoff) if mad > 0 else 0
+    return TimingResult(
+        repeats=len(samples),
+        warmup=warmup,
+        median_s=median,
+        iqr_s=iqr,
+        mad_s=mad,
+        mean_s=sum(samples) / len(samples),
+        min_s=min(samples),
+        max_s=max(samples),
+        cv=robust_cv(samples),
+        outliers=outliers,
+        converged=converged,
+        total_s=spent,
+    )

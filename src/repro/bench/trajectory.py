@@ -1,0 +1,106 @@
+"""Rendering the accumulated ``BENCH_*.json`` stream as a trajectory.
+
+Where :mod:`repro.bench.compare` answers *did this commit regress
+against one baseline*, the trajectory report answers *how have the
+numbers moved over time*: it loads every artifact in a directory (in
+sequence order) and renders one markdown table — cases as rows, runs as
+columns — suitable for pasting into EXPERIMENTS.md.
+
+Example:
+    >>> from repro.bench.trajectory import render_markdown
+    >>> doc = {"schema": 1, "kind": "bench", "suite": "quick",
+    ...        "created_unix": 0.0,
+    ...        "environment": {"git_sha": "abcdef1234567"},
+    ...        "cases": [{"name": "q", "kind": "quality", "value": 0.5,
+    ...                   "higher_is_better": True, "unit": "rate"}]}
+    >>> print(render_markdown([("BENCH_0001", doc)]).splitlines()[2])
+    | q | 0.5000 |
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.artifact import list_artifacts, load_artifact
+
+
+def load_trajectory(directory: str | Path) -> list[tuple[str, dict]]:
+    """Every artifact in ``directory`` as ``(stem, document)`` pairs.
+
+    A broken artifact in the stream is a real problem, so validation
+    errors propagate instead of being skipped.
+    """
+    return [
+        (path.stem, load_artifact(path))
+        for path in list_artifacts(directory)
+    ]
+
+
+def _column_header(stem: str, document: dict) -> str:
+    sha = (document.get("environment") or {}).get("git_sha")
+    short = f" @{sha[:7]}" if isinstance(sha, str) and sha else ""
+    return f"{stem}{short}"
+
+
+def _cell(case: dict | None) -> str:
+    if case is None:
+        return "-"
+    if case["kind"] == "perf":
+        median_ms = case["median_s"] * 1e3
+        iqr_ms = case.get("iqr_s", 0.0) * 1e3
+        return f"{median_ms:.2f} ± {iqr_ms:.2f} ms (n={case['repeats']})"
+    return f"{case['value']:.4f}"
+
+
+def render_markdown(
+    artifacts: list[tuple[str, dict]],
+    max_columns: int = 6,
+) -> str:
+    """One markdown table over the newest ``max_columns`` artifacts.
+
+    Rows are case names in the order the newest artifact lists them
+    (cases only older artifacts know are appended at the bottom); perf
+    cells show ``median ± IQR (n=repeats)`` in milliseconds, quality
+    cells the metric value.
+
+    Args:
+        artifacts: ``(stem, document)`` pairs, oldest first (the shape
+            :func:`load_trajectory` returns).
+        max_columns: Keep only the newest runs to bound table width.
+
+    Raises:
+        ValueError: When no artifacts are given.
+    """
+    if not artifacts:
+        raise ValueError("no benchmark artifacts to render")
+    window = artifacts[-max_columns:]
+
+    order: list[str] = []
+    for _, document in reversed(window):
+        for case in document["cases"]:
+            if case["name"] not in order:
+                order.append(case["name"])
+
+    headers = ["case"] + [
+        _column_header(stem, doc) for stem, doc in window
+    ]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(["---"] * len(headers)) + "|",
+    ]
+    for name in order:
+        row = [name]
+        for _, document in window:
+            match = next(
+                (c for c in document["cases"] if c["name"] == name), None
+            )
+            row.append(_cell(match))
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_directory(
+    directory: str | Path, max_columns: int = 6
+) -> str:
+    """Load a directory's artifact stream and render its markdown table."""
+    return render_markdown(load_trajectory(directory), max_columns)

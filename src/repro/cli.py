@@ -347,10 +347,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     try:
         for name in names:
-            started = time.time()
+            # perf_counter, not time.time(): wall clock is not monotonic
+            # (NTP slew can make durations jump or go negative).
+            started = time.perf_counter()
             print(f"\n=== {name} (scale {scale}) ===")
             EXPERIMENTS[name](scale)
-            print(f"[{name} finished in {time.time() - started:.0f}s]")
+            print(
+                f"[{name} finished in "
+                f"{time.perf_counter() - started:.0f}s]"
+            )
     finally:
         if profiler is not None:
             profiler.uninstall()

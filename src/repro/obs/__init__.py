@@ -23,13 +23,18 @@ The subsystem has three layers:
   file on demand or on batch failure;
 * :mod:`repro.obs.server` — :class:`ObservabilityServer`, a
   dependency-free ``http.server`` endpoint exposing ``/metrics``,
-  ``/healthz``, ``/readyz``, ``/traces`` and ``/drift`` live.
+  ``/healthz``, ``/readyz``, ``/traces`` and ``/drift`` live;
+* :mod:`repro.obs.envinfo` — :func:`environment_fingerprint`, the
+  commit/interpreter/numpy/CPU/``REPRO_SCALE`` stamp carried by every
+  JSON artifact (metrics dumps, stage reports, flight black boxes and
+  the ``BENCH_*.json`` records of :mod:`repro.bench`).
 
 The instrumented stage names emitted by the EchoImage pipeline are listed
 in :data:`STAGES`; the metric names are tabulated in
 ``docs/ARCHITECTURE.md``.
 """
 
+from repro.obs.envinfo import environment_fingerprint
 from repro.obs.drift import (
     DriftAlert,
     DriftBaseline,
@@ -94,10 +99,12 @@ STAGES = (
     "auth.svdd",
     "auth.svm",
     "serve.batch",
+    "bench.case",
 )
 
 __all__ = [
     "SCHEMA_VERSION",
+    "environment_fingerprint",
     "Counter",
     "Gauge",
     "Histogram",

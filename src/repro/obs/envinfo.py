@@ -1,0 +1,85 @@
+"""Environment fingerprinting for observability and benchmark artifacts.
+
+Every JSON artifact the repo emits — stage-latency reports, metrics
+dumps, flight-recorder black boxes and ``BENCH_*.json`` benchmark
+records — answers questions like *did this number move because the code
+changed or because the machine changed?* only when it says where it was
+produced.  :func:`environment_fingerprint` captures the axes that
+actually move the numbers: the commit, the interpreter and numpy
+versions, the CPU budget and the ``REPRO_SCALE`` workload knob.
+
+The git lookup shells out once per process (cached); everything else is
+recomputed per call so tests that monkeypatch ``REPRO_SCALE`` see the
+live value.
+
+Example:
+    >>> from repro.obs.envinfo import environment_fingerprint
+    >>> fp = environment_fingerprint()
+    >>> sorted(fp) == [
+    ...     'cpu_count', 'git_sha', 'hostname', 'machine', 'numpy',
+    ...     'platform', 'python', 'repro_scale',
+    ... ]
+    True
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform
+import subprocess
+import sys
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str | None:
+    """The current commit sha, or ``None`` outside a git checkout.
+
+    Tries ``git rev-parse HEAD`` in the working directory first (the
+    scripts all run from the repository root), then the ``GITHUB_SHA``
+    environment variable CI exports even on shallow checkouts.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+        if proc.returncode == 0:
+            sha = proc.stdout.strip()
+            if sha:
+                return sha
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA") or None
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return None
+    return str(numpy.__version__)
+
+
+def environment_fingerprint() -> dict:
+    """The environment axes that make two artifacts comparable.
+
+    Returns:
+        JSON-serialisable mapping with keys ``git_sha`` (``None``
+        outside a checkout), ``python``, ``numpy``, ``platform``,
+        ``machine``, ``hostname``, ``cpu_count`` and ``repro_scale``
+        (the raw ``REPRO_SCALE`` value, ``None`` when unset).
+    """
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "hostname": platform.node(),
+        "cpu_count": os.cpu_count(),
+        "repro_scale": os.environ.get("REPRO_SCALE") or None,
+    }

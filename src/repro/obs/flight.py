@@ -173,9 +173,12 @@ class FlightRecorder:
             total_events = self._total_events
         requests = self.requests(limit)
         events = self.events(limit)
+        from repro.obs.envinfo import environment_fingerprint
+
         return {
             "schema": SCHEMA_VERSION,
             "kind": "flight_recorder",
+            "environment": environment_fingerprint(),
             "max_requests": self.max_requests,
             "max_events": self.max_events,
             "total_requests": total_requests,

@@ -471,7 +471,14 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> dict:
-        """Versioned JSON-serialisable snapshot (``"schema": 1``)."""
+        """Versioned JSON-serialisable snapshot (``"schema": 1``).
+
+        Carries the :func:`~repro.obs.envinfo.environment_fingerprint`
+        of the producing process, so dumps from different machines or
+        commits stay comparable; :meth:`merge` ignores the field.
+        """
+        from repro.obs.envinfo import environment_fingerprint
+
         metrics = []
         for family in self.families():
             entry: dict = {
@@ -498,7 +505,11 @@ class MetricsRegistry:
                         {"labels": label_dict, "value": child.value}
                     )
             metrics.append(entry)
-        return {"schema": SCHEMA_VERSION, "metrics": metrics}
+        return {
+            "schema": SCHEMA_VERSION,
+            "environment": environment_fingerprint(),
+            "metrics": metrics,
+        }
 
     def to_json(self, **kwargs) -> str:
         """The :meth:`to_dict` snapshot as a JSON document."""

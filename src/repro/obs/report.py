@@ -158,10 +158,18 @@ def render_json(stats: list[StageStats], **kwargs) -> str:
 
     The document carries ``"schema": 1`` (see
     :data:`repro.obs.tracer.SCHEMA_VERSION`) so downstream consumers can
-    detect format changes.
+    detect format changes, plus the producing process's
+    :func:`~repro.obs.envinfo.environment_fingerprint` so reports from
+    different machines/commits stay comparable.
     """
+    from repro.obs.envinfo import environment_fingerprint
+
     return json.dumps(
-        {"schema": SCHEMA_VERSION, "stages": [s.to_dict() for s in stats]},
+        {
+            "schema": SCHEMA_VERSION,
+            "environment": environment_fingerprint(),
+            "stages": [s.to_dict() for s in stats],
+        },
         **kwargs,
     )
 

@@ -1,0 +1,143 @@
+"""BENCH_*.json artifact schema round-trip and sequencing tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.artifact import (
+    BENCH_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_seq,
+    build_artifact,
+    list_artifacts,
+    load_artifact,
+    next_artifact_path,
+    save_artifact,
+    validate_artifact,
+)
+
+
+def perf_record(name="imaging.image", median=0.01, iqr=0.001, repeats=9):
+    return {
+        "name": name,
+        "kind": "perf",
+        "group": "imaging",
+        "unit": "s",
+        "median_s": median,
+        "iqr_s": iqr,
+        "repeats": repeats,
+    }
+
+
+def quality_record(name="quality.eer", value=0.0, higher=False):
+    return {
+        "name": name,
+        "kind": "quality",
+        "group": "quality",
+        "unit": "rate",
+        "value": value,
+        "higher_is_better": higher,
+    }
+
+
+class TestBuildAndValidate:
+    def test_build_stamps_schema_and_environment(self):
+        doc = build_artifact([perf_record()], suite="quick")
+        assert doc["schema"] == BENCH_SCHEMA_VERSION
+        assert doc["kind"] == "bench"
+        assert doc["suite"] == "quick"
+        assert doc["created_unix"] > 0
+        env = doc["environment"]
+        for key in ("git_sha", "python", "numpy", "cpu_count",
+                    "repro_scale"):
+            assert key in env
+
+    def test_unknown_schema_rejected(self):
+        doc = build_artifact([perf_record()], suite="quick")
+        doc["schema"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ArtifactError, match="unsupported"):
+            validate_artifact(doc)
+
+    def test_wrong_kind_rejected(self):
+        doc = build_artifact([], suite="quick")
+        doc["kind"] = "flight_recorder"
+        with pytest.raises(ArtifactError, match="not a bench artifact"):
+            validate_artifact(doc)
+
+    def test_duplicate_case_names_rejected(self):
+        with pytest.raises(ArtifactError, match="duplicate"):
+            build_artifact([perf_record(), perf_record()], suite="quick")
+
+    def test_perf_case_missing_statistics_rejected(self):
+        broken = perf_record()
+        del broken["iqr_s"]
+        with pytest.raises(ArtifactError, match="iqr_s"):
+            build_artifact([broken], suite="quick")
+
+    def test_quality_case_missing_direction_rejected(self):
+        broken = quality_record()
+        del broken["higher_is_better"]
+        with pytest.raises(ArtifactError, match="higher_is_better"):
+            build_artifact([broken], suite="quick")
+
+    def test_unknown_case_kind_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown kind"):
+            build_artifact(
+                [{"name": "x", "kind": "vibes"}], suite="quick"
+            )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        doc = build_artifact(
+            [perf_record(), quality_record()],
+            suite="quick",
+            created_unix=123.0,
+        )
+        path = save_artifact(doc, tmp_path / "BENCH_0001.json")
+        loaded = load_artifact(path)
+        assert loaded == doc
+
+    def test_load_rejects_unknown_schema_on_disk(self, tmp_path):
+        doc = build_artifact([perf_record()], suite="quick")
+        doc["schema"] = 99
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError, match="schema 99"):
+            load_artifact(path)
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+
+class TestSequencing:
+    def test_first_artifact_is_0001(self, tmp_path):
+        assert next_artifact_path(tmp_path).name == "BENCH_0001.json"
+
+    def test_sequence_advances_past_the_newest(self, tmp_path):
+        doc = build_artifact([], suite="quick")
+        save_artifact(doc, tmp_path / "BENCH_0001.json")
+        save_artifact(doc, tmp_path / "BENCH_0007.json")
+        assert next_artifact_path(tmp_path).name == "BENCH_0008.json"
+
+    def test_list_orders_by_sequence_and_ignores_strangers(self, tmp_path):
+        doc = build_artifact([], suite="quick")
+        save_artifact(doc, tmp_path / "BENCH_0010.json")
+        save_artifact(doc, tmp_path / "BENCH_0002.json")
+        (tmp_path / "BENCH_late.json").write_text("{}")
+        (tmp_path / "metrics.json").write_text("{}")
+        names = [p.name for p in list_artifacts(tmp_path)]
+        assert names == ["BENCH_0002.json", "BENCH_0010.json"]
+
+    def test_artifact_seq_parses_names(self):
+        assert artifact_seq("BENCH_0042.json") == 42
+        assert artifact_seq("BENCH_42.json") is None
+        assert artifact_seq("bench.json") is None
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        assert list_artifacts(tmp_path / "nope") == []

@@ -1,0 +1,254 @@
+"""Compare-gate decision tests over fixture artifacts.
+
+The acceptance behaviour of the CI gate: an injected 2x slowdown fails,
+an identical re-run passes, an improvement is reported without failing,
+and a case silently dropped from the current run fails unless allowed.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.artifact import ArtifactError, build_artifact, save_artifact
+from repro.bench.compare import (
+    DEFAULT_QUALITY_TOLERANCE,
+    DEFAULT_TIMING_RATIO,
+    compare_artifacts,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture_artifact():
+    """A small baseline: two perf cases, one quality case."""
+    return build_artifact(
+        [
+            {
+                "name": "imaging.image",
+                "kind": "perf",
+                "group": "imaging",
+                "unit": "s",
+                "median_s": 0.050,
+                "iqr_s": 0.002,
+                "repeats": 9,
+            },
+            {
+                "name": "signal.matched_filter",
+                "kind": "perf",
+                "group": "signal",
+                "unit": "s",
+                "median_s": 0.0016,
+                "iqr_s": 0.0001,
+                "repeats": 12,
+            },
+            {
+                "name": "quality.eer",
+                "kind": "quality",
+                "group": "quality",
+                "unit": "rate",
+                "value": 0.02,
+                "higher_is_better": False,
+            },
+        ],
+        suite="quick",
+        created_unix=1_000.0,
+        environment={"git_sha": "feedface"},
+    )
+
+
+def with_case(document, name, **updates):
+    document = copy.deepcopy(document)
+    for case in document["cases"]:
+        if case["name"] == name:
+            case.update(updates)
+            return document
+    raise KeyError(name)
+
+
+def statuses(report):
+    return {c.name: c.status for c in report.cases}
+
+
+class TestGateDecisions:
+    def test_identical_rerun_passes(self):
+        base = fixture_artifact()
+        report = compare_artifacts(base, copy.deepcopy(base))
+        assert report.failed is False
+        assert set(statuses(report).values()) == {"ok"}
+        assert "PASS" in report.render_text()
+
+    def test_injected_2x_slowdown_fails(self):
+        base = fixture_artifact()
+        slow = with_case(base, "imaging.image", median_s=0.100)
+        report = compare_artifacts(base, slow)
+        assert report.failed is True
+        assert statuses(report)["imaging.image"] == "regressed"
+        assert [c.name for c in report.regressions] == ["imaging.image"]
+        assert "FAIL" in report.render_text()
+
+    def test_large_ratio_within_pooled_iqr_is_noise(self):
+        # 2x ratio but the whole shift is inside run-to-run spread:
+        # the second key of the gate holds it back.
+        base = fixture_artifact()
+        base = with_case(base, "imaging.image", median_s=0.001,
+                         iqr_s=0.004)
+        noisy = with_case(base, "imaging.image", median_s=0.002,
+                          iqr_s=0.004)
+        report = compare_artifacts(base, noisy)
+        assert report.failed is False
+        assert statuses(report)["imaging.image"] == "ok"
+
+    def test_small_slowdown_within_ratio_passes(self):
+        base = fixture_artifact()
+        mild = with_case(base, "imaging.image", median_s=0.060)
+        report = compare_artifacts(base, mild)
+        assert report.failed is False
+
+    def test_improvement_reported_not_failed(self):
+        base = fixture_artifact()
+        fast = with_case(base, "imaging.image", median_s=0.010)
+        report = compare_artifacts(base, fast)
+        assert report.failed is False
+        assert statuses(report)["imaging.image"] == "improved"
+        assert "speedup" in report.render_text()
+
+    def test_quality_regression_fails_in_harmful_direction(self):
+        # EER is lower-is-better: a rise beyond tolerance fails …
+        base = fixture_artifact()
+        worse = with_case(base, "quality.eer", value=0.08)
+        report = compare_artifacts(base, worse)
+        assert report.failed is True
+        assert statuses(report)["quality.eer"] == "regressed"
+
+    def test_quality_improvement_is_not_a_failure(self):
+        # … while a drop of the same size is an improvement.
+        base = with_case(fixture_artifact(), "quality.eer", value=0.08)
+        better = with_case(base, "quality.eer", value=0.02)
+        report = compare_artifacts(base, better)
+        assert report.failed is False
+        assert statuses(report)["quality.eer"] == "improved"
+
+    def test_quality_within_tolerance_is_ok(self):
+        base = fixture_artifact()
+        nudged = with_case(
+            base, "quality.eer",
+            value=0.02 + DEFAULT_QUALITY_TOLERANCE / 2,
+        )
+        report = compare_artifacts(base, nudged)
+        assert report.failed is False
+
+
+class TestCaseSets:
+    def test_missing_case_fails_by_default(self):
+        base = fixture_artifact()
+        shrunk = copy.deepcopy(base)
+        shrunk["cases"] = [c for c in shrunk["cases"]
+                           if c["name"] != "quality.eer"]
+        report = compare_artifacts(base, shrunk)
+        assert report.failed is True
+        assert statuses(report)["quality.eer"] == "missing"
+
+    def test_missing_case_tolerated_when_allowed(self):
+        base = fixture_artifact()
+        shrunk = copy.deepcopy(base)
+        shrunk["cases"] = [c for c in shrunk["cases"]
+                           if c["name"] != "quality.eer"]
+        report = compare_artifacts(base, shrunk, allow_missing=True)
+        assert report.failed is False
+
+    def test_new_case_noted_not_gated(self):
+        base = fixture_artifact()
+        grown = copy.deepcopy(base)
+        grown["cases"].append(
+            {
+                "name": "serve.batch_thread",
+                "kind": "perf",
+                "group": "serve",
+                "unit": "s",
+                "median_s": 0.2,
+                "iqr_s": 0.01,
+                "repeats": 5,
+            }
+        )
+        report = compare_artifacts(base, grown)
+        assert report.failed is False
+        assert statuses(report)["serve.batch_thread"] == "new"
+
+    def test_kind_change_regresses(self):
+        base = fixture_artifact()
+        mutated = copy.deepcopy(base)
+        for case in mutated["cases"]:
+            if case["name"] == "quality.eer":
+                case.update(kind="perf", median_s=0.02, iqr_s=0.0,
+                            repeats=1)
+        report = compare_artifacts(base, mutated)
+        assert report.failed is True
+
+
+class TestValidation:
+    def test_timing_ratio_must_exceed_one(self):
+        base = fixture_artifact()
+        with pytest.raises(ValueError, match="timing_ratio"):
+            compare_artifacts(base, base, timing_ratio=1.0)
+
+    def test_quality_tolerance_must_be_nonnegative(self):
+        base = fixture_artifact()
+        with pytest.raises(ValueError, match="quality_tolerance"):
+            compare_artifacts(base, base, quality_tolerance=-0.1)
+
+    def test_malformed_artifact_rejected(self):
+        base = fixture_artifact()
+        with pytest.raises(ArtifactError):
+            compare_artifacts(base, {"schema": 42})
+
+    def test_default_thresholds_recorded_in_report(self):
+        base = fixture_artifact()
+        report = compare_artifacts(base, base)
+        assert report.timing_ratio == DEFAULT_TIMING_RATIO
+        assert report.quality_tolerance == DEFAULT_QUALITY_TOLERANCE
+
+
+class TestCompareScript:
+    """scripts/bench_compare.py exit codes over fixture artifacts."""
+
+    def run_script(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "bench_compare.py"),
+             *args],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+
+    def test_identical_rerun_exits_zero(self, tmp_path):
+        base = fixture_artifact()
+        save_artifact(base, tmp_path / "BENCH_0001.json")
+        save_artifact(base, tmp_path / "BENCH_0002.json")
+        proc = self.run_script("--dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "PASS" in proc.stdout
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path):
+        base = fixture_artifact()
+        slow = with_case(base, "imaging.image", median_s=0.100)
+        save_artifact(base, tmp_path / "BENCH_0001.json")
+        save_artifact(slow, tmp_path / "BENCH_0002.json")
+        proc = self.run_script("--dir", str(tmp_path))
+        assert proc.returncode == 1, proc.stdout
+        assert "FAIL" in proc.stdout
+
+    def test_explicit_against_baseline(self, tmp_path):
+        base = fixture_artifact()
+        save_artifact(base, tmp_path / "BENCH_0005.json")
+        current = tmp_path / "current.json"
+        save_artifact(copy.deepcopy(base), current)
+        proc = self.run_script(
+            str(current), "--against", str(tmp_path / "BENCH_0005.json")
+        )
+        assert proc.returncode == 0, proc.stderr

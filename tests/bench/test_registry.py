@@ -1,0 +1,154 @@
+"""Registry selection, the shipped case catalogue, and run_cases."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.bench.cases  # noqa: F401  (populates DEFAULT_REGISTRY)
+from repro.bench.artifact import build_artifact
+from repro.bench.registry import BenchCase, BenchRegistry, DEFAULT_REGISTRY
+from repro.bench.runner import run_cases
+from repro.obs import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    reg = BenchRegistry()
+
+    @reg.perf_case("demo.fast", group="demo",
+                   timer={"min_repeats": 2, "max_repeats": 3, "warmup": 0})
+    def _fast(ctx):
+        return lambda: None
+
+    @reg.perf_case("demo.slow", group="demo", quick=False,
+                   timer={"min_repeats": 2, "max_repeats": 2, "warmup": 0})
+    def _slow(ctx):
+        return lambda: None
+
+    @reg.quality_case("demo.metric", group="demo", higher_is_better=True)
+    def _metric(ctx):
+        return 0.75, {"note": "fixture"}
+
+    return reg
+
+
+class TestRegistry:
+    def test_quick_suite_excludes_full_only_cases(self, registry):
+        names = [c.name for c in registry.select(suite="quick")]
+        assert names == ["demo.fast", "demo.metric"]
+
+    def test_full_suite_keeps_everything(self, registry):
+        names = [c.name for c in registry.select(suite="full")]
+        assert names == ["demo.fast", "demo.slow", "demo.metric"]
+
+    def test_pattern_filters_by_regex(self, registry):
+        names = [c.name
+                 for c in registry.select(suite="full", pattern=r"\.s")]
+        assert names == ["demo.slow"]
+
+    def test_bad_pattern_rejected(self, registry):
+        with pytest.raises(ValueError, match="bad case filter"):
+            registry.select(pattern="[unclosed")
+
+    def test_unknown_suite_rejected(self, registry):
+        with pytest.raises(ValueError, match="unknown suite"):
+            registry.select(suite="weekend")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.perf_case("demo.fast", group="demo")(lambda ctx: None)
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ValueError, match="unknown case kind"):
+            registry.register(
+                BenchCase(name="x", kind="vibes", group="demo",
+                          build=lambda ctx: None)
+            )
+
+
+class TestShippedCatalogue:
+    """Guards on the real case set in repro.bench.cases."""
+
+    def test_quick_suite_meets_the_coverage_floor(self):
+        quick = DEFAULT_REGISTRY.select(suite="quick")
+        perf = [c for c in quick if c.kind == "perf"]
+        quality = [c for c in quick if c.kind == "quality"]
+        assert len(perf) >= 8
+        assert len(quality) >= 2
+
+    def test_full_suite_is_a_superset_of_quick(self):
+        quick = {c.name for c in DEFAULT_REGISTRY.select(suite="quick")}
+        full = {c.name for c in DEFAULT_REGISTRY.select(suite="full")}
+        assert quick < full
+
+    def test_hot_kernels_are_covered(self):
+        names = {c.name for c in DEFAULT_REGISTRY.all_cases()}
+        for expected in (
+            "signal.matched_filter",
+            "array.mvdr_weights",
+            "imaging.image",
+            "imaging.image_batch",
+            "features.extract",
+            "pipeline.authenticate",
+            "serve.batch_thread",
+            "quality.eer",
+            "quality.identification_accuracy",
+        ):
+            assert expected in names
+
+    def test_every_case_has_a_description(self):
+        for case in DEFAULT_REGISTRY.all_cases():
+            assert case.description, case.name
+
+
+class TestRunCases:
+    def test_records_feed_a_valid_artifact(self, registry):
+        records = run_cases(registry.select(suite="full"), context=None)
+        assert [r["kind"] for r in records] == ["perf", "perf", "quality"]
+        document = build_artifact(records, suite="full")
+        assert len(document["cases"]) == 3
+
+    def test_perf_record_carries_timer_statistics(self, registry):
+        (record,) = run_cases(
+            registry.select(suite="quick", pattern="demo.fast")
+        )
+        for key in ("median_s", "iqr_s", "mad_s", "repeats", "cv",
+                    "converged", "outliers"):
+            assert key in record
+        assert record["repeats"] >= 2
+
+    def test_quality_record_carries_value_and_meta(self, registry):
+        (record,) = run_cases(
+            registry.select(suite="full", pattern="demo.metric")
+        )
+        assert record["value"] == 0.75
+        assert record["higher_is_better"] is True
+        assert record["meta"] == {"note": "fixture"}
+
+    def test_runs_update_bench_metrics(self, registry):
+        metrics = MetricsRegistry()
+        previous = set_registry(metrics)
+        try:
+            run_cases(registry.select(suite="full"))
+        finally:
+            set_registry(previous)
+        rendered = metrics.render_prometheus()
+        assert 'echoimage_bench_cases_total{kind="perf"} 2' in rendered
+        assert 'echoimage_bench_cases_total{kind="quality"} 1' in rendered
+        assert ('echoimage_bench_quality{case="demo.metric"} 0.75'
+                in rendered)
+
+    def test_timer_overrides_apply_before_case_timer(self, registry):
+        # The case pins max_repeats=3; the override floor of min_repeats=2
+        # still applies underneath it.
+        (record,) = run_cases(
+            registry.select(suite="quick", pattern="demo.fast"),
+            timer_overrides={"max_time_s": 10.0},
+        )
+        assert record["repeats"] <= 3
+
+    def test_progress_callback_sees_every_case(self, registry):
+        seen: list[str] = []
+        run_cases(registry.select(suite="full"), progress=seen.append)
+        assert len(seen) == 3
+        assert any("demo.metric" in line for line in seen)

@@ -1,0 +1,147 @@
+"""Statistical-timer tests under a deterministic fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timer import TimingResult, measure, robust_cv
+
+
+class FakeClock:
+    """Scripted monotonic clock.
+
+    ``measure`` reads the clock exactly twice per invocation (start and
+    end), so a list of per-invocation durations fully scripts a run:
+    invocation ``i`` appears to take ``durations[i]`` seconds, warmup
+    invocations first.
+    """
+
+    def __init__(self, durations):
+        self._values = []
+        now = 0.0
+        for duration in durations:
+            self._values.append(now)
+            now += duration
+            self._values.append(now)
+        self._index = 0
+
+    def __call__(self) -> float:
+        value = self._values[self._index]
+        self._index += 1
+        return value
+
+    @property
+    def reads(self) -> int:
+        return self._index
+
+
+class TestRobustCv:
+    def test_constant_samples_have_zero_cv(self):
+        assert robust_cv([2.0, 2.0, 2.0]) == 0.0
+
+    def test_zero_median_is_not_a_division_error(self):
+        assert robust_cv([0.0, 0.0, 0.0]) == 0.0
+
+    def test_spread_raises_cv(self):
+        assert robust_cv([1.0, 1.0, 2.0, 2.0]) > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_cv([])
+
+
+class TestMeasureConvergence:
+    def test_constant_durations_converge_at_min_repeats(self):
+        clock = FakeClock([0.5] * 10)  # warmup + up to 9 samples
+        result = measure(
+            lambda: None, warmup=1, min_repeats=4, max_repeats=9,
+            target_cv=0.10, max_time_s=100.0, clock=clock,
+        )
+        assert result.repeats == 4
+        assert result.converged is True
+        assert result.median_s == pytest.approx(0.5)
+        assert result.iqr_s == pytest.approx(0.0)
+        assert result.cv == 0.0
+        # warmup + 4 samples, two clock reads each
+        assert clock.reads == 2 * 5
+
+    def test_noisy_durations_run_to_max_repeats(self):
+        # Alternating fast/slow keeps the robust CV far above target.
+        durations = [0.1, 1.0] * 10
+        clock = FakeClock(durations)
+        result = measure(
+            lambda: None, warmup=0, min_repeats=3, max_repeats=6,
+            target_cv=0.01, max_time_s=1000.0, clock=clock,
+        )
+        assert result.repeats == 6
+        assert result.converged is False
+        assert result.cv > 0.01
+
+    def test_time_budget_stops_sampling_early(self):
+        clock = FakeClock([10.0] * 10)
+        result = measure(
+            lambda: None, warmup=0, min_repeats=5, max_repeats=10,
+            target_cv=0.0001, max_time_s=15.0, clock=clock,
+        )
+        # Two samples exist (the guaranteed minimum for an IQR) even
+        # though the second already blew the budget.
+        assert result.repeats == 2
+        assert result.converged is False
+        assert result.total_s == pytest.approx(20.0)
+
+    def test_warmup_durations_are_excluded_from_statistics(self):
+        # A pathological 100s warmup call must not move the median.
+        clock = FakeClock([100.0, 1.0, 1.0, 1.0, 1.0])
+        result = measure(
+            lambda: None, warmup=1, min_repeats=4, max_repeats=4,
+            target_cv=0.5, max_time_s=1000.0, clock=clock,
+        )
+        assert result.warmup == 1
+        assert result.median_s == pytest.approx(1.0)
+        assert result.max_s == pytest.approx(1.0)
+        assert result.total_s == pytest.approx(104.0)  # budget sees it
+
+    def test_outlier_is_flagged_not_headlined(self):
+        clock = FakeClock([1.0, 2.0, 1.0, 2.0, 1.0, 20.0])
+        result = measure(
+            lambda: None, warmup=0, min_repeats=6, max_repeats=6,
+            target_cv=0.01, max_time_s=1000.0, clock=clock,
+        )
+        assert result.outliers == 1
+        assert result.median_s == pytest.approx(1.5)
+        assert result.max_s == pytest.approx(20.0)
+
+    def test_fn_actually_runs(self):
+        calls = []
+        clock = FakeClock([0.1] * 8)
+        measure(
+            lambda: calls.append(1), warmup=2, min_repeats=3,
+            max_repeats=5, target_cv=0.5, max_time_s=100.0, clock=clock,
+        )
+        assert len(calls) == 2 + 3
+
+
+class TestMeasureValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup": -1},
+            {"min_repeats": 1},
+            {"min_repeats": 6, "max_repeats": 5},
+            {"target_cv": 0.0},
+            {"max_time_s": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            measure(lambda: None, clock=FakeClock([0.1] * 100), **kwargs)
+
+    def test_to_dict_round_trips_fields(self):
+        clock = FakeClock([0.5] * 5)
+        result = measure(
+            lambda: None, warmup=0, min_repeats=3, max_repeats=3,
+            target_cv=0.5, max_time_s=100.0, clock=clock,
+        )
+        data = result.to_dict()
+        assert TimingResult(**data) == result
+        assert data["repeats"] == 3

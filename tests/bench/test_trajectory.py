@@ -1,0 +1,106 @@
+"""Trajectory markdown rendering over an artifact stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.artifact import build_artifact, save_artifact
+from repro.bench.trajectory import (
+    load_trajectory,
+    render_directory,
+    render_markdown,
+)
+
+
+def make_artifact(sha, image_median, eer, extra_case=False):
+    cases = [
+        {
+            "name": "imaging.image",
+            "kind": "perf",
+            "group": "imaging",
+            "unit": "s",
+            "median_s": image_median,
+            "iqr_s": 0.001,
+            "repeats": 7,
+        },
+        {
+            "name": "quality.eer",
+            "kind": "quality",
+            "group": "quality",
+            "unit": "rate",
+            "value": eer,
+            "higher_is_better": False,
+        },
+    ]
+    if extra_case:
+        cases.append(
+            {
+                "name": "features.extract",
+                "kind": "perf",
+                "group": "features",
+                "unit": "s",
+                "median_s": 0.004,
+                "iqr_s": 0.0002,
+                "repeats": 9,
+            }
+        )
+    return build_artifact(
+        cases, suite="quick", created_unix=0.0,
+        environment={"git_sha": sha},
+    )
+
+
+class TestRenderMarkdown:
+    def test_runs_become_columns_and_cases_rows(self):
+        table = render_markdown(
+            [
+                ("BENCH_0001", make_artifact("a" * 40, 0.050, 0.02)),
+                ("BENCH_0002", make_artifact("b" * 40, 0.045, 0.02)),
+            ]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith(
+            "| case | BENCH_0001 @aaaaaaa | BENCH_0002 @bbbbbbb |"
+        )
+        assert "| imaging.image | 50.00 ± 1.00 ms (n=7) " in table
+        assert "| quality.eer | 0.0200 | 0.0200 |" in table
+
+    def test_case_only_in_newer_run_shows_a_gap(self):
+        table = render_markdown(
+            [
+                ("BENCH_0001", make_artifact("a" * 40, 0.050, 0.02)),
+                ("BENCH_0002",
+                 make_artifact("b" * 40, 0.050, 0.02, extra_case=True)),
+            ]
+        )
+        assert "| features.extract | - | 4.00 ± 0.20 ms (n=9) |" in table
+
+    def test_window_keeps_the_newest_columns(self):
+        artifacts = [
+            (f"BENCH_{i:04d}", make_artifact("c" * 40, 0.05, 0.02))
+            for i in range(1, 5)
+        ]
+        table = render_markdown(artifacts, max_columns=2)
+        assert "BENCH_0003" in table and "BENCH_0004" in table
+        assert "BENCH_0001" not in table
+
+    def test_missing_sha_omits_the_suffix(self):
+        doc = make_artifact(None, 0.05, 0.02)
+        table = render_markdown([("BENCH_0001", doc)])
+        assert "| case | BENCH_0001 |" in table.splitlines()[0]
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="no benchmark artifacts"):
+            render_markdown([])
+
+
+class TestDirectoryStream:
+    def test_load_and_render_round_trip(self, tmp_path):
+        save_artifact(make_artifact("d" * 40, 0.05, 0.02),
+                      tmp_path / "BENCH_0001.json")
+        save_artifact(make_artifact("e" * 40, 0.04, 0.02),
+                      tmp_path / "BENCH_0002.json")
+        loaded = load_trajectory(tmp_path)
+        assert [stem for stem, _ in loaded] == ["BENCH_0001", "BENCH_0002"]
+        table = render_directory(tmp_path)
+        assert "@ddddddd" in table and "@eeeeeee" in table

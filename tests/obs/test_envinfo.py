@@ -1,0 +1,69 @@
+"""Environment fingerprinting and its stamping into JSON artifacts."""
+
+from __future__ import annotations
+
+import json
+import platform
+
+from repro.obs import FlightRecorder, MetricsRegistry
+from repro.obs.envinfo import environment_fingerprint
+from repro.obs.report import render_json
+
+
+EXPECTED_KEYS = {
+    "git_sha", "python", "numpy", "platform", "machine", "hostname",
+    "cpu_count", "repro_scale",
+}
+
+
+class TestFingerprint:
+    def test_carries_exactly_the_documented_axes(self):
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == EXPECTED_KEYS
+
+    def test_values_are_json_serialisable(self):
+        assert json.loads(json.dumps(environment_fingerprint())) == (
+            environment_fingerprint()
+        )
+
+    def test_interpreter_version_is_live(self):
+        assert environment_fingerprint()["python"] == (
+            platform.python_version()
+        )
+
+    def test_git_sha_resolves_inside_the_repo(self):
+        # The test process runs from the repository checkout, so the sha
+        # must be a full 40-hex commit (or CI's GITHUB_SHA).
+        sha = environment_fingerprint()["git_sha"]
+        assert isinstance(sha, str) and len(sha) == 40
+        int(sha, 16)
+
+    def test_repro_scale_reflects_the_live_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.125")
+        assert environment_fingerprint()["repro_scale"] == "0.125"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert environment_fingerprint()["repro_scale"] is None
+
+
+class TestArtifactStamping:
+    """Every JSON dump the obs stack writes carries the fingerprint."""
+
+    def test_metrics_snapshot_is_stamped(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "demo").inc()
+        document = registry.to_dict()
+        assert set(document["environment"]) == EXPECTED_KEYS
+        # to_json round-trips the same document.
+        assert json.loads(registry.to_json())["environment"] == (
+            document["environment"]
+        )
+
+    def test_stage_report_json_is_stamped(self):
+        document = json.loads(render_json([]))
+        assert set(document["environment"]) == EXPECTED_KEYS
+
+    def test_flight_recorder_black_box_is_stamped(self):
+        recorder = FlightRecorder()
+        recorder.record_event("startup", detail="test")
+        document = recorder.to_dict()
+        assert set(document["environment"]) == EXPECTED_KEYS
