@@ -1,0 +1,108 @@
+"""Check intra-repo links in the markdown docs.
+
+Walks every tracked ``*.md`` file and verifies that each relative link
+or image target resolves to a file or directory inside the repository
+(anchors, ``http(s)://`` and ``mailto:`` targets are skipped).  Exits 1
+listing every broken link — this is the CI ``docs`` job's gate, so a
+renamed file cannot silently orphan the documentation that points at
+it:
+
+    PYTHONPATH=src python scripts/check_docs.py
+    PYTHONPATH=src python scripts/check_docs.py README.md docs/
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks — link syntax inside them is example text.
+FENCE_PATTERN = re.compile(r"^(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: list[str]) -> list[Path]:
+    """The files to check: defaults to every ``*.md`` in the repo."""
+    if not arguments:
+        return sorted(
+            path
+            for path in REPO_ROOT.rglob("*.md")
+            if ".git" not in path.parts
+        )
+    files: list[Path] = []
+    for argument in arguments:
+        path = (REPO_ROOT / argument).resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def iter_links(text: str):
+    """``(line_number, target)`` pairs outside fenced code blocks."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, target in iter_links(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            problems.append(
+                f"{shown}:{line_number}: broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="EchoImage markdown intra-repo link checker"
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: whole repo)",
+    )
+    args = parser.parse_args(argv)
+
+    files = markdown_files(args.paths)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

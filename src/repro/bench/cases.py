@@ -71,6 +71,7 @@ class BenchContext:
         self.seed = seed
         self._memo: dict = {}
         self._authenticators: dict = {}
+        self._temp_dirs: list = []
 
     def memo(self, key, build):
         """Build-once cache: ``build()`` runs only for an unseen key."""
@@ -79,10 +80,15 @@ class BenchContext:
         return self._memo[key]
 
     def close(self) -> None:
-        """Shut down every serving pool the context opened."""
+        """Shut down serving pools and delete on-disk store roots."""
         for authenticator in self._authenticators.values():
             authenticator.close()
         self._authenticators.clear()
+        import shutil
+
+        for path in self._temp_dirs:
+            shutil.rmtree(path, ignore_errors=True)
+        self._temp_dirs.clear()
 
     def __enter__(self) -> "BenchContext":
         return self
@@ -222,6 +228,76 @@ class BenchContext:
                 self.bundle(), ServingConfig(backend=backend)
             )
         return self._authenticators[backend]
+
+    # -- sharded enrollment store -------------------------------------
+
+    #: Embedding dimensionality of the synthetic store populations.
+    #: Identification cost is dimension-linear in stage 1 and
+    #: kernel-evaluation-bound in stage 2, so a compact dimension keeps
+    #: the 1000-user setup inside CI budgets without changing the
+    #: scaling shape the ``identify.pop_*`` cases measure.
+    STORE_DIM = 16
+
+    #: Enrollment embeddings per synthetic store user.
+    STORE_SAMPLES = 6
+
+    def population(self, num_users: int):
+        """Deterministic synthetic embedding clusters for ``num_users``.
+
+        Returns:
+            ``(centers, per_user)`` — per-user cluster centres and a
+            label -> ``(STORE_SAMPLES, STORE_DIM)`` embedding mapping.
+        """
+
+        def build():
+            rng = np.random.default_rng(self.seed + 7 * num_users)
+            centers = rng.normal(0.0, 10.0, (num_users, self.STORE_DIM))
+            per_user = {
+                f"user-{i:04d}": centers[i]
+                + rng.normal(0.0, 0.5, (self.STORE_SAMPLES, self.STORE_DIM))
+                for i in range(num_users)
+            }
+            return centers, per_user
+
+        return self.memo(("population", num_users), build)
+
+    def enrollment_store(self, num_users: int):
+        """An on-disk sharded store enrolled with ``num_users`` users.
+
+        Shard count scales with the population (target ~8 users per
+        shard) so stage-2 cost stays flat by construction — exactly the
+        deployment guidance of ``docs/SCALING.md``.
+        """
+
+        def build():
+            import tempfile
+
+            from repro.io.store import EnrollmentStore
+
+            _, per_user = self.population(num_users)
+            root = tempfile.mkdtemp(prefix=f"bench-store-{num_users}-")
+            self._temp_dirs.append(root)
+            store = EnrollmentStore.open(
+                root,
+                num_shards=max(1, num_users // 8),
+                candidate_k=8,
+            )
+            store.enroll_batch(per_user)
+            return store
+
+        return self.memo(("store", num_users), build)
+
+    def store_probe(self, num_users: int):
+        """A fresh 4-sample attempt by a mid-population enrolled user."""
+
+        def build():
+            centers, _ = self.population(num_users)
+            rng = np.random.default_rng(self.seed + 13 * num_users)
+            return centers[num_users // 2] + rng.normal(
+                0.0, 0.5, (4, self.STORE_DIM)
+            )
+
+        return self.memo(("store_probe", num_users), build)
 
     # -- multi-user evaluation ----------------------------------------
 
@@ -448,6 +524,39 @@ perf_case(
 
 
 # ---------------------------------------------------------------------------
+# Perf cases — sharded identification at growing populations
+# ---------------------------------------------------------------------------
+
+#: Inner-loop factor of the identify cases: one two-stage lookup sits in
+#: the hundreds-of-microseconds range, same jitter regime as the array
+#: kernels above.
+IDENTIFY_LOOP = 10
+
+
+def _identify_builder(num_users: int):
+    def build(ctx: BenchContext):
+        store = ctx.enrollment_store(num_users)
+        probe = ctx.store_probe(num_users)
+        store.identify(probe)  # warm the candidate shards' lazy loads
+
+        return _looped(lambda: store.identify(probe), n=IDENTIFY_LOOP)
+
+    return build
+
+
+for _pop in (10, 100, 1000):
+    perf_case(
+        f"identify.pop_{_pop}",
+        group="identify",
+        description=f"Two-stage store identification against {_pop} "
+        f"enrolled users (centroid prefilter -> shard SVM, k=8, "
+        f"x{IDENTIFY_LOOP} per timed invocation)",
+        timer={"warmup": 1, "max_time_s": 10.0},
+    )(_identify_builder(_pop))
+del _pop
+
+
+# ---------------------------------------------------------------------------
 # Quality cases — reproduced numbers at fixed seeds
 # ---------------------------------------------------------------------------
 
@@ -501,4 +610,32 @@ def _quality_spoofer_detection(ctx: BenchContext):
     return float(result.spoofer_accuracy), {
         "num_registered": 3,
         "num_spoofers": 2,
+    }
+
+
+@quality_case(
+    "quality.prefilter_recall",
+    group="quality",
+    unit="rate",
+    higher_is_better=True,
+    description="Fraction of fresh probes whose true user survives the "
+    "stage-1 centroid prefilter (100-user store, k=8, seed 20230048)",
+)
+def _quality_prefilter_recall(ctx: BenchContext):
+    num_users = 100
+    store = ctx.enrollment_store(num_users)
+    centers, _ = ctx.population(num_users)
+    rng = np.random.default_rng(ctx.seed + 17)
+    probed = rng.choice(num_users, size=20, replace=False)
+    hits = 0
+    for user in probed:
+        probe = centers[user] + rng.normal(
+            0.0, 0.5, (4, BenchContext.STORE_DIM)
+        )
+        candidates = store.prefilter.candidates(probe, store.candidate_k)
+        hits += f"user-{user:04d}" in candidates
+    return hits / probed.size, {
+        "num_users": num_users,
+        "num_probes": int(probed.size),
+        "k": store.candidate_k,
     }

@@ -205,6 +205,33 @@ def _print_serve_batch(scale: float) -> None:
     )
 
 
+def _print_identify_scale(scale: float) -> None:
+    result = experiments.run_identify_scale(scale=scale)
+    rows = []
+    base = result.median_latency_s[result.populations[0]]
+    for population in result.populations:
+        median = result.median_latency_s[population]
+        rows.append(
+            [
+                population,
+                result.num_shards[population],
+                f"{1e3 * median:.3f}",
+                f"{median / base:.2f}x",
+                f"{result.prefilter_recall[population]:.2f}",
+                f"{result.accuracy[population]:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["users", "shards", "identify median (ms)", "vs smallest",
+             "stage-1 recall", "accuracy"],
+            rows,
+            title=f"Sub-linear identification — sharded store, "
+            f"k={result.candidate_k}",
+        )
+    )
+
+
 EXPERIMENTS = {
     "table1": _print_table1,
     "fig5": _print_fig5,
@@ -215,6 +242,7 @@ EXPERIMENTS = {
     "fig14": _print_fig14,
     "drift": _print_drift,
     "serve-batch": _print_serve_batch,
+    "identify-scale": _print_identify_scale,
 }
 
 

@@ -215,20 +215,32 @@ class MultiUserAuthenticator:
             raise RuntimeError("authenticator not fitted; call fit(...) first")
         return self._svdd.decision_function(self._scaler.transform(features))
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(
+        self, features: np.ndarray, candidates=None
+    ) -> np.ndarray:
         """Authenticate a batch of samples.
+
+        Args:
+            features: Shape ``(n, d)`` feature matrix.
+            candidates: Optional subset of the registered users to
+                identify among — the sub-linear path of the sharded
+                enrollment store restricts the SVM vote to the
+                prefilter's candidate set.
 
         Returns:
             Per-sample label: the identified user id, or ``SPOOFER_LABEL``
             when the SVDD gate rejects the sample.
         """
-        return self.decide(features)[0]
+        return self.decide(features, candidates=candidates)[0]
 
-    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def decide(
+        self, features: np.ndarray, candidates=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Per-sample ``(labels, svdd_scores)``.
 
         The gate scores feed the drift monitors; accepted samples also
         record their n-class SVM vote margin into the metrics registry.
+        ``candidates`` restricts the SVM vote as in :meth:`predict`.
         """
         if self.user_labels_ is None or self._svdd is None:
             raise RuntimeError("authenticator not fitted; call fit(...) first")
@@ -261,7 +273,7 @@ class MultiUserAuthenticator:
                         num_samples=num_accepted,
                     ):
                         labels, margins = self._svm.predict_with_margins(
-                            scaled[accepted]
+                            scaled[accepted], candidates=candidates
                         )
                         result[accepted] = labels
                         if metrics is not None:

@@ -26,6 +26,10 @@ name                                      type       labels              observe
 ``echoimage_image_band_energy``           gauge      ``band``            per-sub-band summed pixel energy
 ``echoimage_feature_embedding_norm``      histogram  —                   mean L2 norm of extracted embeddings
 ``echoimage_drift_alerts_total``          counter    ``monitor``, ``kind``  edge-triggered drift alerts raised per monitor
+``echoimage_identify_requests_total``     counter    ``outcome``         store identifications (identified/rejected/empty)
+``echoimage_identify_candidates``         histogram  —                   prefilter candidate-set sizes (k after clipping)
+``echoimage_identify_latency_seconds``    histogram  —                   two-stage identify wall time (prefilter + shard)
+``echoimage_identify_shard_refits_total`` counter    ``reason``          per-shard refits triggered by enroll/revoke
 ``echoimage_serve_requests_total``        counter    ``outcome``         batch-serving requests (ok/degraded/error/timeout)
 ``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
 ``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
@@ -63,6 +67,17 @@ NORM_BUCKETS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
 #: Buckets for per-request serving latency, in seconds.
 SERVE_LATENCY_BUCKETS = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Buckets for prefilter candidate-set sizes (powers of two up to the
+#: largest k anyone should reasonably configure).
+CANDIDATE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Buckets for the two-stage identify wall time: sub-millisecond through
+#: tens of milliseconds — far finer than serving latency because the
+#: identification path must stay near-flat as the population grows.
+IDENTIFY_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
 )
 
 
@@ -134,6 +149,26 @@ class PipelineMetrics:
             "echoimage_drift_alerts_total",
             "Edge-triggered drift alerts raised, by monitor and kind",
             labels=("monitor", "kind"),
+        )
+        self.identify_requests: MetricFamily = registry.counter(
+            "echoimage_identify_requests_total",
+            "Sharded-store identifications by outcome",
+            labels=("outcome",),
+        )
+        self.identify_candidates: MetricFamily = registry.histogram(
+            "echoimage_identify_candidates",
+            "Prefilter candidate-set sizes per identification",
+            buckets=CANDIDATE_BUCKETS,
+        )
+        self.identify_latency: MetricFamily = registry.histogram(
+            "echoimage_identify_latency_seconds",
+            "Two-stage (prefilter + shard) identification wall time",
+            buckets=IDENTIFY_LATENCY_BUCKETS,
+        )
+        self.identify_shard_refits: MetricFamily = registry.counter(
+            "echoimage_identify_shard_refits_total",
+            "Per-shard classifier refits, by triggering operation",
+            labels=("reason",),
         )
         self.serve_requests: MetricFamily = registry.counter(
             "echoimage_serve_requests_total",

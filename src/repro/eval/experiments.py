@@ -976,3 +976,129 @@ def run_serve_batch(
         max_score_delta=max_delta,
         decisions_match=decisions_match,
     )
+
+
+# ---------------------------------------------------------------------------
+# Sub-linear identification at scale (sharded enrollment store)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IdentifyScaleResult:
+    """Result of the population-scaling identification experiment.
+
+    Attributes:
+        populations: Enrolled-user counts swept.
+        candidate_k: Stage-1 candidate-set size used throughout.
+        num_shards: ``population -> shard count`` of each store.
+        median_latency_s: ``population -> median identify() wall time``.
+        accuracy: ``population -> fraction of fresh probes identified
+            as their true user``.
+        prefilter_recall: ``population -> fraction of probes whose true
+            user survived stage 1``.
+    """
+
+    populations: tuple[int, ...]
+    candidate_k: int
+    num_shards: dict
+    median_latency_s: dict
+    accuracy: dict
+    prefilter_recall: dict
+
+
+def run_identify_scale(
+    populations: tuple[int, ...] = (10, 100, 1000),
+    num_probes: int = 20,
+    samples_per_user: int = 6,
+    feature_dim: int = 16,
+    candidate_k: int = 8,
+    repeats: int = 5,
+    seed_base: int = 20230048,
+    scale: float | None = None,
+) -> IdentifyScaleResult:
+    """Measure two-stage identification latency as the population grows.
+
+    For each population size a sharded
+    :class:`~repro.io.store.EnrollmentStore` (about eight users per
+    shard) is enrolled with synthetic per-user embedding clusters, then
+    probed with fresh attempts by enrolled users.  The headline claim is
+    the ROADMAP's sub-linear identification: because stage 1 narrows the
+    vote to ``candidate_k`` users and stage 2 only consults the shards
+    holding them, the median lookup should stay near-flat while the
+    population grows 100x.
+
+    Args:
+        populations: Enrolled-user counts to sweep.
+        num_probes: Fresh probe attempts per population.
+        samples_per_user: Enrollment embeddings per user.
+        feature_dim: Synthetic embedding dimensionality.
+        candidate_k: Stage-1 candidate-set size.
+        repeats: Timed ``identify`` repetitions per probe (median taken
+            over ``num_probes * repeats`` lookups, after one warm-up
+            pass that pages in the candidate shards).
+        seed_base: Experiment seed.
+        scale: Workload scale applied to the probe count.
+
+    Returns:
+        The :class:`IdentifyScaleResult`.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.io.store import EnrollmentStore
+
+    num_probes = max(scaled(num_probes, scale), 4)
+    num_shards: dict = {}
+    median_latency_s: dict = {}
+    accuracy: dict = {}
+    prefilter_recall: dict = {}
+    for population in populations:
+        rng = np.random.default_rng(seed_base + 7 * population)
+        centers = rng.normal(0.0, 10.0, (population, feature_dim))
+        per_user = {
+            f"user-{i:04d}": centers[i]
+            + rng.normal(0.0, 0.5, (samples_per_user, feature_dim))
+            for i in range(population)
+        }
+        root = tempfile.mkdtemp(prefix=f"identify-scale-{population}-")
+        try:
+            store = EnrollmentStore.open(
+                root,
+                num_shards=max(1, population // 8),
+                candidate_k=candidate_k,
+            )
+            store.enroll_batch(per_user)
+            num_shards[population] = store.num_shards
+
+            probed = rng.choice(
+                population, size=min(num_probes, population), replace=False
+            )
+            latencies, hits, recalled = [], 0, 0
+            for user in probed:
+                label = f"user-{user:04d}"
+                probe = centers[user] + rng.normal(
+                    0.0, 0.5, (4, feature_dim)
+                )
+                recalled += label in store.prefilter.candidates(
+                    probe, candidate_k
+                )
+                store.identify(probe)  # page in the candidate shards
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = store.identify(probe)
+                    latencies.append(time.perf_counter() - started)
+                hits += result.label == label
+            median_latency_s[population] = float(np.median(latencies))
+            accuracy[population] = hits / probed.size
+            prefilter_recall[population] = recalled / probed.size
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return IdentifyScaleResult(
+        populations=tuple(populations),
+        candidate_k=candidate_k,
+        num_shards=num_shards,
+        median_latency_s=median_latency_s,
+        accuracy=accuracy,
+        prefilter_recall=prefilter_recall,
+    )

@@ -1,5 +1,39 @@
-"""Dataset persistence."""
+"""Persistence: datasets, model-bundle snapshots, the enrollment store.
 
-from repro.io.storage import load_image_dataset, save_image_dataset
+* :mod:`repro.io.storage` — labelled image datasets, the atomic-pickle
+  substrate, and :class:`~repro.serve.bundle.ModelBundle` snapshot
+  persistence;
+* :mod:`repro.io.store` — the persistent sharded
+  :class:`EnrollmentStore` with two-stage sub-linear identification
+  (see ``docs/SCALING.md``).
+"""
 
-__all__ = ["save_image_dataset", "load_image_dataset"]
+from repro.io.storage import (
+    StorageError,
+    load_image_dataset,
+    load_model_bundle,
+    load_pickle,
+    save_image_dataset,
+    save_model_bundle,
+    save_pickle,
+)
+from repro.io.store import (
+    EnrollmentStore,
+    IdentificationResult,
+    ShardState,
+    shard_of,
+)
+
+__all__ = [
+    "EnrollmentStore",
+    "IdentificationResult",
+    "ShardState",
+    "StorageError",
+    "load_image_dataset",
+    "load_model_bundle",
+    "load_pickle",
+    "save_image_dataset",
+    "save_model_bundle",
+    "save_pickle",
+    "shard_of",
+]

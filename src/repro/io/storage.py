@@ -1,16 +1,53 @@
-"""Saving and loading acoustic-image datasets.
+"""Persistence primitives: image datasets, snapshots, atomic pickles.
 
-Collections are expensive to simulate (and, on hardware, expensive to
-record), so the harness can persist labelled image sets as a compressed
-``.npz`` plus a JSON metadata side-car.
+Three layers live here:
+
+* labelled acoustic-image datasets as a compressed ``.npz`` plus a JSON
+  metadata side-car (collections are expensive to simulate and, on
+  hardware, expensive to record);
+* a small atomic-pickle substrate (:func:`save_pickle` /
+  :func:`load_pickle`) used by everything that persists fitted model
+  state — writes go through a temp file + ``os.replace`` so a crash
+  mid-write never leaves a half-written file, and any unreadable or
+  wrong-kind payload surfaces as a structured :class:`StorageError`
+  instead of a raw pickle traceback;
+* snapshot persistence for the serving layer's picklable
+  :class:`~repro.serve.bundle.ModelBundle`
+  (:func:`save_model_bundle` / :func:`load_model_bundle`) and, built on
+  the same substrate, the sharded enrollment store of
+  :mod:`repro.io.store`.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import pickle
+import tempfile
 from pathlib import Path
 
 import numpy as np
+
+#: Schema version of every pickle envelope this module writes.
+PICKLE_SCHEMA = 1
+
+
+class StorageError(Exception):
+    """A persisted artifact is missing, corrupted, or of the wrong kind.
+
+    Attributes:
+        path: The offending file.
+        reason: One-line machine-readable cause (``unreadable`` /
+            ``bad-envelope`` / ``wrong-kind`` / ``missing``).
+    """
+
+    def __init__(self, path: Path | str, reason: str, detail: str = ""):
+        self.path = Path(path)
+        self.reason = reason
+        message = f"{self.path}: {reason}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
 
 
 def save_image_dataset(
@@ -85,3 +122,132 @@ def load_image_dataset(
     if side_car.exists():
         metadata = json.loads(side_car.read_text())
     return [stack[i] for i in range(stack.shape[0])], labels, metadata
+
+
+# ---------------------------------------------------------------------------
+# Atomic pickle envelopes
+# ---------------------------------------------------------------------------
+
+
+def save_pickle(path: str | Path, kind: str, payload) -> Path:
+    """Atomically persist ``payload`` in a kind-tagged pickle envelope.
+
+    The payload is wrapped as ``{"schema", "kind", "payload"}`` and
+    written to a temp file in the target directory, then moved into
+    place with ``os.replace`` — readers never observe a partial write.
+
+    Example:
+        >>> import tempfile
+        >>> from pathlib import Path
+        >>> path = Path(tempfile.mkdtemp()) / "state.pkl"
+        >>> _ = save_pickle(path, "demo-state", {"users": 3})
+        >>> load_pickle(path, "demo-state")
+        {'users': 3}
+        >>> try:
+        ...     load_pickle(path, "something-else")
+        ... except StorageError as err:
+        ...     err.reason
+        'wrong-kind'
+
+    Args:
+        path: Target file path (parent directories are created).
+        kind: Artifact kind tag checked back by :func:`load_pickle`.
+        payload: Any picklable object.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {"schema": PICKLE_SCHEMA, "kind": kind, "payload": payload}
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            pickle.dump(envelope, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_pickle(path: str | Path, kind: str):
+    """Load a :func:`save_pickle` envelope, validating its kind.
+
+    Args:
+        path: Envelope path.
+        kind: Expected artifact kind.
+
+    Returns:
+        The stored payload.
+
+    Raises:
+        StorageError: When the file is missing, unreadable (truncated or
+            corrupted pickle stream), not an envelope, or of a
+            different kind/schema — always structured, never a raw
+            ``pickle`` traceback.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(path, "missing")
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, MemoryError,
+            ImportError, IndexError, UnicodeDecodeError, ValueError) as err:
+        raise StorageError(
+            path, "unreadable", f"{type(err).__name__}: {err}"
+        ) from err
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise StorageError(path, "bad-envelope", "not a pickle envelope")
+    if envelope.get("schema") != PICKLE_SCHEMA:
+        raise StorageError(
+            path, "bad-envelope",
+            f"schema {envelope.get('schema')!r} != {PICKLE_SCHEMA}",
+        )
+    if envelope.get("kind") != kind:
+        raise StorageError(
+            path, "wrong-kind",
+            f"expected {kind!r}, found {envelope.get('kind')!r}",
+        )
+    return envelope["payload"]
+
+
+# ---------------------------------------------------------------------------
+# Model-bundle snapshots
+# ---------------------------------------------------------------------------
+
+#: Envelope kind of serving-layer model-bundle snapshots.
+BUNDLE_KIND = "echoimage-model-bundle"
+
+
+def save_model_bundle(path: str | Path, bundle) -> Path:
+    """Persist a :class:`~repro.serve.bundle.ModelBundle` snapshot.
+
+    The bundle is the picklable enrollment snapshot the serving workers
+    share; persisting it means a restarted service re-arms from disk
+    instead of re-running enrollment.  See also
+    :meth:`repro.serve.bundle.ModelBundle.save`.
+
+    Args:
+        path: Target file (conventionally ``*.bundle.pkl``).
+        bundle: The snapshot to write.
+
+    Returns:
+        The written path.
+    """
+    return save_pickle(path, BUNDLE_KIND, bundle)
+
+
+def load_model_bundle(path: str | Path):
+    """Load a bundle written by :func:`save_model_bundle`.
+
+    Raises:
+        StorageError: Missing/corrupted file or not a bundle snapshot.
+    """
+    return load_pickle(path, BUNDLE_KIND)

@@ -10,6 +10,7 @@ from repro.ml.metrics import (
     recall_score,
 )
 from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.prefilter import CentroidPrefilter
 from repro.ml.scaler import StandardScaler
 from repro.ml.svdd import SVDD
 from repro.ml.svm import BinarySVC
@@ -20,6 +21,7 @@ __all__ = [
     "rbf_kernel",
     "polynomial_kernel",
     "BinarySVC",
+    "CentroidPrefilter",
     "OneVsOneSVC",
     "SVDD",
     "StandardScaler",

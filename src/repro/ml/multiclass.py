@@ -17,6 +17,17 @@ class OneVsOneSVC:
     time each machine votes and the class with the most votes wins.  Vote
     ties are broken by the summed absolute decision margins.
 
+    A single-class fit is *degenerate but valid*: no pairwise machines
+    are trained and every prediction returns the lone class with margin
+    1.0.  The sharded enrollment store relies on this — a shard holding
+    one user (or a prefilter candidate set of one) must still answer.
+
+    Prediction can be restricted to a ``candidates`` subset of the
+    fitted classes, in which case only the machines between candidate
+    classes vote — the sub-linear identification path of
+    :meth:`repro.io.store.EnrollmentStore.identify` tallies
+    ``O(k^2)`` machines instead of ``O(n^2)``.
+
     Args:
         c: Box constraint shared by all pairwise machines.
         kernel: Kernel shared by all pairwise machines (an unset RBF gamma
@@ -44,7 +55,9 @@ class OneVsOneSVC:
 
         Args:
             x: Sample matrix of shape ``(n, d)``.
-            y: Labels of shape ``(n,)`` with at least two distinct values.
+            y: Labels of shape ``(n,)``.  A single distinct value yields
+                a degenerate classifier that always predicts that value;
+                an empty ``y`` is an error.
 
         Returns:
             ``self``.
@@ -56,9 +69,14 @@ class OneVsOneSVC:
                 f"{x.shape[0]} samples but {y.size} labels provided"
             )
         classes = np.unique(y)
-        if classes.size < 2:
-            raise ValueError("need at least two classes")
+        if classes.size < 1:
+            raise ValueError("need at least one class")
         self.classes_ = classes
+        if classes.size == 1:
+            # Degenerate-but-valid: no pairs to train, predictions are
+            # the lone class (see the class docstring).
+            self._machines = {}
+            return self
         self._machines = {}
         for first, second in itertools.combinations(classes.tolist(), 2):
             mask = (y == first) | (y == second)
@@ -72,16 +90,40 @@ class OneVsOneSVC:
             self._machines[(first, second)] = machine
         return self
 
-    def _tally(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Per-class ``(votes, summed margins)`` of all pairwise machines."""
+    def _candidate_classes(self, candidates) -> np.ndarray:
+        """The fitted classes restricted to ``candidates`` (fit order)."""
+        if candidates is None:
+            return self.classes_
+        wanted = set(np.asarray(list(candidates)).ravel().tolist())
+        if not wanted:
+            raise ValueError("candidate set must not be empty")
+        kept = np.array(
+            [label for label in self.classes_.tolist() if label in wanted]
+        )
+        if kept.size == 0:
+            raise ValueError(
+                "no candidate matches a fitted class; "
+                f"candidates={sorted(map(str, wanted))}"
+            )
+        return kept
+
+    def _tally(
+        self, x: np.ndarray, candidates=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Per-class ``(classes, votes, margins, machines)`` tallied over
+        the pairwise machines whose both classes are candidates."""
         if self.classes_ is None:
             raise RuntimeError("classifier not fitted; call fit(...) first")
         x = np.atleast_2d(np.asarray(x, dtype=float))
-        classes = self.classes_.tolist()
+        classes = self._candidate_classes(candidates).tolist()
         index = {label: k for k, label in enumerate(classes)}
         votes = np.zeros((x.shape[0], len(classes)))
         margins = np.zeros((x.shape[0], len(classes)))
+        consulted = 0
         for (first, second), machine in self._machines.items():
+            if first not in index or second not in index:
+                continue
+            consulted += 1
             scores = machine.decision_function(x)
             # machine.classes_ is sorted; scores >= 0 vote for the larger.
             lo, hi = machine.classes_[0], machine.classes_[1]
@@ -90,14 +132,20 @@ class OneVsOneSVC:
             votes[~hi_wins, index[lo]] += 1
             margins[:, index[hi]] += scores
             margins[:, index[lo]] -= scores
-        return votes, margins
+        return np.asarray(classes, dtype=object), votes, margins, consulted
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict by pairwise voting with margin tie-breaking."""
-        return self.predict_with_margins(x)[0]
+    def predict(self, x: np.ndarray, candidates=None) -> np.ndarray:
+        """Predict by pairwise voting with margin tie-breaking.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)``.
+            candidates: Optional subset of the fitted classes to vote
+                among (see the class docstring).
+        """
+        return self.predict_with_margins(x, candidates=candidates)[0]
 
     def predict_with_margins(
-        self, x: np.ndarray
+        self, x: np.ndarray, candidates=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Predicted labels plus the normalised inter-class vote margin.
 
@@ -107,8 +155,15 @@ class OneVsOneSVC:
         score-drift telemetry tracks: shrinking margins mean registered
         users are becoming harder to tell apart.  One tally serves both
         outputs, so asking for margins costs nothing extra.
+
+        Args:
+            x: Sample matrix of shape ``(n, d)``.
+            candidates: Optional subset of the fitted classes to vote
+                among; only machines between two candidate classes are
+                consulted.  A one-candidate set short-circuits to that
+                label with margin 1.0.
         """
-        votes, margins = self._tally(x)
+        classes, votes, margins, consulted = self._tally(x, candidates)
         # Lexicographic: votes first, margins second.
         combined = votes + 1e-9 * np.tanh(margins)
         winners = np.argmax(combined, axis=1)
@@ -117,9 +172,12 @@ class OneVsOneSVC:
         else:
             ordered = np.sort(votes, axis=1)
             vote_margin = (ordered[:, -1] - ordered[:, -2]) / max(
-                len(self._machines), 1
+                consulted, 1
             )
-        return self.classes_[winners], vote_margin
+        labels = classes[winners]
+        if self.classes_.dtype != object:
+            labels = labels.astype(self.classes_.dtype)
+        return labels, vote_margin
 
     def vote_margins(self, x: np.ndarray) -> np.ndarray:
         """The normalised vote margin alone (see

@@ -1,0 +1,137 @@
+"""Nearest-prototype candidate prefilter over user embedding centroids.
+
+Stage 1 of the two-stage identification path (ROADMAP item #1): instead
+of letting the ``O(n^2)``-machine one-vs-one SVM vote over every
+enrolled user, a single vectorised distance computation against one
+centroid per user narrows ``n`` users down to a ``k``-candidate set.
+The expensive SVDD gate + per-shard SVM of
+:class:`repro.io.store.EnrollmentStore` then only runs over those
+candidates, which is what keeps identification latency near-flat as the
+enrolled population grows (see ``docs/SCALING.md`` for the measured
+sweep).
+
+The prefilter is deliberately dumb — one mean embedding per user, no
+clustering, no learned metric — because the MiniVGGish embeddings the
+pipeline already extracts separate users well at centroid granularity
+and anything smarter would need retraining on enroll/revoke.  Updates
+are O(1) per user and the whole object is picklable, so the enrollment
+store persists it inside its manifest-adjacent state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CentroidPrefilter:
+    """Top-``k`` candidate selection by distance to per-user centroids.
+
+    Each enrolled user is summarised by the mean of their enrollment
+    embeddings.  A query (one or more embedding vectors of an attempt)
+    is summarised the same way, and the ``k`` users whose centroids lie
+    closest in Euclidean distance become the candidate set.
+
+    Example:
+        >>> import numpy as np
+        >>> pf = CentroidPrefilter()
+        >>> pf.add("alice", np.zeros((4, 2)))
+        >>> pf.add("bob", np.ones((4, 2)) * 5)
+        >>> pf.candidates(np.full((2, 2), 0.2), k=1)
+        ('alice',)
+        >>> pf.candidates(np.full((1, 2), 4.0), k=2)
+        ('bob', 'alice')
+        >>> pf.remove("bob")
+        >>> len(pf), "bob" in pf
+        (1, False)
+    """
+
+    def __init__(self) -> None:
+        self._centroids: dict = {}
+        # Invalidated on membership change, rebuilt lazily on query.
+        self._matrix: np.ndarray | None = None
+        self._labels: list = []
+
+    def __len__(self) -> int:
+        return len(self._centroids)
+
+    def __contains__(self, label) -> bool:
+        return label in self._centroids
+
+    @property
+    def labels(self) -> tuple:
+        """The enrolled labels, in insertion order."""
+        return tuple(self._centroids)
+
+    def add(self, label, features: np.ndarray) -> None:
+        """Set (or replace) ``label``'s centroid from its embeddings.
+
+        Args:
+            label: User identifier.
+            features: Shape ``(n, d)`` embedding matrix of the user's
+                enrollment data; the centroid is its per-dimension mean.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.size == 0:
+            raise ValueError("need at least one embedding")
+        if self._centroids:
+            dim = next(iter(self._centroids.values())).size
+            if features.shape[1] != dim:
+                raise ValueError(
+                    f"expected {dim}-dim embeddings, got {features.shape[1]}"
+                )
+        self._centroids[label] = features.mean(axis=0)
+        self._matrix = None
+
+    def remove(self, label) -> None:
+        """Forget ``label``; unknown labels are an error."""
+        if label not in self._centroids:
+            raise KeyError(f"unknown label {label!r}")
+        del self._centroids[label]
+        self._matrix = None
+
+    def _stacked(self) -> tuple[list, np.ndarray]:
+        if self._matrix is None:
+            self._labels = list(self._centroids)
+            self._matrix = np.stack(
+                [self._centroids[label] for label in self._labels]
+            )
+        return self._labels, self._matrix
+
+    def candidates(self, features: np.ndarray, k: int) -> tuple:
+        """The ``k`` enrolled labels nearest to the query embeddings.
+
+        Args:
+            features: Shape ``(n, d)`` query embeddings (an attempt's
+                beeps); they are averaged into one query centroid.
+            k: Candidate-set size; clipped to the enrolled population.
+
+        Returns:
+            Labels ordered by ascending centroid distance; empty when no
+            users are enrolled.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._centroids:
+            return ()
+        labels, matrix = self._stacked()
+        query = np.atleast_2d(np.asarray(features, dtype=float)).mean(axis=0)
+        if query.size != matrix.shape[1]:
+            raise ValueError(
+                f"expected {matrix.shape[1]}-dim embeddings, "
+                f"got {query.size}"
+            )
+        distances = np.linalg.norm(matrix - query, axis=1)
+        k = min(k, len(labels))
+        # argpartition bounds the sort to the k nearest: O(n + k log k).
+        nearest = np.argpartition(distances, k - 1)[:k]
+        ordered = nearest[np.argsort(distances[nearest], kind="stable")]
+        return tuple(labels[i] for i in ordered)
+
+    def distances(self, features: np.ndarray) -> dict:
+        """Centroid distance per enrolled label (diagnostics/tuning)."""
+        if not self._centroids:
+            return {}
+        labels, matrix = self._stacked()
+        query = np.atleast_2d(np.asarray(features, dtype=float)).mean(axis=0)
+        norms = np.linalg.norm(matrix - query, axis=1)
+        return {label: float(d) for label, d in zip(labels, norms)}

@@ -93,6 +93,43 @@ class ModelBundle:
             steering_by_band=steering_by_band,
         )
 
+    def save(self, path) -> "ModelBundle":
+        """Persist this snapshot to disk (atomic, kind-tagged pickle).
+
+        A restarted service re-arms with :meth:`load` instead of
+        re-running enrollment; the sharded enrollment store of
+        :mod:`repro.io.store` uses the same envelope substrate for its
+        per-shard state.
+
+        Args:
+            path: Target file (conventionally ``*.bundle.pkl``).
+
+        Returns:
+            ``self`` (for chaining).
+        """
+        from repro.io.storage import save_model_bundle
+
+        save_model_bundle(path, self)
+        return self
+
+    @classmethod
+    def load(cls, path) -> "ModelBundle":
+        """Load a snapshot written by :meth:`save`.
+
+        Raises:
+            repro.io.storage.StorageError: Missing or corrupted file,
+                or a pickle that is not a bundle snapshot.
+        """
+        from repro.io.storage import load_model_bundle
+
+        bundle = load_model_bundle(path)
+        if not isinstance(bundle, cls):
+            from repro.io.storage import StorageError
+
+            raise StorageError(path, "wrong-kind",
+                               f"payload is {type(bundle).__name__}")
+        return bundle
+
     def build_pipeline(
         self,
         config: EchoImageConfig | None = None,

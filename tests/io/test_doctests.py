@@ -1,0 +1,29 @@
+"""Run the enrollment-store docstring examples under the tier-1 suite.
+
+The operator docs lean on these examples (``docs/SCALING.md`` links
+straight to them), so they are executed here instead of trusting prose:
+a drifting signature breaks this test, not a reader.
+"""
+
+import doctest
+
+import pytest
+
+import repro.io.storage
+import repro.io.store
+import repro.ml.prefilter
+
+MODULES = (
+    repro.io.storage,
+    repro.io.store,
+    repro.ml.prefilter,
+)
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

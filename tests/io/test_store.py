@@ -1,0 +1,439 @@
+"""Tests for the sharded enrollment store.
+
+Durability (restart round-trips, atomic commits), revocation semantics,
+corruption handling, two-stage identification quality and the
+incremental-refit guarantees all live here; the latency-scaling claim is
+pinned by the ``identify.pop_*`` bench cases instead.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.authenticator import SPOOFER_LABEL
+from repro.io.storage import StorageError
+from repro.io.store import EnrollmentStore, shard_of
+
+DIM = 6
+SAMPLES = 8
+
+
+def make_population(num_users, seed=0, dim=DIM):
+    """Well-separated per-user embedding clusters."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 10.0, (num_users, dim))
+    per_user = {
+        f"user-{i:02d}": centers[i] + rng.normal(0.0, 0.5, (SAMPLES, dim))
+        for i in range(num_users)
+    }
+    return centers, per_user
+
+
+def probe_for(centers, user, seed=99, dim=DIM):
+    """A fresh attempt well inside the user's enrollment cluster."""
+    rng = np.random.default_rng(seed + user)
+    return centers[user] + rng.normal(0.0, 0.25, (4, dim))
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    """(store, centers) with 12 users over 4 shards."""
+    centers, per_user = make_population(12)
+    store = EnrollmentStore.open(tmp_path / "store", num_shards=4,
+                                 candidate_k=4)
+    store.enroll_batch(per_user)
+    return store, centers
+
+
+class TestShardAssignment:
+    def test_stable_across_calls(self):
+        assert shard_of("alice", 16) == shard_of("alice", 16)
+
+    def test_in_range(self):
+        for label in ("alice", 42, 3.5, ("a", 1)):
+            assert 0 <= shard_of(label, 7) < 7
+
+    def test_spreads_users(self):
+        shards = {shard_of(f"user-{i}", 8) for i in range(64)}
+        assert len(shards) >= 6
+
+
+class TestEnrollment:
+    def test_enroll_and_lookup(self, populated):
+        store, _ = populated
+        assert len(store) == 12
+        assert "user-03" in store
+        assert "nobody" not in store
+        assert store.shard_of("user-03") == shard_of("user-03", 4)
+
+    def test_spoofer_label_reserved(self, tmp_path):
+        store = EnrollmentStore.open(tmp_path / "s")
+        with pytest.raises(ValueError, match="reserved"):
+            store.enroll(SPOOFER_LABEL, np.zeros((3, DIM)))
+
+    def test_dimension_mismatch_rejected(self, populated):
+        store, _ = populated
+        with pytest.raises(ValueError, match="dim"):
+            store.enroll("late-user", np.zeros((3, DIM + 1)))
+
+    def test_failed_batch_mutates_nothing(self, populated):
+        store, _ = populated
+        before = store.users()
+        with pytest.raises(ValueError):
+            store.enroll_batch(
+                {"ok-user": np.zeros((3, DIM)),
+                 "bad-user": np.zeros((3, DIM + 1))}
+            )
+        assert store.users() == before
+        assert "ok-user" not in store
+
+    def test_empty_batch_rejected(self, populated):
+        store, _ = populated
+        with pytest.raises(ValueError, match="at least one"):
+            store.enroll_batch({})
+
+    def test_empty_features_rejected(self, tmp_path):
+        store = EnrollmentStore.open(tmp_path / "s")
+        with pytest.raises(ValueError, match="at least one sample"):
+            store.enroll("alice", np.zeros((0, DIM)))
+
+    def test_batch_equivalent_to_sequential(self, tmp_path):
+        centers, per_user = make_population(8)
+        batch = EnrollmentStore.open(tmp_path / "batch", num_shards=3,
+                                     candidate_k=4)
+        batch.enroll_batch(per_user)
+        sequential = EnrollmentStore.open(tmp_path / "seq", num_shards=3,
+                                          candidate_k=4)
+        for label, features in per_user.items():
+            sequential.enroll(label, features)
+        assert batch.users() == sequential.users()
+        for user in range(8):
+            probe = probe_for(centers, user)
+            assert (batch.identify(probe).label
+                    == sequential.identify(probe).label)
+
+
+class TestIdentification:
+    def test_identifies_every_enrolled_user(self, populated):
+        store, centers = populated
+        for user in range(12):
+            result = store.identify(probe_for(centers, user))
+            assert result.accepted
+            assert result.label == f"user-{user:02d}"
+            assert result.num_users == 12
+
+    def test_candidates_ranked_nearest_first(self, populated):
+        store, centers = populated
+        result = store.identify(probe_for(centers, 5))
+        assert result.candidates[0] == "user-05"
+        assert len(result.candidates) == store.candidate_k
+
+    def test_k_override(self, populated):
+        store, centers = populated
+        result = store.identify(probe_for(centers, 5), k=2)
+        assert len(result.candidates) == 2
+
+    def test_empty_store_rejects(self, tmp_path):
+        store = EnrollmentStore.open(tmp_path / "empty")
+        result = store.identify(np.zeros((2, DIM)))
+        assert result.label == SPOOFER_LABEL
+        assert not result.accepted
+        assert result.candidates == ()
+        assert result.shard is None
+
+    def test_single_user_store(self, tmp_path):
+        # One user -> one-class shard SVM (the degenerate OneVsOneSVC
+        # path) must still gate and identify.
+        centers, per_user = make_population(1)
+        store = EnrollmentStore.open(tmp_path / "solo", num_shards=2)
+        store.enroll("user-00", per_user["user-00"])
+        result = store.identify(probe_for(centers, 0))
+        assert result.accepted
+        assert result.label == "user-00"
+
+    def test_far_probe_rejected(self, populated):
+        store, _ = populated
+        # 60 sigma from every cluster: the deciding shard's gate must
+        # throw it out.
+        result = store.identify(np.full((4, DIM), 600.0))
+        assert result.label == SPOOFER_LABEL
+        assert not result.accepted
+
+    def test_per_sample_detail_exposed(self, populated):
+        store, centers = populated
+        result = store.identify(probe_for(centers, 2))
+        assert len(result.per_sample_labels) == 4
+        assert len(result.gate_scores) == 4
+        assert result.shard == store.shard_of(result.label)
+
+
+class TestPrefilterRecall:
+    def test_recall_floor(self, tmp_path):
+        centers, per_user = make_population(40, seed=3)
+        store = EnrollmentStore.open(tmp_path / "store", num_shards=5,
+                                     candidate_k=8)
+        store.enroll_batch(per_user)
+        hits = 0
+        for user in range(40):
+            probe = probe_for(centers, user, seed=7)
+            hits += f"user-{user:02d}" in store.prefilter.candidates(
+                probe, store.candidate_k
+            )
+        assert hits / 40 >= 0.95
+
+
+class TestDurability:
+    def test_restart_round_trip(self, tmp_path, populated):
+        store, centers = populated
+        before = {
+            user: store.identify(probe_for(centers, user)).label
+            for user in range(12)
+        }
+        reopened = EnrollmentStore.open(store.root)
+        assert reopened.users() == store.users()
+        assert reopened.num_shards == store.num_shards
+        assert reopened.candidate_k == store.candidate_k
+        for user in range(12):
+            assert (reopened.identify(probe_for(centers, user)).label
+                    == before[user])
+
+    def test_manifest_wins_over_open_arguments(self, populated):
+        store, _ = populated
+        reopened = EnrollmentStore.open(store.root, num_shards=99,
+                                        candidate_k=17)
+        assert reopened.num_shards == 4
+        assert reopened.candidate_k == 4
+
+    def test_enroll_after_reopen_lands_in_stable_shard(self, populated):
+        store, _ = populated
+        reopened = EnrollmentStore.open(store.root)
+        reopened.enroll("late-user", np.zeros((3, DIM)) + 5.0)
+        assert reopened.shard_of("late-user") == shard_of("late-user", 4)
+
+    def test_integer_labels_survive_restart(self, tmp_path):
+        centers, _ = make_population(2)
+        store = EnrollmentStore.open(tmp_path / "ints", num_shards=2)
+        store.enroll(7, centers[0] + np.zeros((SAMPLES, DIM)))
+        store.enroll(8, centers[1] + np.zeros((SAMPLES, DIM)))
+        reopened = EnrollmentStore.open(store.root)
+        assert set(reopened.users()) == {7, 8}
+        assert reopened.identify(centers[0][None, :]).label == 7
+
+    def test_no_temp_file_droppings(self, populated):
+        store, _ = populated
+        leftovers = [
+            p for p in store.root.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestRevocation:
+    def test_revoked_user_never_identified(self, populated):
+        store, centers = populated
+        store.revoke("user-07")
+        assert "user-07" not in store
+        result = store.identify(probe_for(centers, 7))
+        assert result.label != "user-07"
+        assert "user-07" not in result.candidates
+
+    def test_revocation_is_durable(self, populated):
+        store, centers = populated
+        store.revoke("user-07")
+        reopened = EnrollmentStore.open(store.root)
+        assert "user-07" not in reopened
+        assert reopened.identify(probe_for(centers, 7)).label != "user-07"
+
+    def test_unknown_user_raises(self, populated):
+        store, _ = populated
+        with pytest.raises(KeyError, match="unknown"):
+            store.revoke("nobody")
+
+    def test_emptied_shard_file_removed(self, tmp_path):
+        _, per_user = make_population(1)
+        store = EnrollmentStore.open(tmp_path / "s", num_shards=2)
+        store.enroll("user-00", per_user["user-00"])
+        shard_file = store.root / "shards" / (
+            f"shard_{store.shard_of('user-00'):04d}.pkl"
+        )
+        assert shard_file.exists()
+        store.revoke("user-00")
+        assert not shard_file.exists()
+        assert len(store) == 0
+
+    def test_emptied_store_accepts_new_dimension(self, tmp_path):
+        _, per_user = make_population(1)
+        store = EnrollmentStore.open(tmp_path / "s", num_shards=2)
+        store.enroll("user-00", per_user["user-00"])
+        store.revoke("user-00")
+        store.enroll("fresh", np.zeros((3, DIM + 4)))
+        assert "fresh" in store
+
+
+class TestIncrementalRefit:
+    def test_enroll_rewrites_only_touched_shard(self, populated):
+        store, _ = populated
+        shard_dir = store.root / "shards"
+        before = {p.name: p.stat().st_mtime_ns for p in shard_dir.iterdir()}
+        new_label = "late-user"
+        store.enroll(new_label, np.zeros((3, DIM)) + 3.0)
+        target = f"shard_{store.shard_of(new_label):04d}.pkl"
+        after = {p.name: p.stat().st_mtime_ns for p in shard_dir.iterdir()}
+        for name, mtime in before.items():
+            if name != target:
+                assert after[name] == mtime, f"{name} rewritten needlessly"
+        assert after[target] != before.get(target)
+
+    def test_batch_refits_each_shard_once(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            _, per_user = make_population(12)
+            store = EnrollmentStore.open(tmp_path / "s", num_shards=4)
+            store.enroll_batch(per_user)
+            touched = {store.shard_of(label) for label in per_user}
+            family = registry.get("echoimage_identify_shard_refits_total")
+            assert family.labels(reason="enroll").value == len(touched)
+        finally:
+            set_registry(previous)
+
+
+class TestCorruption:
+    def test_corrupted_shard_surfaces_structured_error(self, populated):
+        store, centers = populated
+        victim = store.shard_of("user-04")
+        path = store.root / "shards" / f"shard_{victim:04d}.pkl"
+        path.write_bytes(b"not a pickle")
+        fresh = EnrollmentStore.open(store.root)
+        with pytest.raises(StorageError) as excinfo:
+            fresh.identify(probe_for(centers, 4))
+        assert excinfo.value.path == path
+        assert excinfo.value.reason == "unreadable"
+
+    def test_corrupted_manifest(self, populated):
+        store, _ = populated
+        (store.root / "manifest.json").write_text("{ nope", encoding="utf-8")
+        with pytest.raises(StorageError) as excinfo:
+            EnrollmentStore.open(store.root)
+        assert excinfo.value.reason == "unreadable"
+
+    def test_wrong_kind_manifest(self, populated):
+        store, _ = populated
+        (store.root / "manifest.json").write_text(
+            json.dumps({"kind": "something-else", "schema": 1}),
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageError) as excinfo:
+            EnrollmentStore.open(store.root)
+        assert excinfo.value.reason == "wrong-kind"
+
+    def test_future_schema_rejected(self, populated):
+        store, _ = populated
+        manifest = json.loads(
+            (store.root / "manifest.json").read_text(encoding="utf-8")
+        )
+        manifest["schema"] = 999
+        (store.root / "manifest.json").write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        with pytest.raises(StorageError) as excinfo:
+            EnrollmentStore.open(store.root)
+        assert excinfo.value.reason == "bad-envelope"
+
+
+class TestConcurrency:
+    def test_parallel_enrolls_and_identifies(self, tmp_path):
+        centers, per_user = make_population(16, seed=5)
+        labels = sorted(per_user)
+        store = EnrollmentStore.open(tmp_path / "s", num_shards=4,
+                                     candidate_k=4)
+        # Seed half the population so identifiers have work immediately.
+        store.enroll_batch({k: per_user[k] for k in labels[:8]})
+        errors = []
+
+        def enroller(chunk):
+            try:
+                for label in chunk:
+                    store.enroll(label, per_user[label])
+            except Exception as err:  # pragma: no cover - fails the test
+                errors.append(err)
+
+        def identifier():
+            try:
+                for user in range(8):
+                    result = store.identify(probe_for(centers, user, seed=5))
+                    assert result.label == f"user-{user:02d}"
+            except Exception as err:  # pragma: no cover - fails the test
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=enroller, args=(labels[8:12],)),
+            threading.Thread(target=enroller, args=(labels[12:],)),
+            threading.Thread(target=identifier),
+            threading.Thread(target=identifier),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) == 16
+        reopened = EnrollmentStore.open(store.root)
+        assert set(reopened.users()) == set(labels)
+
+
+class TestTelemetry:
+    def test_identify_metrics_emitted(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            centers, per_user = make_population(6)
+            store = EnrollmentStore.open(tmp_path / "s", num_shards=2,
+                                         candidate_k=3)
+            store.enroll_batch(per_user)
+            store.identify(probe_for(centers, 1))
+            store.identify(np.full((2, DIM), 600.0))
+            requests = registry.get("echoimage_identify_requests_total")
+            assert requests.labels(outcome="identified").value == 1
+            assert requests.labels(outcome="rejected").value == 1
+            latency = registry.get("echoimage_identify_latency_seconds")
+            assert latency.labels().count == 2
+            candidates = registry.get("echoimage_identify_candidates")
+            assert candidates.labels().count == 2
+        finally:
+            set_registry(previous)
+
+    def test_identify_spans_recorded(self, tmp_path):
+        from repro.obs import start_trace
+
+        centers, per_user = make_population(6)
+        store = EnrollmentStore.open(tmp_path / "s", num_shards=2,
+                                     candidate_k=3)
+        store.enroll_batch(per_user)
+        with start_trace() as collected:
+            store.identify(probe_for(centers, 1))
+
+        def flatten(spans):
+            for span in spans:
+                yield span
+                yield from flatten(span.children)
+
+        names = [span.name for span in flatten(collected.spans)]
+        assert "identify" in names
+        assert "identify.prefilter" in names
+        assert "identify.shard" in names
+
+
+class TestValidation:
+    def test_bad_shard_count(self, tmp_path):
+        with pytest.raises(ValueError, match="num_shards"):
+            EnrollmentStore.open(tmp_path / "s", num_shards=0)
+
+    def test_bad_candidate_k(self, tmp_path):
+        with pytest.raises(ValueError, match="candidate_k"):
+            EnrollmentStore.open(tmp_path / "s", candidate_k=0)

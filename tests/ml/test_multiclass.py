@@ -42,9 +42,19 @@ class TestOneVsOne:
         svc = OneVsOneSVC(c=1.0).fit(x, y)
         assert np.mean(svc.predict(x) == y) >= 0.98
 
-    def test_single_class_rejected(self):
-        with pytest.raises(ValueError, match="two classes"):
-            OneVsOneSVC().fit(np.zeros((5, 2)), np.zeros(5))
+    def test_single_class_degenerate_but_valid(self):
+        # Regression: a one-user shard of the enrollment store must be
+        # able to fit its SVM; the old contract raised from the
+        # pairwise loop.
+        svc = OneVsOneSVC().fit(np.zeros((5, 2)), np.zeros(5))
+        assert len(svc._machines) == 0
+        labels, margins = svc.predict_with_margins(np.ones((3, 2)))
+        assert labels.tolist() == [0.0, 0.0, 0.0]
+        assert margins.tolist() == [1.0, 1.0, 1.0]
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError, match="class"):
+            OneVsOneSVC().fit(np.zeros((0, 2)), np.zeros(0))
 
     def test_predict_before_fit(self):
         with pytest.raises(RuntimeError):
@@ -68,3 +78,54 @@ class TestOneVsOne:
         svc = OneVsOneSVC(c=1.0).fit(x, y)
         predictions = svc.predict(x)
         assert set(predictions.tolist()) <= {10, 20, 30}
+
+
+class TestCandidateRestriction:
+    def fitted(self, num_classes=4):
+        rng = np.random.default_rng(7)
+        x, y = gaussian_classes(rng, num_classes=num_classes)
+        return x, y, OneVsOneSVC(c=10.0).fit(x, y)
+
+    def test_candidates_match_full_vote_on_easy_data(self):
+        x, y, svc = self.fitted()
+        subset = x[y == "user-2"]
+        full = svc.predict(subset)
+        restricted = svc.predict(subset, candidates=["user-1", "user-2"])
+        assert np.all(full == "user-2")
+        assert np.all(restricted == "user-2")
+
+    def test_prediction_never_leaves_candidate_set(self):
+        x, y, svc = self.fitted()
+        # Samples of user-0, but user-0 is not a candidate: the vote
+        # must land inside the offered set.
+        restricted = svc.predict(
+            x[y == "user-0"], candidates=["user-1", "user-3"]
+        )
+        assert set(restricted.tolist()) <= {"user-1", "user-3"}
+
+    def test_single_candidate_short_circuits(self):
+        x, y, svc = self.fitted()
+        labels, margins = svc.predict_with_margins(
+            x[:5], candidates=["user-3"]
+        )
+        assert labels.tolist() == ["user-3"] * 5
+        assert margins.tolist() == [1.0] * 5
+
+    def test_empty_candidates_rejected(self):
+        x, y, svc = self.fitted()
+        with pytest.raises(ValueError, match="empty"):
+            svc.predict(x[:2], candidates=[])
+
+    def test_unknown_candidates_rejected(self):
+        x, y, svc = self.fitted()
+        with pytest.raises(ValueError, match="fitted class"):
+            svc.predict(x[:2], candidates=["nobody"])
+
+    def test_candidate_dtype_preserved(self):
+        rng = np.random.default_rng(8)
+        xs = [rng.normal(k * 6, 0.4, (15, 2)) for k in range(3)]
+        x = np.vstack(xs)
+        y = np.array([1] * 15 + [2] * 15 + [3] * 15)
+        svc = OneVsOneSVC(c=1.0).fit(x, y)
+        restricted = svc.predict(x[:5], candidates=[1, 2])
+        assert restricted.dtype == svc.classes_.dtype

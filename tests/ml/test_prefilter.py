@@ -1,0 +1,115 @@
+"""Tests for the stage-1 centroid candidate prefilter."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml.prefilter import CentroidPrefilter
+
+
+def grid_prefilter(num_users=10, dim=3):
+    """Users placed at x = 0, 10, 20, ... along the first axis."""
+    pf = CentroidPrefilter()
+    for i in range(num_users):
+        center = np.zeros(dim)
+        center[0] = 10.0 * i
+        pf.add(f"user-{i}", center + np.zeros((4, dim)))
+    return pf
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        pf = grid_prefilter(3)
+        assert len(pf) == 3
+        assert "user-1" in pf
+        assert "ghost" not in pf
+        assert pf.labels == ("user-0", "user-1", "user-2")
+
+    def test_re_add_replaces_centroid(self):
+        pf = CentroidPrefilter()
+        pf.add("alice", np.zeros((4, 2)))
+        pf.add("alice", np.ones((4, 2)) * 9)
+        assert len(pf) == 1
+        assert pf.distances(np.ones((1, 2)) * 9)["alice"] == pytest.approx(0)
+
+    def test_remove(self):
+        pf = grid_prefilter(3)
+        pf.remove("user-1")
+        assert len(pf) == 2
+        assert "user-1" not in pf
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            grid_prefilter(2).remove("ghost")
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CentroidPrefilter().add("alice", np.zeros((0, 3)))
+
+    def test_dimension_mismatch_rejected(self):
+        pf = grid_prefilter(2, dim=3)
+        with pytest.raises(ValueError, match="3-dim"):
+            pf.add("odd", np.zeros((2, 5)))
+
+
+class TestCandidates:
+    def test_nearest_first_ordering(self):
+        pf = grid_prefilter(10)
+        query = np.zeros((2, 3))
+        query[:, 0] = 21.0
+        assert pf.candidates(query, k=3) == ("user-2", "user-3", "user-1")
+
+    def test_k_clipped_to_population(self):
+        pf = grid_prefilter(3)
+        assert len(pf.candidates(np.zeros((1, 3)), k=50)) == 3
+
+    def test_empty_prefilter_returns_empty(self):
+        assert CentroidPrefilter().candidates(np.zeros((1, 3)), k=4) == ()
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            grid_prefilter(2).candidates(np.zeros((1, 3)), k=0)
+
+    def test_query_dimension_checked(self):
+        pf = grid_prefilter(2, dim=3)
+        with pytest.raises(ValueError, match="3-dim"):
+            pf.candidates(np.zeros((1, 7)), k=1)
+
+    def test_multi_sample_query_averaged(self):
+        pf = grid_prefilter(4)
+        # Samples straddle user-2's centroid; their mean lands on it.
+        query = np.zeros((2, 3))
+        query[0, 0] = 15.0
+        query[1, 0] = 25.0
+        assert pf.candidates(query, k=1) == ("user-2",)
+
+    def test_membership_change_invalidates_cache(self):
+        pf = grid_prefilter(4)
+        pf.candidates(np.zeros((1, 3)), k=2)  # build the matrix cache
+        pf.remove("user-0")
+        query = np.zeros((1, 3))
+        assert pf.candidates(query, k=1) == ("user-1",)
+        pf.add("user-0", np.zeros((2, 3)))
+        assert pf.candidates(query, k=1) == ("user-0",)
+
+
+class TestDiagnostics:
+    def test_distances_per_label(self):
+        pf = grid_prefilter(3)
+        distances = pf.distances(np.zeros((1, 3)))
+        assert distances["user-0"] == pytest.approx(0.0)
+        assert distances["user-2"] == pytest.approx(20.0)
+
+    def test_distances_empty(self):
+        assert CentroidPrefilter().distances(np.zeros((1, 3))) == {}
+
+
+class TestPersistence:
+    def test_pickle_round_trip(self):
+        pf = grid_prefilter(5)
+        clone = pickle.loads(pickle.dumps(pf))
+        query = np.zeros((1, 3))
+        query[0, 0] = 31.0
+        assert clone.candidates(query, k=2) == pf.candidates(query, k=2)
+        assert clone.labels == pf.labels

@@ -92,3 +92,49 @@ class TestPickleRoundTrip:
             rtol=0.0,
             atol=1e-10,
         )
+
+
+class TestDiskRoundTrip:
+    def test_save_load_serves_identically(
+        self, enrolled, bundle, tmp_path
+    ):
+        pipeline, attempt = enrolled
+        path = tmp_path / "model.bundle.pkl"
+        assert bundle.save(path) is bundle
+        restored = ModelBundle.load(path)
+        reference = pipeline.authenticate(attempt)
+        served = restored.build_pipeline(
+            batched_imaging=False
+        ).authenticate(attempt)
+        assert served.label == reference.label
+        np.testing.assert_allclose(
+            np.asarray(served.scores),
+            np.asarray(reference.scores),
+            rtol=0.0,
+            atol=1e-10,
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        from repro.io.storage import StorageError
+
+        with pytest.raises(StorageError) as excinfo:
+            ModelBundle.load(tmp_path / "nope.pkl")
+        assert excinfo.value.reason == "missing"
+
+    def test_load_rejects_foreign_payload(self, tmp_path):
+        from repro.io.storage import BUNDLE_KIND, StorageError, save_pickle
+
+        path = tmp_path / "imposter.pkl"
+        save_pickle(path, BUNDLE_KIND, {"not": "a bundle"})
+        with pytest.raises(StorageError) as excinfo:
+            ModelBundle.load(path)
+        assert excinfo.value.reason == "wrong-kind"
+
+    def test_load_rejects_corrupted_file(self, tmp_path):
+        from repro.io.storage import StorageError
+
+        path = tmp_path / "trashed.pkl"
+        path.write_bytes(b"\x80\x05 definitely truncated")
+        with pytest.raises(StorageError) as excinfo:
+            ModelBundle.load(path)
+        assert excinfo.value.reason == "unreadable"
