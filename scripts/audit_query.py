@@ -1,0 +1,136 @@
+"""Query and verify an EchoImage decision audit ledger.
+
+The serving layer appends every authentication/identification decision
+to a hash-chained JSONL ledger (:class:`repro.obs.AuditLedger`, enabled
+with ``--audit-jsonl`` on ``scripts/serve_monitor.py`` or ``repro.cli``).
+This script is the operator's other half:
+
+* **query** — filter entries by correlation id, user claim, decision or
+  time range and print them one JSON document per line (pipe into
+  ``jq``), or as a compact table with ``--table``;
+* **verify** — ``--verify-chain`` recomputes the whole hash chain (and
+  checks the chain-head side-car), exiting 1 with a structured report on
+  any mutation, insertion, deletion or tail truncation.
+
+Run:  PYTHONPATH=src python scripts/audit_query.py audit.jsonl --verify-chain
+      PYTHONPATH=src python scripts/audit_query.py audit.jsonl \\
+          --request-id req-1a2b3c4d5e6f7081
+      PYTHONPATH=src python scripts/audit_query.py audit.jsonl \\
+          --user alice --decision reject --limit 20 --table
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import AuditLedger, ChainError
+from repro.obs.audit import verify_chain
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="query / verify an EchoImage decision audit ledger"
+    )
+    parser.add_argument("ledger", help="audit-ledger JSONL file")
+    parser.add_argument(
+        "--verify-chain", action="store_true",
+        help="verify the hash chain (and head record) instead of "
+        "querying; exits 1 on any tampering",
+    )
+    parser.add_argument(
+        "--request-id", default=None, metavar="ID",
+        help="only entries with this correlation id",
+    )
+    parser.add_argument(
+        "--user", default=None, help="only entries with this user claim"
+    )
+    parser.add_argument(
+        "--decision", default=None,
+        help="only entries with this decision (accept/reject/error/...)",
+    )
+    parser.add_argument(
+        "--since", type=float, default=None, metavar="EPOCH",
+        help="only entries at or after this epoch timestamp",
+    )
+    parser.add_argument(
+        "--until", type=float, default=None, metavar="EPOCH",
+        help="only entries at or before this epoch timestamp",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the newest N matches",
+    )
+    parser.add_argument(
+        "--rotated", action="store_true",
+        help="also search (or verify) rotated ledger segments",
+    )
+    parser.add_argument(
+        "--table", action="store_true",
+        help="print a compact table instead of one JSON entry per line",
+    )
+    return parser.parse_args()
+
+
+def _table(entries: list[dict]) -> str:
+    lines = [
+        f"{'seq':>6}  {'kind':<12} {'request_id':<22} "
+        f"{'user':<12} {'decision':<10} {'latency':>9}"
+    ]
+    for entry in entries:
+        latency = entry.get("latency_s")
+        lines.append(
+            f"{entry.get('seq', '?'):>6}  "
+            f"{str(entry.get('kind', '?')):<12} "
+            f"{str(entry.get('request_id', '?')):<22} "
+            f"{str(entry.get('user', '-')):<12} "
+            f"{str(entry.get('decision', '-')):<10} "
+            + (f"{latency * 1e3:7.1f}ms" if latency is not None else "        -")
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    args = parse_args()
+    if args.verify_chain:
+        try:
+            verdict = AuditLedger(args.ledger).verify_chain(
+                include_rotated=args.rotated
+            )
+        except ChainError:
+            # Opening already refused the broken chain; re-walk the file
+            # for the structured verdict instead of a bare traceback.
+            verdict = verify_chain(args.ledger)
+        print(json.dumps(verdict.to_dict(), indent=2))
+        return 0 if verdict.ok else 1
+    try:
+        ledger = AuditLedger(args.ledger)
+    except ChainError as error:
+        print(f"error: cannot open ledger: {error}", file=sys.stderr)
+        return 1
+    entries = ledger.query(
+        request_id=args.request_id,
+        user=args.user,
+        decision=args.decision,
+        since=args.since,
+        until=args.until,
+        limit=args.limit,
+        include_rotated=args.rotated,
+    )
+    if args.table:
+        print(_table(entries))
+    else:
+        for entry in entries:
+            print(json.dumps(entry, sort_keys=True))
+    print(f"[{len(entries)} matching entries]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (head, grep -m1, ...) closed early — the
+        # POSIX-polite exit, not an error worth a traceback.
+        sys.exit(141)

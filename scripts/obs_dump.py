@@ -66,8 +66,8 @@ def render(document: dict, limit: int | None, with_traces: bool) -> str:
         f"({document.get('dropped_requests', 0)} dropped), "
         f"{len(document.get('events', []))} of "
         f"{document.get('total_events', 0)} events "
-        f"(ring sizes {document.get('max_requests')}/"
-        f"{document.get('max_events')})",
+        f"({document.get('dropped_events', 0)} dropped; ring sizes "
+        f"{document.get('max_requests')}/{document.get('max_events')})",
         "",
         "## Requests (oldest first)",
     ]

@@ -22,9 +22,13 @@ With ``--obs-port`` the live observability endpoint
 the monitor: ``/metrics`` serves the Prometheus dump, ``/healthz`` is
 up from startup, ``/readyz`` flips to 200 once enrollment finishes (and
 back to 503 if the worker pool shuts down), ``/traces`` serves the
-flight recorder and ``/drift`` the alerts raised so far.  The flight
-recorder is always on; ``--flight-json`` writes its black-box file at
-the end (pretty-print it with ``scripts/obs_dump.py``).
+flight recorder, ``/drift`` the alerts raised so far, ``/audit`` the
+decision audit ledger (when ``--audit-jsonl`` is set) and ``/slo`` the
+live error-budget document.  The flight recorder is always on;
+``--flight-json`` writes its black-box file at the end (pretty-print it
+with ``scripts/obs_dump.py``).  ``--audit-jsonl`` appends every decision
+to a hash-chained tamper-evident ledger — query or verify it afterwards
+with ``scripts/audit_query.py``.
 
 Run:  PYTHONPATH=src python scripts/serve_monitor.py
       PYTHONPATH=src python scripts/serve_monitor.py --attempts 60 \\
@@ -57,9 +61,13 @@ from repro.config import (
 )
 from repro.core.distance import DistanceEstimationError
 from repro.obs import (
+    AuditLedger,
     FlightRecorder,
     MetricsRegistry,
     ObservabilityServer,
+    SLOTracker,
+    correlation_scope,
+    set_audit_ledger,
     set_flight_recorder,
     set_registry,
 )
@@ -158,6 +166,12 @@ def parse_args() -> argparse.Namespace:
         help="write the flight-recorder black-box JSON to FILE at the "
         "end (also the auto-dump destination on batch failures)",
     )
+    parser.add_argument(
+        "--audit-jsonl", metavar="FILE", default=None,
+        help="append every decision to a hash-chained, tamper-evident "
+        "audit ledger at FILE (query and verify it with "
+        "scripts/audit_query.py)",
+    )
     parser.add_argument("--seed", type=int, default=11, help="scene seed")
     return parser.parse_args()
 
@@ -169,6 +183,12 @@ def main() -> int:
     set_registry(registry)
     recorder = FlightRecorder(auto_dump_path=args.flight_json)
     set_flight_recorder(recorder)
+    ledger = None
+    if args.audit_jsonl:
+        ledger = AuditLedger(args.audit_jsonl)
+        set_audit_ledger(ledger)
+        print(f"[audit ledger appending to {args.audit_jsonl}]")
+    slo = SLOTracker(registry=registry)
 
     chirp = LFMChirp()
     user = SyntheticSubject(subject_id=1)
@@ -203,10 +223,12 @@ def main() -> int:
             recorder=recorder,
             readiness=ready,
             drift_source=pipeline.drift.alerts,
+            audit_ledger=ledger,
+            slo=slo,
         ).start()
         print(
             f"[observability endpoint on {obs_server.url()} — "
-            f"/metrics /healthz /readyz /traces /drift]\n"
+            f"/metrics /healthz /readyz /traces /drift /audit /slo]\n"
         )
 
     print(
@@ -294,22 +316,37 @@ def main() -> int:
             if len(pending) >= args.batch_size:
                 flush_batch(pending)
         else:
-            try:
-                result = pipeline.authenticate(recordings)
-            except DistanceEstimationError as error:
-                recorder.record_request(str(attempt), "error", error=repr(error))
-                print(f"[{attempt:4d}] no-echo reject ({error})")
-                continue
-            recorder.record_request(str(attempt), "ok", trace=result.trace)
-            for alert in result.drift_alerts:
-                recorder.record_event(
-                    "drift_alert",
-                    request_id=str(attempt),
-                    monitor=alert.monitor,
-                    alert_kind=alert.kind,
-                    message=alert.message,
-                )
-            print_attempt(attempt, spoofing, result)
+            with correlation_scope() as request_id:
+                try:
+                    result = pipeline.authenticate(recordings)
+                except DistanceEstimationError as error:
+                    recorder.record_request(
+                        request_id, "error", error=repr(error)
+                    )
+                    if ledger is not None:
+                        ledger.append(
+                            "authenticate", request_id,
+                            decision="error", error=repr(error),
+                        )
+                    print(f"[{attempt:4d}] no-echo reject ({error})")
+                    continue
+                recorder.record_request(request_id, "ok", trace=result.trace)
+                if ledger is not None:
+                    ledger.append(
+                        "authenticate", request_id,
+                        user=str(result.label),
+                        decision="accept" if result.accepted else "reject",
+                        svdd_scores=[float(s) for s in result.scores],
+                    )
+                for alert in result.drift_alerts:
+                    recorder.record_event(
+                        "drift_alert",
+                        request_id=request_id,
+                        monitor=alert.monitor,
+                        alert_kind=alert.kind,
+                        message=alert.message,
+                    )
+                print_attempt(attempt, spoofing, result)
         if args.dump_every and attempt % args.dump_every == 0:
             print("\n" + registry.render_prometheus())
     if server is not None:
@@ -340,6 +377,21 @@ def main() -> int:
     if args.flight_json:
         recorder.dump(args.flight_json)
         print(f"[flight-recorder black box written to {args.flight_json}]")
+    slo_doc = slo.evaluate()
+    print("\n# SLO error budgets")
+    for objective in slo_doc["objectives"]:
+        print(
+            f"  {objective['name']:<13} target {objective['target']:.3f}  "
+            f"compliance {objective['compliance']:.4f}  "
+            f"budget remaining {objective['budget_remaining']:+.3f}"
+        )
+    if ledger is not None:
+        verdict = ledger.verify_chain()
+        print(
+            f"[audit ledger: {verdict.entries} entries, chain "
+            f"{'intact' if verdict.ok else 'BROKEN: ' + str(verdict.reason)}]"
+        )
+        set_audit_ledger(None)
     if obs_server is not None:
         obs_server.stop()
     return 0

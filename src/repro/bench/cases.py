@@ -229,6 +229,21 @@ class BenchContext:
             )
         return self._authenticators[backend]
 
+    def audit_ledger(self):
+        """A throwaway on-disk audit ledger (deleted by :meth:`close`)."""
+
+        def build():
+            import os
+            import tempfile
+
+            from repro.obs import AuditLedger
+
+            root = tempfile.mkdtemp(prefix="bench-audit-")
+            self._temp_dirs.append(root)
+            return AuditLedger(os.path.join(root, "audit.jsonl"))
+
+        return self.memo("audit_ledger", build)
+
     # -- sharded enrollment store -------------------------------------
 
     #: Embedding dimensionality of the synthetic store populations.
@@ -512,6 +527,32 @@ perf_case(
     f"({BATCH_REQUESTS} requests x {BATCH_BEEPS} beeps)",
 )(_serve_builder("thread"))
 
+@perf_case(
+    "serve.batch_audited",
+    group="serve",
+    description=f"BatchAuthenticator throughput, serial backend, with "
+    f"the hash-chained audit ledger enabled ({BATCH_REQUESTS} requests "
+    f"x {BATCH_BEEPS} beeps; compare against serve.batch_serial for the "
+    "audit/correlation overhead)",
+)
+def _bench_batch_audited(ctx: BenchContext):
+    from repro.obs import set_audit_ledger
+
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.requests()
+    ledger = ctx.audit_ledger()
+    authenticator.authenticate_batch(requests)  # warm caches sans ledger
+
+    def run():
+        set_audit_ledger(ledger)
+        try:
+            authenticator.authenticate_batch(requests)
+        finally:
+            set_audit_ledger(None)
+
+    return run
+
+
 perf_case(
     "serve.batch_process",
     group="serve",
@@ -610,6 +651,46 @@ def _quality_spoofer_detection(ctx: BenchContext):
     return float(result.spoofer_accuracy), {
         "num_registered": 3,
         "num_spoofers": 2,
+    }
+
+
+@quality_case(
+    "quality.audit_overhead",
+    group="quality",
+    unit="rate",
+    higher_is_better=False,
+    description="Fractional serving-latency overhead of correlation + "
+    "audit-ledger writes (audited serial batch median vs plain, budget "
+    "< 0.05)",
+)
+def _quality_audit_overhead(ctx: BenchContext):
+    from repro.bench.timer import measure
+    from repro.obs import set_audit_ledger
+
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.requests()
+    ledger = ctx.audit_ledger()
+
+    def plain():
+        authenticator.authenticate_batch(requests)
+
+    def audited():
+        set_audit_ledger(ledger)
+        try:
+            authenticator.authenticate_batch(requests)
+        finally:
+            set_audit_ledger(None)
+
+    kwargs = dict(warmup=1, min_repeats=5, max_repeats=15, max_time_s=5.0)
+    base = measure(plain, **kwargs)
+    with_audit = measure(audited, **kwargs)
+    overhead = with_audit.median_s / base.median_s - 1.0
+    # Timing noise can make the audited run *faster*; the tracked number
+    # is the overhead, so clamp at zero rather than reporting a speedup.
+    return max(0.0, overhead), {
+        "plain_median_s": base.median_s,
+        "audited_median_s": with_audit.median_s,
+        "budget": 0.05,
     }
 
 

@@ -304,8 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="serve the live observability endpoint (/metrics, /healthz, "
-        "/readyz, /traces, /drift) on this port while the experiments "
-        "run (0 = ephemeral)",
+        "/readyz, /traces, /drift, /audit, /slo) on this port while the "
+        "experiments run (0 = ephemeral)",
+    )
+    runner.add_argument(
+        "--audit-jsonl",
+        metavar="FILE",
+        default=None,
+        help="append every authentication/identification decision to a "
+        "hash-chained audit ledger at FILE (verify it later with "
+        "scripts/audit_query.py --verify-chain)",
     )
     return parser
 
@@ -362,6 +370,18 @@ def main(argv: list[str] | None = None) -> int:
         registry = MetricsRegistry()
         set_registry(registry)
 
+    ledger = None
+    if args.audit_jsonl is not None:
+        from repro.obs import AuditLedger, set_audit_ledger
+
+        try:
+            ledger = AuditLedger(args.audit_jsonl)
+        except Exception as error:  # noqa: BLE001 - corrupt/unwritable ledger
+            print(f"error: cannot open ledger {args.audit_jsonl}: {error}")
+            return 2
+        set_audit_ledger(ledger)
+        print(f"[audit ledger appending to {args.audit_jsonl}]")
+
     obs_server = None
     if args.obs_port is not None:
         from repro.obs import ObservabilityServer
@@ -371,7 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         obs_server = ObservabilityServer(port=args.obs_port).start()
         print(
             f"[observability endpoint on {obs_server.url()} — "
-            f"/metrics /healthz /readyz /traces /drift]"
+            f"/metrics /healthz /readyz /traces /drift /audit /slo]"
         )
     try:
         for name in names:
@@ -389,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
             profiler.uninstall()
         if obs_server is not None:
             obs_server.stop()
+        if ledger is not None:
+            from repro.obs import set_audit_ledger
+
+            set_audit_ledger(None)
     if profiler is not None:
         print()
         print(

@@ -322,6 +322,11 @@ class ObservabilityConfig:
         flight_dump_path: When set, the serving layer automatically
             writes the black-box JSON file here whenever a batch
             contains failed requests; ``None`` disables auto dumps.
+        audit_path: When set, decisions are appended to the
+            hash-chained :class:`repro.obs.AuditLedger` at this JSONL
+            path; ``None`` (default) disables auditing entirely.
+        audit_max_bytes: Rotation threshold of the active ledger file;
+            ``0`` disables rotation.
 
     Example:
         >>> cfg = ObservabilityConfig(port=9102)
@@ -338,6 +343,8 @@ class ObservabilityConfig:
     flight_max_requests: int = 256
     flight_max_events: int = 512
     flight_dump_path: str | None = None
+    audit_path: str | None = None
+    audit_max_bytes: int = 4_000_000
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -346,6 +353,8 @@ class ObservabilityConfig:
             )
         if self.flight_max_requests < 1 or self.flight_max_events < 1:
             raise ValueError("flight-recorder ring sizes must be >= 1")
+        if self.audit_max_bytes < 0:
+            raise ValueError("audit_max_bytes must be >= 0 (0 = no rotation)")
 
     def build_recorder(self):
         """A :class:`repro.obs.FlightRecorder` with these parameters."""
@@ -356,6 +365,17 @@ class ObservabilityConfig:
             max_events=self.flight_max_events,
             auto_dump_path=self.flight_dump_path,
         )
+
+    def build_ledger(self):
+        """An :class:`repro.obs.AuditLedger` at :attr:`audit_path`.
+
+        Returns ``None`` when auditing is not configured.
+        """
+        if self.audit_path is None:
+            return None
+        from repro.obs import AuditLedger
+
+        return AuditLedger(self.audit_path, max_bytes=self.audit_max_bytes)
 
 
 @dataclass(frozen=True)

@@ -242,6 +242,24 @@ class MultiUserAuthenticator:
         record their n-class SVM vote margin into the metrics registry.
         ``candidates`` restricts the SVM vote as in :meth:`predict`.
         """
+        labels, scores, _ = self.decide_detailed(
+            features, candidates=candidates
+        )
+        return labels, scores
+
+    def decide_detailed(
+        self, features: np.ndarray, candidates=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-sample ``(labels, svdd_scores, svm_margins)``.
+
+        Identical compute to :meth:`decide` — the margins were always
+        calculated for the metrics registry — but the per-sample SVM
+        vote margins are returned instead of discarded, so the audit
+        ledger can record the classifier's confidence behind each
+        decision.  Margins are ``nan`` for samples the SVDD gate
+        rejected (no vote happened) and when the degenerate
+        single-registered-user path skips the SVM entirely.
+        """
         if self.user_labels_ is None or self._svdd is None:
             raise RuntimeError("authenticator not fitted; call fit(...) first")
         features = np.atleast_2d(np.asarray(features, dtype=float))
@@ -266,6 +284,7 @@ class MultiUserAuthenticator:
                     scores.size - num_accepted
                 )
             result = np.full(features.shape[0], SPOOFER_LABEL, dtype=object)
+            full_margins = np.full(features.shape[0], np.nan)
             if accepted.any():
                 if self._svm_active:
                     with trace(
@@ -276,9 +295,10 @@ class MultiUserAuthenticator:
                             scaled[accepted], candidates=candidates
                         )
                         result[accepted] = labels
+                        full_margins[accepted] = margins
                         if metrics is not None:
                             for margin in margins:
                                 metrics.auth_margin.observe(float(margin))
                 else:
                     result[accepted] = self.user_labels_[0]
-            return result, scores
+            return result, scores, full_margins

@@ -25,7 +25,15 @@ from repro.core.enrollment import build_training_features, stack_user_features
 from repro.core.features import FeatureExtractor
 from repro.core.imaging import AcousticImager, ImagingPlane
 from repro.core.telemetry import pipeline_metrics
-from repro.obs import DriftAlert, DriftSuite, PipelineTrace, start_trace, trace
+from repro.obs import (
+    DriftAlert,
+    DriftSuite,
+    PipelineTrace,
+    correlation_scope,
+    current_request_id,
+    start_trace,
+    trace,
+)
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,16 @@ class AuthenticationResult:
         drift_alerts: Drift alerts newly raised by this attempt (score or
             SNR distribution shifted vs. the registration-time baseline);
             empty on healthy attempts.
+        margins: Per-beep normalised SVM vote margins (multi-user
+            enrollment only; ``nan`` for beeps the SVDD gate rejected,
+            empty for single-user enrollment) — the classifier's
+            confidence behind each identified label, surfaced for the
+            audit ledger.
+        request_id: Correlation id of the attempt — inherited from the
+            ambient :func:`repro.obs.correlation_scope` (e.g. the
+            serving layer's) or minted fresh for standalone calls; the
+            same id appears on the attempt's trace, drift alerts and
+            audit-ledger entry.
 
     Example:
         Inspect where an attempt spent its time::
@@ -68,6 +86,8 @@ class AuthenticationResult:
     trace: PipelineTrace | None = None
     scores: tuple = ()
     drift_alerts: tuple[DriftAlert, ...] = ()
+    margins: tuple = ()
+    request_id: str | None = None
 
 
 class EchoImagePipeline:
@@ -314,32 +334,37 @@ class EchoImagePipeline:
             raise RuntimeError(
                 "no users enrolled; call enroll_user or enroll_users first"
             )
-        with start_trace() as attempt_trace:
-            with trace(
-                "authenticate", num_beeps=len(recordings)
-            ) as root:
-                distance = self.estimate_distance(recordings)
-                plane = self.imaging_plane(distance.user_distance_m)
-                images = self._image(recordings, plane)
-                features = self.feature_extractor.extract(images)
+        margins: tuple = ()
+        with correlation_scope(current_request_id()) as request_id:
+            with start_trace() as attempt_trace:
+                with trace(
+                    "authenticate", num_beeps=len(recordings)
+                ) as root:
+                    distance = self.estimate_distance(recordings)
+                    plane = self.imaging_plane(distance.user_distance_m)
+                    images = self._image(recordings, plane)
+                    features = self.feature_extractor.extract(images)
 
-                if self._multi_auth is not None:
-                    labels, scores = self._multi_auth.decide(features)
-                    per_beep = tuple(labels.tolist())
-                else:
-                    accepted, scores = self._single_auth.decide(features)
-                    per_beep = tuple(
-                        "user" if flag else SPOOFER_LABEL
-                        for flag in accepted
+                    if self._multi_auth is not None:
+                        labels, scores, raw_margins = (
+                            self._multi_auth.decide_detailed(features)
+                        )
+                        per_beep = tuple(labels.tolist())
+                        margins = tuple(float(m) for m in raw_margins)
+                    else:
+                        accepted, scores = self._single_auth.decide(features)
+                        per_beep = tuple(
+                            "user" if flag else SPOOFER_LABEL
+                            for flag in accepted
+                        )
+
+                    label = _majority(per_beep)
+                    root.update(
+                        label=str(label), accepted=label != SPOOFER_LABEL
                     )
-
-                label = _majority(per_beep)
-                root.update(
-                    label=str(label), accepted=label != SPOOFER_LABEL
-                )
-                alerts = self._record_attempt(
-                    label != SPOOFER_LABEL, scores, distance
-                )
+                    alerts = self._record_attempt(
+                        label != SPOOFER_LABEL, scores, distance
+                    )
         return AuthenticationResult(
             label=label,
             accepted=label != SPOOFER_LABEL,
@@ -348,6 +373,8 @@ class EchoImagePipeline:
             trace=attempt_trace,
             scores=tuple(float(s) for s in scores),
             drift_alerts=alerts,
+            margins=margins,
+            request_id=request_id,
         )
 
     def _record_attempt(

@@ -33,7 +33,14 @@ name                                      type       labels              observe
 ``echoimage_serve_requests_total``        counter    ``outcome``         batch-serving requests (ok/degraded/error/timeout)
 ``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
 ``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
+``echoimage_flight_dropped_total``        counter    ``ring``            flight-recorder ring evictions (requests/events)
 ========================================  =========  ==================  =====================================
+
+The SLO tracker of :mod:`repro.obs.slo` additionally publishes
+``echoimage_slo_*`` gauges (compliance, error-budget remaining, burn
+rate) into the same registry; they are derived from the families above
+rather than recorded by pipeline stages, so they live outside this
+handle bundle.
 """
 
 from __future__ import annotations
@@ -184,6 +191,11 @@ class PipelineMetrics:
             "echoimage_serve_request_latency_seconds",
             "Per-request wall time inside the serving worker pool",
             buckets=SERVE_LATENCY_BUCKETS,
+        )
+        self.flight_dropped: MetricFamily = registry.counter(
+            "echoimage_flight_dropped_total",
+            "Flight-recorder ring-buffer evictions, by ring",
+            labels=("ring",),
         )
 
 

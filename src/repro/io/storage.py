@@ -15,7 +15,14 @@ Three layers live here:
   :class:`~repro.serve.bundle.ModelBundle`
   (:func:`save_model_bundle` / :func:`load_model_bundle`) and, built on
   the same substrate, the sharded enrollment store of
-  :mod:`repro.io.store`.
+  :mod:`repro.io.store`;
+* append-oriented primitives for the decision audit ledger of
+  :mod:`repro.obs.audit` — :func:`append_jsonl_line` writes one ledger
+  line as a single ``write`` syscall on an ``O_APPEND`` descriptor (no
+  interleaving between processes, no torn line on crash before the
+  newline lands), and :func:`write_json_atomic` persists small JSON
+  side-cars (e.g. the ledger's chain-head record) through the same
+  temp-file + ``os.replace`` dance as the pickle envelopes.
 """
 
 from __future__ import annotations
@@ -216,6 +223,76 @@ def load_pickle(path: str | Path, kind: str):
             f"expected {kind!r}, found {envelope.get('kind')!r}",
         )
     return envelope["payload"]
+
+
+# ---------------------------------------------------------------------------
+# Append-oriented JSONL + atomic JSON side-cars (audit-ledger substrate)
+# ---------------------------------------------------------------------------
+
+
+def append_jsonl_line(
+    path: str | Path, line: str, fsync: bool = False
+) -> Path:
+    """Append one line to a JSONL file as a single atomic write.
+
+    The line (newline added if missing) is written with one
+    ``os.write`` on a descriptor opened ``O_APPEND``, so concurrent
+    appenders never interleave within a line and a crash mid-call
+    leaves at most one truncated final line — which the audit chain
+    walk (:func:`repro.obs.audit.verify_chain`) reports as structured
+    corruption rather than silently accepting.
+
+    Args:
+        path: Target file (parent directories are created).
+        line: One JSON document, without embedded newlines.
+        fsync: Force the line to stable storage before returning.
+
+    Returns:
+        The written path.
+
+    Raises:
+        ValueError: When ``line`` contains an embedded newline.
+    """
+    if "\n" in line.rstrip("\n"):
+        raise ValueError("a JSONL line cannot contain embedded newlines")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = line.rstrip("\n").encode("utf-8") + b"\n"
+    fd = os.open(
+        path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(fd, payload)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    return path
+
+
+def write_json_atomic(path: str | Path, document: dict) -> Path:
+    """Atomically persist a small JSON document (temp + ``os.replace``).
+
+    Same crash-safety contract as :func:`save_pickle`: readers never
+    observe a partial write.  Used for the audit ledger's chain-head
+    side-car, where a torn read would fake a tamper alarm.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            json.dump(document, tmp, sort_keys=True)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 # ---------------------------------------------------------------------------

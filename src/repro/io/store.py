@@ -75,7 +75,12 @@ from repro.core.authenticator import SPOOFER_LABEL, MultiUserAuthenticator
 from repro.core.telemetry import pipeline_metrics
 from repro.io.storage import StorageError, load_pickle, save_pickle
 from repro.ml.prefilter import CentroidPrefilter
-from repro.obs import ensure_trace, trace
+from repro.obs import (
+    correlation_scope,
+    current_request_id,
+    ensure_trace,
+    trace,
+)
 
 #: Manifest schema version.
 MANIFEST_SCHEMA = 1
@@ -138,6 +143,9 @@ class IdentificationResult:
             vote (mirrors ``AuthenticationResult.per_beep_labels``).
         gate_scores: Per-sample SVDD scores from the deciding shard.
         num_users: Enrolled population size at decision time.
+        request_id: Correlation id of the lookup — inherited from the
+            ambient scope or minted per call; the same id is stamped on
+            the ``identify`` spans and the audit-ledger entry.
     """
 
     label: object
@@ -147,6 +155,7 @@ class IdentificationResult:
     per_sample_labels: tuple = ()
     gate_scores: tuple = ()
     num_users: int = 0
+    request_id: str | None = None
 
 
 def _majority(labels) -> object:
@@ -435,9 +444,40 @@ class EnrollmentStore:
         Raises:
             StorageError: When a consulted shard file is corrupted.
         """
+        # Imported lazily: repro.obs.audit builds on repro.io.storage,
+        # so a module-level import here would cycle through the package
+        # __init__ while repro.obs.audit is still executing.
+        from repro.obs.audit import get_audit_ledger
+
+        started = time.perf_counter()
+        with correlation_scope(current_request_id()) as request_id:
+            result = self._identify_correlated(
+                features, k, started, request_id
+            )
+        ledger = get_audit_ledger()
+        if ledger is not None:
+            ledger.append(
+                "identify",
+                request_id,
+                user=str(result.label),
+                decision="accept" if result.accepted else "reject",
+                candidates=[str(c) for c in result.candidates],
+                shard=result.shard,
+                gate_scores=[float(s) for s in result.gate_scores],
+                num_users=result.num_users,
+                latency_s=time.perf_counter() - started,
+            )
+        return result
+
+    def _identify_correlated(
+        self,
+        features: np.ndarray,
+        k: int | None,
+        started: float,
+        request_id: str,
+    ) -> IdentificationResult:
         features = np.atleast_2d(np.asarray(features, dtype=float))
         k = self.candidate_k if k is None else k
-        started = time.perf_counter()
         with self._lock, ensure_trace(), trace(
             "identify", num_users=len(self), num_samples=features.shape[0]
         ) as span:
@@ -448,11 +488,12 @@ class EnrollmentStore:
                 stage1.set("num_candidates", len(candidates))
             if not candidates:
                 span.set("outcome", "empty")
-                self._observe_identify("empty", 0, started)
+                self._observe_identify("empty", 0, started, request_id)
                 return IdentificationResult(
                     label=SPOOFER_LABEL,
                     accepted=False,
                     num_users=len(self),
+                    request_id=request_id,
                 )
             by_shard: dict[int, list] = {}
             for label in candidates:
@@ -488,6 +529,7 @@ class EnrollmentStore:
                 "identified" if accepted else "rejected",
                 len(candidates),
                 started,
+                request_id,
             )
             return IdentificationResult(
                 label=label,
@@ -497,17 +539,26 @@ class EnrollmentStore:
                 per_sample_labels=tuple(labels.tolist()),
                 gate_scores=tuple(float(s) for s in scores),
                 num_users=len(self),
+                request_id=request_id,
             )
 
     def _observe_identify(
-        self, outcome: str, num_candidates: int, started: float
+        self,
+        outcome: str,
+        num_candidates: int,
+        started: float,
+        request_id: str | None = None,
     ) -> None:
         metrics = pipeline_metrics()
         if metrics is None:
             return
         metrics.identify_requests.labels(outcome=outcome).inc()
         metrics.identify_candidates.observe(float(num_candidates))
-        metrics.identify_latency.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        metrics.identify_latency.labels().observe(
+            elapsed,
+            exemplar={"request_id": request_id, "value": elapsed},
+        )
 
     # ------------------------------------------------------------------
     # Persistence

@@ -5,6 +5,10 @@ The subsystem has three layers:
 * :mod:`repro.obs.tracer` — the :func:`trace` span context manager and
   the per-attempt :class:`PipelineTrace` every pipeline stage records
   into;
+* :mod:`repro.obs.correlation` — the ambient request-correlation scope
+  (:func:`correlation_scope` / :func:`current_request_id`): one
+  ``request_id`` stamped on every span, metric exemplar, drift alert,
+  flight record and audit-ledger entry a request touches;
 * :mod:`repro.obs.report` — :func:`aggregate` plus text/JSON renderers
   turning traces into a stage-latency table (count, mean, p50, p95,
   bytes);
@@ -21,9 +25,17 @@ The subsystem has three layers:
   buffer of recent request traces and structured events (timeouts,
   degradations, drift alerts) that dumps a versioned JSON black-box
   file on demand or on batch failure;
+* :mod:`repro.obs.audit` — :class:`AuditLedger`, the append-only,
+  hash-chained decision ledger (tamper-evident via
+  :func:`verify_chain`), queryable by request id / user / decision /
+  time range;
+* :mod:`repro.obs.slo` — :class:`SLOConfig` / :class:`SLOTracker`:
+  declarative latency and availability objectives with error-budget and
+  burn-rate accounting derived from the serving metrics;
 * :mod:`repro.obs.server` — :class:`ObservabilityServer`, a
   dependency-free ``http.server`` endpoint exposing ``/metrics``,
-  ``/healthz``, ``/readyz``, ``/traces`` and ``/drift`` live;
+  ``/healthz``, ``/readyz``, ``/traces``, ``/drift``, ``/audit`` and
+  ``/slo`` live;
 * :mod:`repro.obs.envinfo` — :func:`environment_fingerprint`, the
   commit/interpreter/numpy/CPU/``REPRO_SCALE`` stamp carried by every
   JSON artifact (metrics dumps, stage reports, flight black boxes and
@@ -34,13 +46,15 @@ in :data:`STAGES`; the metric names are tabulated in
 ``docs/ARCHITECTURE.md``.
 """
 
-from repro.obs.envinfo import environment_fingerprint
-from repro.obs.drift import (
-    DriftAlert,
-    DriftBaseline,
-    DriftMonitor,
-    DriftSuite,
+# Import order matters here: repro.obs.audit pulls in repro.io, whose
+# modules import tracing/correlation helpers back out of this package —
+# everything they need must already be bound when the audit import runs.
+from repro.obs.correlation import (
+    correlation_scope,
+    current_request_id,
+    new_request_id,
 )
+from repro.obs.envinfo import environment_fingerprint
 from repro.obs.metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -53,21 +67,6 @@ from repro.obs.metrics import (
     metrics_enabled,
     set_metrics_enabled,
     set_registry,
-)
-from repro.obs.flight import (
-    FlightRecorder,
-    get_flight_recorder,
-    set_flight_recorder,
-)
-from repro.obs.profiler import Profiler
-from repro.obs.server import ObservabilityServer
-from repro.obs.report import (
-    StageStats,
-    aggregate,
-    percentile,
-    render_json,
-    render_text,
-    stats_from_json,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -83,6 +82,36 @@ from repro.obs.tracer import (
     trace,
     tracing_enabled,
 )
+from repro.obs.drift import (
+    DriftAlert,
+    DriftBaseline,
+    DriftMonitor,
+    DriftSuite,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.profiler import Profiler
+from repro.obs.report import (
+    StageStats,
+    aggregate,
+    percentile,
+    render_json,
+    render_text,
+    stats_from_json,
+)
+from repro.obs.audit import (
+    AuditLedger,
+    ChainError,
+    ChainVerification,
+    get_audit_ledger,
+    set_audit_ledger,
+    verify_chain,
+)
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.server import ObservabilityServer
 
 #: Span names emitted by the instrumented EchoImage pipeline.
 STAGES = (
@@ -105,6 +134,9 @@ STAGES = (
 __all__ = [
     "SCHEMA_VERSION",
     "environment_fingerprint",
+    "correlation_scope",
+    "current_request_id",
+    "new_request_id",
     "Counter",
     "Gauge",
     "Histogram",
@@ -122,6 +154,14 @@ __all__ = [
     "FlightRecorder",
     "get_flight_recorder",
     "set_flight_recorder",
+    "AuditLedger",
+    "ChainError",
+    "ChainVerification",
+    "get_audit_ledger",
+    "set_audit_ledger",
+    "verify_chain",
+    "SLOConfig",
+    "SLOTracker",
     "ObservabilityServer",
     "PipelineTrace",
     "Span",

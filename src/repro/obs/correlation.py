@@ -1,0 +1,94 @@
+"""Request correlation: one identity across every telemetry pool.
+
+An authentication decision leaves tracks in four places — the span
+tracer, the metrics registry, the flight recorder and (since PR 7) the
+audit ledger.  Reconstructing *one* decision after the fact only works
+when all four carry the same handle, so this module owns the request
+identity:
+
+* :func:`new_request_id` mints a globally unique ``req-...`` id;
+* :func:`correlation_scope` installs an id as the *ambient* request id
+  of the current thread for the duration of a ``with`` block;
+* :func:`current_request_id` reads the ambient id (``None`` outside any
+  scope).
+
+The serving layer opens a scope around every worker invocation (all
+three backends funnel through ``_WorkerRuntime.run``, so serial, thread
+and process workers correlate identically), and the standalone entry
+points — ``EchoImagePipeline.authenticate`` and
+``EnrollmentStore.identify`` — mint their own id when called outside a
+scope.  Downstream, :func:`repro.obs.start_trace` stamps the ambient id
+onto the collected :class:`~repro.obs.PipelineTrace`, drift alerts and
+histogram exemplars pick it up at creation time, and the audit ledger
+writes it into every entry.
+
+The ambient id is per-thread (``threading.local``): concurrent requests
+on different worker threads never see each other's ids.  Cross-*process*
+propagation needs no extra machinery because the id travels inside the
+pickled :class:`~repro.serve.requests.AuthenticationRequest` and the
+worker re-opens a scope from it.
+
+Example:
+    >>> from repro.obs.correlation import (
+    ...     correlation_scope, current_request_id, new_request_id)
+    >>> current_request_id() is None
+    True
+    >>> with correlation_scope("req-abc") as rid:
+    ...     rid == current_request_id() == "req-abc"
+    True
+    >>> current_request_id() is None    # scope restored on exit
+    True
+    >>> new_request_id().startswith("req-")
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+
+#: Prefix of every generated request id (caller-chosen ids are free-form).
+REQUEST_ID_PREFIX = "req-"
+
+
+class _CorrelationState(threading.local):
+    """Per-thread ambient request id (a stack, so scopes nest)."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+
+
+_STATE = _CorrelationState()
+
+
+def new_request_id() -> str:
+    """Mint a fresh globally unique request id (``req-<16 hex>``)."""
+    return REQUEST_ID_PREFIX + uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> str | None:
+    """The ambient request id of this thread, or ``None`` outside a scope."""
+    if not _STATE.stack:
+        return None
+    return _STATE.stack[-1]
+
+
+@contextmanager
+def correlation_scope(request_id: str | None = None):
+    """Install ``request_id`` as this thread's ambient id for the block.
+
+    Args:
+        request_id: The id to install; ``None`` mints a fresh one via
+            :func:`new_request_id`.
+
+    Yields:
+        The installed id.  Scopes nest — the previous ambient id is
+        restored on exit.
+    """
+    rid = request_id if request_id else new_request_id()
+    _STATE.stack.append(rid)
+    try:
+        yield rid
+    finally:
+        _STATE.stack.pop()

@@ -44,6 +44,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs.correlation import current_request_id
 from repro.obs.metrics import SCHEMA_VERSION
 
 #: Floor applied to baseline standard deviations so a (near-)constant
@@ -95,6 +96,10 @@ class DriftAlert:
         threshold: The configured limit that was crossed.
         window: Number of observations in the window when the alert fired.
         message: Human-readable one-liner.
+        request_id: Correlation id of the request whose observation
+            tipped the monitor over the threshold (``None`` when the
+            alert fired outside a correlation scope) — the handle that
+            joins the alert to the trace store and audit ledger.
     """
 
     monitor: str
@@ -104,6 +109,7 @@ class DriftAlert:
     threshold: float
     window: int
     message: str
+    request_id: str | None = None
 
     def to_dict(self) -> dict:
         """Versioned JSON-serialisable representation (``"schema": 1``)."""
@@ -116,6 +122,7 @@ class DriftAlert:
             "threshold": self.threshold,
             "window": self.window,
             "message": self.message,
+            "request_id": self.request_id,
         }
 
 
@@ -288,6 +295,7 @@ class DriftMonitor:
             threshold=threshold,
             window=n,
             message=message,
+            request_id=current_request_id(),
         )
         self.alerts.append(alert)
         return [alert]

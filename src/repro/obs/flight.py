@@ -78,6 +78,21 @@ class FlightRecorder:
         self._seq = 0
         self._total_requests = 0
         self._total_events = 0
+        self._dropped_requests = 0
+        self._dropped_events = 0
+
+    def _count_drop(self, ring: str) -> None:
+        """Ring eviction is no longer silent: bump the dropped counter.
+
+        Imported lazily — :mod:`repro.core.telemetry` pulls in the
+        metrics module, and the flight recorder must stay importable
+        from ``repro.obs`` without touching ``repro.core``.
+        """
+        from repro.core.telemetry import pipeline_metrics
+
+        metrics = pipeline_metrics()
+        if metrics is not None:
+            metrics.flight_dropped.labels(ring=ring).inc()
 
     # -- recording -----------------------------------------------------
 
@@ -120,7 +135,12 @@ class FlightRecorder:
             self._total_requests += 1
             record["seq"] = self._seq
             record["recorded_at"] = time.time()
+            dropped = len(self._requests) == self.max_requests
+            if dropped:
+                self._dropped_requests += 1
             self._requests.append(record)
+        if dropped:
+            self._count_drop("requests")
         return record
 
     def record_event(self, kind: str, **details) -> dict:
@@ -140,7 +160,12 @@ class FlightRecorder:
             self._total_events += 1
             event["seq"] = self._seq
             event["recorded_at"] = time.time()
+            dropped = len(self._events) == self.max_events
+            if dropped:
+                self._dropped_events += 1
             self._events.append(event)
+        if dropped:
+            self._count_drop("events")
         return event
 
     # -- reading -------------------------------------------------------
@@ -171,6 +196,8 @@ class FlightRecorder:
         with self._lock:
             total_requests = self._total_requests
             total_events = self._total_events
+            dropped_requests = self._dropped_requests
+            dropped_events = self._dropped_events
         requests = self.requests(limit)
         events = self.events(limit)
         from repro.obs.envinfo import environment_fingerprint
@@ -183,7 +210,8 @@ class FlightRecorder:
             "max_events": self.max_events,
             "total_requests": total_requests,
             "total_events": total_events,
-            "dropped_requests": total_requests - len(self.requests()),
+            "dropped_requests": dropped_requests,
+            "dropped_events": dropped_events,
             "requests": requests,
             "events": events,
         }
@@ -236,6 +264,8 @@ class FlightRecorder:
             self._events.clear()
             self._total_requests = 0
             self._total_events = 0
+            self._dropped_requests = 0
+            self._dropped_events = 0
 
 
 # -- process-wide default recorder --------------------------------------

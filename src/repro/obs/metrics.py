@@ -171,9 +171,13 @@ class Histogram:
         (2, 3, 4)
         >>> h.count, h.sum
         (4, 102.0)
+        >>> h.quantile(50.0)           # estimated median (interpolated)
+        1.0
     """
 
-    __slots__ = ("_bucket_counts", "_count", "_lock", "_sum", "bounds")
+    __slots__ = (
+        "_bucket_counts", "_count", "_exemplar", "_lock", "_sum", "bounds",
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -190,9 +194,19 @@ class Histogram:
         self._bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplar: dict | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
+        """Record one observation.
+
+        Args:
+            value: The observed value.
+            exemplar: Optional JSON-serialisable correlation context
+                (conventionally ``{"request_id": ..., "value": ...}``)
+                retained last-write-wins and surfaced by
+                :meth:`MetricsRegistry.to_dict` — never by the
+                Prometheus text exposition, which stays byte-stable.
+        """
         value = float(value)
         index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
@@ -203,6 +217,19 @@ class Histogram:
             self._bucket_counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplar = dict(exemplar)
+
+    @property
+    def exemplar(self) -> dict | None:
+        """The most recent exemplar recorded via :meth:`observe`."""
+        with self._lock:
+            return dict(self._exemplar) if self._exemplar else None
+
+    def set_exemplar(self, exemplar: dict | None) -> None:
+        """Replace the retained exemplar (cross-process merge hook)."""
+        with self._lock:
+            self._exemplar = dict(exemplar) if exemplar else None
 
     @property
     def sum(self) -> float:
@@ -254,6 +281,73 @@ class Histogram:
             total += c
             out.append(total)
         return tuple(out)
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated percentile ``q`` in [0, 100] from the bucket counts.
+
+        Uses the same linear-interpolation convention as
+        :func:`repro.obs.report.percentile` — the target rank is
+        ``q/100 * (count - 1)`` — but, lacking the raw observations,
+        assumes values spread uniformly inside each bucket.  Estimates
+        clamp to the outermost finite bounds: ranks landing in the first
+        bucket report its upper bound, ranks landing in the ``+Inf``
+        bucket report the largest finite bound.
+
+        Returns:
+            The estimate, or ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise MetricError(f"percentile must lie in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if total == 0:
+            return None
+        rank = (q / 100.0) * (total - 1)
+        cumulative = 0
+        for i, c in enumerate(counts):
+            before = cumulative
+            cumulative += c
+            if rank < cumulative or cumulative == total:
+                if c == 0:
+                    continue
+                if i == 0 or i == len(self.bounds):
+                    # First bucket (no lower bound) or +Inf bucket (no
+                    # upper bound): clamp to the nearest finite bound.
+                    return float(self.bounds[min(i, len(self.bounds) - 1)])
+                lower, upper = self.bounds[i - 1], self.bounds[i]
+                fraction = min(1.0, max(0.0, (rank - before) / c))
+                return float(lower + fraction * (upper - lower))
+        return float(self.bounds[-1])  # pragma: no cover - defensive
+
+    def estimate_count_le(self, value: float) -> float:
+        """Estimated observations ``<= value``, interpolated in-bucket.
+
+        Exact whenever ``value`` coincides with a bucket bound (this is
+        how the SLO tracker computes latency compliance — align the
+        latency objective with a bucket bound for exact accounting);
+        otherwise assumes a uniform spread inside the straddled bucket.
+        Observations in the ``+Inf`` bucket count only when ``value`` is
+        infinite.
+        """
+        value = float(value)
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if value == float("inf"):
+            return float(total)
+        covered = 0.0
+        lower = None
+        for i, bound in enumerate(self.bounds):
+            if value >= bound:
+                covered += counts[i]
+            else:
+                if lower is not None and value > lower:
+                    fraction = (value - lower) / (bound - lower)
+                    covered += fraction * counts[i]
+                break
+            lower = bound
+        return covered
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -498,6 +592,12 @@ class MetricsRegistry:
                             "bucket_counts": list(child.bucket_counts()),
                             "sum": child.sum,
                             "count": child.count,
+                            "quantiles": {
+                                "p50": child.quantile(50.0),
+                                "p95": child.quantile(95.0),
+                                "p99": child.quantile(99.0),
+                            },
+                            "exemplar": child.exemplar,
                         }
                     )
                 else:
@@ -569,6 +669,9 @@ class MetricsRegistry:
                         sample["sum"],
                         sample["count"],
                     )
+                    exemplar = sample.get("exemplar")
+                    if exemplar is not None:  # last-write-wins, like gauges
+                        child.set_exemplar(exemplar)
 
 
 def _label_text(label_dict: dict) -> str:

@@ -12,6 +12,9 @@ path           returns
 ``/readyz``    200 when the readiness probe passes, 503 otherwise
 ``/traces``    flight-recorder black-box JSON (``?limit=N`` for recent N)
 ``/drift``     drift alerts raised so far, as versioned JSON
+``/audit``     decision audit-ledger query (``?request_id=`` / ``user=`` /
+               ``decision=`` / ``since=`` / ``until=`` / ``limit=N``)
+``/slo``       SLO compliance, error-budget and burn-rate document
 =============  ===========================================================
 
 The server runs on a daemon thread (`ThreadingHTTPServer`), so scrapes
@@ -82,6 +85,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_json(200, obs.recorder.to_dict(limit))
             elif route == "/drift":
                 self._reply_json(200, obs.drift_document())
+            elif route == "/audit":
+                self._reply_json(
+                    200, obs.audit_document(parse_qs(parsed.query))
+                )
+            elif route == "/slo":
+                self._reply_json(200, obs.slo_document())
             else:
                 self._reply_json(
                     404,
@@ -111,7 +120,9 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 #: The paths the server answers (everything else is a JSON 404).
-ENDPOINTS = ("/metrics", "/healthz", "/readyz", "/traces", "/drift")
+ENDPOINTS = (
+    "/metrics", "/healthz", "/readyz", "/traces", "/drift", "/audit", "/slo",
+)
 
 
 def _parse_limit(query: dict) -> int | None:
@@ -120,6 +131,21 @@ def _parse_limit(query: dict) -> int | None:
         return None
     try:
         return max(0, int(values[-1]))
+    except ValueError:
+        return None
+
+
+def _query_str(query: dict, key: str) -> str | None:
+    values = query.get(key)
+    return values[-1] if values else None
+
+
+def _query_float(query: dict, key: str) -> float | None:
+    values = query.get(key)
+    if not values:
+        return None
+    try:
+        return float(values[-1])
     except ValueError:
         return None
 
@@ -142,6 +168,13 @@ class ObservabilityServer:
         drift_source: Zero-argument callable returning the current
             drift alerts (e.g. ``pipeline.drift.alerts``) for
             ``/drift``; ``None`` serves an empty alert list.
+        audit_ledger: :class:`repro.obs.audit.AuditLedger` queried by
+            ``/audit``; defaults to the process-wide ledger
+            (:func:`repro.obs.audit.get_audit_ledger`) at each request,
+            and reports auditing disabled when none is installed.
+        slo: :class:`repro.obs.slo.SLOTracker` evaluated by ``/slo``;
+            ``None`` lazily builds a tracker with default objectives
+            over this server's registry.
 
     The server is restart-safe in the sense that ``start``/``stop`` are
     idempotent; a stopped instance cannot be started again (build a new
@@ -158,6 +191,8 @@ class ObservabilityServer:
         recorder: FlightRecorder | None = None,
         readiness: Callable[[], bool] | None = None,
         drift_source: Callable[[], list] | None = None,
+        audit_ledger=None,
+        slo=None,
     ) -> None:
         if config is not None:
             host = config.host if host is None else host
@@ -168,6 +203,8 @@ class ObservabilityServer:
         self._recorder = recorder
         self.readiness = readiness
         self.drift_source = drift_source
+        self._audit_ledger = audit_ledger
+        self._slo = slo
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._stopped = False
@@ -208,6 +245,56 @@ class ObservabilityServer:
                     alert.to_dict() if hasattr(alert, "to_dict") else alert
                 )
         return {"schema": SCHEMA_VERSION, "alerts": alerts}
+
+    @property
+    def audit_ledger(self):
+        """The ledger queried by ``/audit`` (may be ``None``)."""
+        if self._audit_ledger is not None:
+            return self._audit_ledger
+        from repro.obs.audit import get_audit_ledger
+
+        return get_audit_ledger()
+
+    def audit_document(self, query: dict | None = None) -> dict:
+        """The ``/audit`` payload for one parsed query string.
+
+        Args:
+            query: ``parse_qs``-style mapping; recognised keys are
+                ``request_id``, ``user``, ``decision``, ``since``,
+                ``until``, ``limit`` and ``rotated`` (truthy includes
+                rotated segments).  Malformed numeric values are
+                ignored, like ``/traces``' ``?limit=``.
+        """
+        query = query or {}
+        ledger = self.audit_ledger
+        if ledger is None:
+            return {
+                "schema": SCHEMA_VERSION,
+                "kind": "audit_query",
+                "enabled": False,
+                "total_matched": 0,
+                "entries": [],
+            }
+        entries = ledger.query(
+            request_id=_query_str(query, "request_id"),
+            user=_query_str(query, "user"),
+            decision=_query_str(query, "decision"),
+            since=_query_float(query, "since"),
+            until=_query_float(query, "until"),
+            limit=_parse_limit(query),
+            include_rotated=_query_str(query, "rotated") in ("1", "true"),
+        )
+        document = ledger.to_document(entries)
+        document["enabled"] = True
+        return document
+
+    def slo_document(self) -> dict:
+        """The ``/slo`` payload (evaluates the tracker on demand)."""
+        if self._slo is None:
+            from repro.obs.slo import SLOTracker
+
+            self._slo = SLOTracker(registry=self._registry)
+        return self._slo.evaluate()
 
     # -- lifecycle -----------------------------------------------------
 

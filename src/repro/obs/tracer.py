@@ -39,6 +39,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.correlation import current_request_id
 from repro.obs.metrics import SCHEMA_VERSION
 
 
@@ -120,6 +121,13 @@ class PipelineTrace:
 
     Attributes:
         spans: Top-level spans in the order they were opened.
+        request_id: The correlation id of the request the trace belongs
+            to, when the trace was collected inside a
+            :func:`repro.obs.correlation.correlation_scope`; ``None``
+            for uncorrelated traces.  Survives JSON round-trips, so the
+            flight recorder, the ``/traces`` endpoint and replayed
+            worker traces all carry the same handle as the audit
+            ledger.
 
     Example:
         >>> from repro.obs import PipelineTrace, Span
@@ -132,8 +140,13 @@ class PipelineTrace:
         0.25
     """
 
-    def __init__(self, spans: list[Span] | None = None) -> None:
+    def __init__(
+        self,
+        spans: list[Span] | None = None,
+        request_id: str | None = None,
+    ) -> None:
         self.spans: list[Span] = list(spans or [])
+        self.request_id = request_id
 
     def __bool__(self) -> bool:
         return bool(self.spans)
@@ -167,13 +180,17 @@ class PipelineTrace:
         """
         return {
             "schema": SCHEMA_VERSION,
+            "request_id": self.request_id,
             "spans": [span.to_dict() for span in self.spans],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineTrace":
         """Rebuild a trace from :meth:`to_dict` output."""
-        return cls([Span.from_dict(s) for s in data.get("spans", [])])
+        return cls(
+            [Span.from_dict(s) for s in data.get("spans", [])],
+            request_id=data.get("request_id"),
+        )
 
     def to_json(self, **kwargs) -> str:
         """The trace as a JSON document (round-trips via
@@ -299,8 +316,13 @@ def start_trace():
 
     When tracing is disabled via :func:`set_tracing`, the yielded trace
     stays empty and sinks are not notified.
+
+    When an ambient correlation id is active
+    (:func:`repro.obs.correlation.correlation_scope`), the trace is
+    stamped with it — on entry and again on exit, so a scope opened
+    between the two still correlates the trace.
     """
-    collected = PipelineTrace()
+    collected = PipelineTrace(request_id=current_request_id())
     if not _ENABLED:
         yield collected
         return
@@ -311,6 +333,8 @@ def start_trace():
     finally:
         _STATE.traces.pop()
         _STATE.spans.pop()
+        if collected.request_id is None:
+            collected.request_id = current_request_id()
         _notify_sinks(collected)
 
 
@@ -353,6 +377,9 @@ def trace(name: str, **attributes):
     span = Span(
         name=name, started_s=started - origin, attributes=dict(attributes)
     )
+    rid = current_request_id()
+    if rid is not None and "request_id" not in span.attributes:
+        span.attributes["request_id"] = rid
     if stack:
         stack[-1].children.append(span)
     else:

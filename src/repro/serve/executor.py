@@ -43,6 +43,7 @@ configured.
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import (
     Executor,
@@ -63,8 +64,10 @@ from repro.obs import (
     MetricsRegistry,
     PipelineTrace,
     add_sink,
+    correlation_scope,
     emit_trace,
     ensure_trace,
+    get_audit_ledger,
     get_flight_recorder,
     get_registry,
     metrics_enabled,
@@ -137,7 +140,20 @@ class _WorkerRuntime:
         return pipeline
 
     def run(self, request: AuthenticationRequest) -> AuthenticationResponse:
-        """Serve one request, degrading on failure."""
+        """Serve one request, degrading on failure.
+
+        The whole walk runs inside the request's correlation scope, so
+        every span, drift alert and metric exemplar recorded underneath
+        carries ``request.request_id`` — on the process backend the id
+        travels with the pickled request, which is what keeps serial,
+        thread and process runs identically correlated.
+        """
+        with correlation_scope(request.request_id):
+            return self._run_correlated(request)
+
+    def _run_correlated(
+        self, request: AuthenticationRequest
+    ) -> AuthenticationResponse:
         start = perf_counter()
         try:
             result = self._pipeline(None).authenticate(
@@ -473,18 +489,64 @@ class BatchAuthenticator:
     def _record_batch(
         self, responses: list[AuthenticationResponse]
     ) -> None:
-        """Parent-side telemetry: one counter bump per request outcome."""
+        """Parent-side telemetry: counters, exemplars and audit entries.
+
+        Audit entries are written here — once per response, in the
+        parent — rather than inside the workers, so all three backends
+        produce exactly one ledger entry per request and the ledger
+        file never sees concurrent multi-process appends.
+        """
         metrics = pipeline_metrics()
-        if metrics is None:
-            return
+        ledger = get_audit_ledger()
         for response in responses:
-            metrics.serve_requests.labels(outcome=response.status).inc()
-            if response.degradation is not None:
-                metrics.serve_degradations.labels(
-                    step=response.degradation
-                ).inc()
-            if response.latency_s is not None:
-                metrics.serve_request_latency.observe(response.latency_s)
+            if metrics is not None:
+                metrics.serve_requests.labels(outcome=response.status).inc()
+                if response.degradation is not None:
+                    metrics.serve_degradations.labels(
+                        step=response.degradation
+                    ).inc()
+                if response.latency_s is not None:
+                    metrics.serve_request_latency.labels().observe(
+                        response.latency_s,
+                        exemplar={
+                            "request_id": response.request_id,
+                            "value": response.latency_s,
+                        },
+                    )
+            if ledger is not None:
+                self._audit_response(ledger, response)
+
+    def _audit_response(self, ledger, response) -> None:
+        """Append one response's decision context to the audit ledger."""
+        from repro.obs.envinfo import environment_fingerprint
+
+        result = response.result
+        if result is not None:
+            decision = "accept" if result.accepted else "reject"
+        else:
+            decision = response.status
+        fields: dict = {
+            "status": response.status,
+            "decision": decision,
+            "backend": self.config.backend,
+            "environment": environment_fingerprint(),
+        }
+        if result is not None:
+            fields["user"] = str(result.label)
+            fields["svdd_scores"] = [float(s) for s in result.scores]
+            # NaN marks beeps the SVDD gate rejected; JSON has no NaN.
+            fields["svm_margins"] = [
+                float(m) if math.isfinite(m) else None
+                for m in result.margins
+            ]
+            fields["distance_m"] = float(result.distance.user_distance_m)
+        if response.degradation is not None:
+            fields["degradation"] = response.degradation
+        if response.latency_s is not None:
+            fields["latency_s"] = response.latency_s
+        if response.error is not None:
+            fields["error"] = response.error
+        ledger.append("serve", response.request_id, **fields)
 
     def _record_flight(
         self,

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.acoustics.scene import BeepRecording
 from repro.core.pipeline import AuthenticationResult
+from repro.obs.correlation import new_request_id
 
 #: The request completed through the full-fidelity pipeline.
 STATUS_OK = "ok"
@@ -31,7 +32,12 @@ class AuthenticationRequest:
     """One authentication attempt queued for batch serving.
 
     Attributes:
-        request_id: Caller-chosen identifier echoed in the response.
+        request_id: Correlation identifier echoed in the response and
+            carried into every span, metric exemplar, flight record and
+            audit-ledger entry the request touches.  Caller-chosen when
+            given; an empty value is replaced by a fresh
+            :func:`repro.obs.correlation.new_request_id`, so every
+            request is correlatable even when the caller does not care.
         recordings: The attempt's beep captures, one per probing beep.
 
     Example:
@@ -40,12 +46,17 @@ class AuthenticationRequest:
         ...     samples=np.zeros((2, 16)), sample_rate=16000.0, emit_index=0)
         >>> AuthenticationRequest("alice-1", (rec,)).num_beeps
         1
+        >>> AuthenticationRequest(recordings=(rec,)).request_id.startswith(
+        ...     "req-")
+        True
     """
 
-    request_id: str
-    recordings: tuple[BeepRecording, ...]
+    request_id: str = ""
+    recordings: tuple[BeepRecording, ...] = ()
 
     def __post_init__(self) -> None:
+        if not self.request_id:
+            object.__setattr__(self, "request_id", new_request_id())
         object.__setattr__(self, "recordings", tuple(self.recordings))
         if not self.recordings:
             raise ValueError(f"request {self.request_id!r} has no recordings")

@@ -1,0 +1,217 @@
+"""Audit ledger: hash chain, tamper detection, rotation, queries."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AuditLedger,
+    ChainError,
+    get_audit_ledger,
+    set_audit_ledger,
+)
+from repro.obs.audit import GENESIS_HASH, entry_hash, verify_chain
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return AuditLedger(tmp_path / "audit.jsonl")
+
+
+def fill(ledger, n=5, **extra):
+    return [
+        ledger.append(
+            "serve", f"req-{i}", decision="accept", user=f"user-{i}",
+            **extra,
+        )
+        for i in range(n)
+    ]
+
+
+class TestChain:
+    def test_first_entry_chains_from_genesis(self, ledger):
+        entry = ledger.append("serve", "req-0", decision="accept")
+        assert entry["prev_hash"] == GENESIS_HASH
+
+    def test_entries_link_by_hash(self, ledger):
+        entries = fill(ledger, 3)
+        for previous, entry in zip(entries, entries[1:]):
+            assert entry["prev_hash"] == entry_hash(previous)
+
+    def test_fresh_chain_verifies(self, ledger):
+        fill(ledger, 5)
+        verdict = verify_chain(ledger.path)
+        assert verdict.ok
+        assert verdict.entries == 5
+        assert verdict.reason is None
+        assert verdict.raise_on_failure() is verdict
+
+    def test_empty_and_missing_ledgers(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "never-written.jsonl")
+        assert ledger.verify_chain().ok
+        assert ledger.entries() == []
+        # A *named but absent* file is a missing chain to the walker.
+        assert verify_chain(tmp_path / "never-written.jsonl").reason == (
+            "missing"
+        )
+
+    def test_envelope_key_collision_is_rejected(self, ledger):
+        with pytest.raises(ValueError, match="envelope"):
+            ledger.append("serve", "req-0", seq=99)
+
+
+class TestTamperDetection:
+    def test_single_byte_mutation_is_detected(self, ledger):
+        fill(ledger, 5)
+        lines = ledger.path.read_text().splitlines()
+        # Flip one byte inside entry 2's user field.
+        lines[2] = lines[2].replace("user-2", "user-X")
+        ledger.path.write_text("\n".join(lines) + "\n")
+        verdict = verify_chain(ledger.path)
+        assert not verdict.ok
+        assert verdict.reason == "hash-mismatch"
+        assert verdict.line_number == 4  # the entry after the mutated one
+        assert verdict.entries == 3  # genesis..2 verified, 2 was mutated
+        with pytest.raises(ChainError, match="hash-mismatch"):
+            verdict.raise_on_failure()
+
+    def test_interior_deletion_is_detected(self, ledger):
+        fill(ledger, 5)
+        lines = ledger.path.read_text().splitlines()
+        del lines[2]
+        ledger.path.write_text("\n".join(lines) + "\n")
+        verdict = verify_chain(ledger.path)
+        assert (verdict.ok, verdict.reason) == (False, "hash-mismatch")
+
+    def test_tail_truncation_is_detected_via_head_record(self, ledger):
+        """Deleting the *newest* entries leaves a valid chain; only the
+        head side-car makes the truncation visible."""
+        fill(ledger, 5)
+        lines = ledger.path.read_text().splitlines()
+        ledger.path.write_text("\n".join(lines[:3]) + "\n")
+        verdict = verify_chain(ledger.path)
+        assert not verdict.ok
+        assert verdict.reason == "head-mismatch"
+        assert "truncated" in verdict.detail
+
+    def test_garbage_line_is_bad_json(self, ledger):
+        fill(ledger, 2)
+        with open(ledger.path, "a") as handle:
+            handle.write("not json at all\n")
+        verdict = verify_chain(ledger.path)
+        assert (verdict.ok, verdict.reason) == (False, "bad-json")
+        assert verdict.line_number == 3
+
+    def test_unchained_object_is_bad_schema(self, ledger):
+        fill(ledger, 1)
+        with open(ledger.path, "a") as handle:
+            handle.write(json.dumps({"decision": "accept"}) + "\n")
+        assert verify_chain(ledger.path).reason == "bad-schema"
+
+    def test_opening_a_corrupt_ledger_refuses_appends(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        fill(AuditLedger(path), 3)
+        content = path.read_text()
+        path.write_text(content.replace("accept", "reject", 1))
+        with pytest.raises(ChainError):
+            AuditLedger(path)
+
+    def test_verification_document_round_trips(self, ledger):
+        fill(ledger, 2)
+        doc = verify_chain(ledger.path).to_dict()
+        assert doc["ok"] is True
+        assert doc["entries"] == 2
+        json.dumps(doc)  # JSON-serialisable for /audit + audit_query
+
+
+class TestResume:
+    def test_reopen_resumes_seq_and_chain(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        fill(AuditLedger(path), 3)
+        reopened = AuditLedger(path)
+        entry = reopened.append("serve", "req-new", decision="reject")
+        assert entry["seq"] == 3
+        verdict = verify_chain(path)
+        assert verdict.ok and verdict.entries == 4
+
+
+class TestRotation:
+    def test_rotation_bounds_the_active_file(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "audit.jsonl", max_bytes=600)
+        fill(ledger, 10)
+        assert ledger.path.stat().st_size <= 600
+        assert ledger.segments()  # something rotated out
+
+    def test_every_segment_keeps_a_valid_chain(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "audit.jsonl", max_bytes=600)
+        fill(ledger, 10)
+        for segment in ledger.segments():
+            assert verify_chain(segment).ok
+        verdict = ledger.verify_chain(include_rotated=True)
+        assert verdict.ok
+        assert verdict.entries == 10
+
+    def test_rotated_segment_restarts_at_genesis(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "audit.jsonl", max_bytes=600)
+        fill(ledger, 10)
+        active_first = ledger.entries()[0]
+        assert active_first["prev_hash"] == GENESIS_HASH
+
+    def test_tampered_segment_fails_full_verification(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "audit.jsonl", max_bytes=600)
+        fill(ledger, 10)
+        segment = ledger.segments()[0]
+        segment.write_text(
+            segment.read_text().replace("user-0", "user-Z")
+        )
+        verdict = ledger.verify_chain(include_rotated=True)
+        assert not verdict.ok
+        assert verdict.path == segment
+
+    def test_query_spans_rotated_segments(self, tmp_path):
+        ledger = AuditLedger(tmp_path / "audit.jsonl", max_bytes=600)
+        fill(ledger, 10)
+        assert len(ledger.query()) < 10  # active file only
+        assert len(ledger.query(include_rotated=True)) == 10
+
+
+class TestQuery:
+    def test_filters(self, ledger):
+        entries = fill(ledger, 5)
+        ledger.append("identify", "req-1", decision="reject", user="user-9")
+        assert [e["user"] for e in ledger.query(request_id="req-1")] == [
+            "user-1", "user-9"
+        ]
+        assert len(ledger.query(user="user-3")) == 1
+        assert len(ledger.query(decision="reject")) == 1
+        mid_ts = entries[2]["ts"]
+        since = ledger.query(since=mid_ts)
+        until = ledger.query(until=mid_ts)
+        assert all(e["ts"] >= mid_ts for e in since)
+        assert all(e["ts"] <= mid_ts for e in until)
+        # Both bounds are inclusive: the boundary entry appears in each.
+        assert len(since) + len(until) == 6 + 1
+
+    def test_limit_keeps_newest(self, ledger):
+        fill(ledger, 5)
+        kept = ledger.query(limit=2)
+        assert [e["seq"] for e in kept] == [3, 4]
+
+    def test_document_wrapper(self, ledger):
+        fill(ledger, 3)
+        doc = ledger.to_document(ledger.query(limit=1), total_matched=3)
+        assert doc["kind"] == "audit_query"
+        assert doc["total_matched"] == 3
+        assert len(doc["entries"]) == 1
+
+
+class TestDefaultLedger:
+    def test_install_and_uninstall(self, ledger):
+        assert get_audit_ledger() is None
+        previous = set_audit_ledger(ledger)
+        try:
+            assert previous is None
+            assert get_audit_ledger() is ledger
+        finally:
+            set_audit_ledger(None)
+        assert get_audit_ledger() is None

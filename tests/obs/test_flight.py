@@ -157,3 +157,44 @@ class TestDefaultRecorder:
         finally:
             set_flight_recorder(previous)
         assert get_flight_recorder() is previous
+
+
+class TestDropAccounting:
+    def test_dropped_counts_in_black_box(self):
+        rec = FlightRecorder(max_requests=2, max_events=2)
+        for i in range(5):
+            rec.record_request(f"req-{i}", "ok")
+        for i in range(3):
+            rec.record_event("timeout", request_id=str(i))
+        doc = rec.to_dict()
+        assert doc["dropped_requests"] == 3
+        assert doc["dropped_events"] == 1
+
+    def test_evictions_bump_the_dropped_counter_metric(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            rec = FlightRecorder(max_requests=2, max_events=2)
+            for i in range(5):
+                rec.record_request(f"req-{i}", "ok")
+            rec.record_event("timeout", request_id="x")
+        finally:
+            set_registry(previous)
+        family = registry.get("echoimage_flight_dropped_total")
+        assert family is not None
+        totals = {
+            labels["ring"]: child.value
+            for labels, child in family.samples()
+        }
+        assert totals == {"requests": 3.0}  # event ring never filled
+
+    def test_clear_resets_dropped_counts(self):
+        rec = FlightRecorder(max_requests=1)
+        rec.record_request("a", "ok")
+        rec.record_request("b", "ok")
+        assert rec.to_dict()["dropped_requests"] == 1
+        rec.clear()
+        assert rec.to_dict()["dropped_requests"] == 0
+        assert rec.to_dict()["dropped_events"] == 0

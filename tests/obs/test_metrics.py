@@ -538,3 +538,66 @@ class TestDriftAlertCounter:
             family.labels(monitor="auth.score", kind="mean_shift").value
             == 1.0
         )
+
+
+class TestHistogramQuantiles:
+    def test_quantile_interpolates_within_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            h.observe(value)
+        # Ranks follow repro.obs.report.percentile: q/100 * (count-1).
+        # The boundless first and +Inf buckets clamp to finite bounds.
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        # Rank 3 is the 2nd of 2 observations in (2, 4]: midway -> 3.0.
+        assert h.quantile(100.0) == pytest.approx(3.0)
+        # Median rank 1.5 sits halfway through the (1, 2] bucket.
+        assert h.quantile(50.0) == pytest.approx(1.5)
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        assert Histogram().quantile(50.0) is None
+
+    def test_to_dict_exposes_estimated_percentiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("x_seconds", "d", buckets=(0.1, 1.0))
+        for _ in range(100):
+            h.observe(0.05)
+        sample = registry.to_dict()["metrics"][0]["samples"][0]
+        assert set(sample["quantiles"]) == {"p50", "p95", "p99"}
+        assert 0.0 < sample["quantiles"]["p99"] <= 0.1
+
+    def test_estimate_count_le_is_exact_on_bucket_bounds(self):
+        h = Histogram(buckets=(0.25, 1.0))
+        for value in (0.1, 0.2, 0.5, 2.0):
+            h.observe(value)
+        assert h.estimate_count_le(0.25) == 2.0
+        assert h.estimate_count_le(1.0) == 3.0
+
+
+class TestExemplars:
+    def test_exemplar_is_retained_last_write_wins(self):
+        h = Histogram()
+        h.observe(0.1, exemplar={"request_id": "req-a", "value": 0.1})
+        h.observe(0.2, exemplar={"request_id": "req-b", "value": 0.2})
+        h.observe(0.3)  # exemplar-less observations keep the last one
+        assert h.exemplar == {"request_id": "req-b", "value": 0.2}
+
+    def test_exemplar_rides_to_dict_but_not_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.histogram("x_seconds", "d").labels().observe(
+            0.1, exemplar={"request_id": "req-a", "value": 0.1}
+        )
+        sample = registry.to_dict()["metrics"][0]["samples"][0]
+        assert sample["exemplar"]["request_id"] == "req-a"
+        # The text exposition stays byte-stable: no exemplar syntax.
+        assert "req-a" not in registry.render_prometheus()
+
+    def test_exemplar_survives_snapshot_merge(self):
+        worker = MetricsRegistry()
+        worker.histogram("x_seconds", "d").labels().observe(
+            0.1, exemplar={"request_id": "req-w", "value": 0.1}
+        )
+        parent = MetricsRegistry()
+        parent.histogram("x_seconds", "d")
+        parent.merge(worker.snapshot())
+        merged = parent.get("x_seconds").labels()
+        assert merged.exemplar == {"request_id": "req-w", "value": 0.1}

@@ -237,3 +237,143 @@ class TestConcurrency:
             writer.join(timeout=10)
         assert len(results) == 24
         assert set(results) == {200}
+
+
+class TestAuditEndpoint:
+    @pytest.fixture()
+    def audited_server(self, telemetry, tmp_path):
+        from repro.obs import AuditLedger
+
+        registry, recorder, _ = telemetry
+        ledger = AuditLedger(tmp_path / "audit.jsonl")
+        for i in range(4):
+            ledger.append(
+                "serve", f"req-{i}",
+                decision="accept" if i % 2 == 0 else "reject",
+                user=f"user-{i % 2}",
+            )
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder,
+            audit_ledger=ledger,
+        ) as running:
+            yield running, ledger
+
+    def test_audit_serves_ledger_entries(self, audited_server):
+        server, _ = audited_server
+        status, content_type, body = fetch(server.url("/audit"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "audit_query"
+        assert doc["enabled"] is True
+        assert doc["total_matched"] == 4
+        assert [e["request_id"] for e in doc["entries"]] == [
+            "req-0", "req-1", "req-2", "req-3"
+        ]
+
+    def test_audit_query_filters(self, audited_server):
+        server, _ = audited_server
+        doc = json.loads(fetch(server.url("/audit?request_id=req-2"))[2])
+        assert [e["request_id"] for e in doc["entries"]] == ["req-2"]
+        doc = json.loads(
+            fetch(server.url("/audit?decision=reject&user=user-1"))[2]
+        )
+        assert {e["decision"] for e in doc["entries"]} == {"reject"}
+        assert doc["total_matched"] == 2
+
+    def test_audit_malformed_numbers_fall_back(self, audited_server):
+        server, _ = audited_server
+        doc = json.loads(
+            fetch(server.url("/audit?limit=bogus&since=nan-ish"))[2]
+        )
+        # Unparseable limit/since behave like /traces?limit=bogus: no
+        # filtering rather than a 4xx/5xx.
+        assert doc["total_matched"] == 4
+        doc = json.loads(fetch(server.url("/audit?limit=2"))[2])
+        assert [e["request_id"] for e in doc["entries"]] == [
+            "req-2", "req-3"
+        ]
+
+    def test_audit_without_ledger_reports_disabled(self, server):
+        doc = json.loads(fetch(server.url("/audit"))[2])
+        assert doc["enabled"] is False
+        assert doc["entries"] == []
+
+    def test_audit_follows_the_process_default_ledger(
+        self, telemetry, tmp_path
+    ):
+        from repro.obs import AuditLedger, set_audit_ledger
+
+        registry, recorder, _ = telemetry
+        ledger = AuditLedger(tmp_path / "audit.jsonl")
+        ledger.append("serve", "req-global", decision="accept")
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ) as server:
+            set_audit_ledger(ledger)
+            try:
+                doc = json.loads(fetch(server.url("/audit"))[2])
+            finally:
+                set_audit_ledger(None)
+        assert [e["request_id"] for e in doc["entries"]] == ["req-global"]
+
+
+class TestSLOEndpoint:
+    def test_slo_serves_budget_document(self, server):
+        status, content_type, body = fetch(server.url("/slo"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "slo"
+        assert [o["name"] for o in doc["objectives"]] == [
+            "availability", "latency"
+        ]
+
+    def test_slo_uses_the_injected_tracker(self, telemetry):
+        from repro.obs import SLOConfig, SLOTracker
+
+        registry, recorder, _ = telemetry
+        tracker = SLOTracker(
+            SLOConfig(availability_target=0.95),
+            registry=registry,
+            clock=lambda: 42.0,
+        )
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder, slo=tracker
+        ) as server:
+            doc = json.loads(fetch(server.url("/slo"))[2])
+        assert doc["evaluated_at"] == 42.0
+        assert doc["config"]["availability_target"] == 0.95
+
+    def test_scrape_publishes_slo_gauges(self, server):
+        fetch(server.url("/slo"))
+        metrics_body = fetch(server.url("/metrics"))[2]
+        assert "echoimage_slo_compliance" in metrics_body
+        assert "echoimage_slo_budget_remaining" in metrics_body
+
+    def test_concurrent_audit_and_slo_scrapes(self, telemetry, tmp_path):
+        from repro.obs import AuditLedger
+
+        registry, recorder, _ = telemetry
+        ledger = AuditLedger(tmp_path / "audit.jsonl")
+        for i in range(8):
+            ledger.append("serve", f"req-{i}", decision="accept")
+        results = []
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder,
+            audit_ledger=ledger,
+        ) as server:
+
+            def scrape():
+                for path in ("/audit", "/slo", "/audit?limit=1"):
+                    results.append(fetch(server.url(path))[0])
+
+            scrapers = [threading.Thread(target=scrape) for _ in range(6)]
+            for t in scrapers:
+                t.start()
+            for t in scrapers:
+                t.join(timeout=30)
+        assert len(results) == 18
+        assert set(results) == {200}

@@ -1,0 +1,204 @@
+"""SLO tracker: compliance, error budgets, burn windows, gauges."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLOConfig, SLOTracker
+
+
+def serve_counter(registry):
+    return registry.counter(
+        "echoimage_serve_requests_total",
+        "served requests",
+        labels=("outcome",),
+    )
+
+
+def latency_histogram(registry):
+    return registry.histogram(
+        "echoimage_serve_request_latency_seconds",
+        "per-request latency",
+        buckets=(0.05, 0.25, 1.0),
+    )
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = SLOConfig()
+        assert config.availability_target == 0.999
+        assert config.to_dict()["burn_windows_s"] == [300.0, 3600.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"availability_target": 0.0},
+            {"availability_target": 1.0},
+            {"latency_target": 1.5},
+            {"latency_threshold_s": 0.0},
+            {"burn_windows_s": (300.0, -1.0)},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestEvaluation:
+    def test_hand_computed_fixture(self):
+        """97/100 available at a 95% target: compliance 0.97, 3% of the
+        5% budget spent -> 40% remaining; 18/20 fast at a 90% latency
+        target -> budget fully spent (0 remaining)."""
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        serve.labels(outcome="ok").inc(95)
+        serve.labels(outcome="degraded").inc(2)
+        serve.labels(outcome="error").inc(2)
+        serve.labels(outcome="timeout").inc(1)
+        hist = latency_histogram(registry)
+        for _ in range(18):
+            hist.observe(0.1)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        tracker = SLOTracker(
+            SLOConfig(
+                availability_target=0.95,
+                latency_target=0.90,
+                latency_threshold_s=0.25,
+            ),
+            registry=registry,
+            clock=lambda: 1000.0,
+        )
+        doc = tracker.evaluate()
+        availability, latency = doc["objectives"]
+        assert availability["name"] == "availability"
+        assert (availability["total"], availability["good"]) == (100.0, 97.0)
+        assert availability["compliance"] == pytest.approx(0.97)
+        assert availability["budget_remaining"] == pytest.approx(0.4)
+        assert latency["name"] == "latency"
+        assert (latency["total"], latency["good"]) == (20.0, 18.0)
+        assert latency["compliance"] == pytest.approx(0.9)
+        assert latency["budget_remaining"] == pytest.approx(0.0)
+        assert latency["threshold_s"] == 0.25
+
+    def test_no_traffic_means_untouched_budget(self):
+        tracker = SLOTracker(registry=MetricsRegistry(), clock=lambda: 0.0)
+        for objective in tracker.evaluate()["objectives"]:
+            assert objective["compliance"] == 1.0
+            assert objective["budget_remaining"] == 1.0
+            assert set(objective["burn_rates"].values()) == {0.0}
+
+    def test_overspent_budget_goes_negative(self):
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        serve.labels(outcome="ok").inc(80)
+        serve.labels(outcome="error").inc(20)
+        tracker = SLOTracker(
+            SLOConfig(availability_target=0.9),
+            registry=registry,
+            clock=lambda: 0.0,
+        )
+        availability = tracker.evaluate()["objectives"][0]
+        # 20% errors against a 10% budget: 100% over.
+        assert availability["budget_remaining"] == pytest.approx(-1.0)
+
+
+class TestBurnRates:
+    def test_window_burn_rate_from_deltas(self):
+        """60s window sees 10 requests with 1 error at a 95% target:
+        error rate 0.1 over budget rate 0.05 -> burn rate 2.0."""
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        now = {"t": 0.0}
+        tracker = SLOTracker(
+            SLOConfig(availability_target=0.95, burn_windows_s=(60.0,)),
+            registry=registry,
+            clock=lambda: now["t"],
+        )
+        serve.labels(outcome="ok").inc(100)
+        tracker.evaluate()  # baseline snapshot at t=0
+        now["t"] = 30.0
+        serve.labels(outcome="ok").inc(9)
+        serve.labels(outcome="error").inc(1)
+        availability = tracker.evaluate()["objectives"][0]
+        assert availability["burn_rates"]["60"] == pytest.approx(2.0)
+
+    def test_clean_window_burns_nothing(self):
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        now = {"t": 0.0}
+        tracker = SLOTracker(
+            SLOConfig(burn_windows_s=(60.0,)),
+            registry=registry,
+            clock=lambda: now["t"],
+        )
+        serve.labels(outcome="ok").inc(10)
+        tracker.evaluate()
+        now["t"] = 10.0
+        serve.labels(outcome="ok").inc(10)
+        availability = tracker.evaluate()["objectives"][0]
+        assert availability["burn_rates"]["60"] == 0.0
+
+    def test_history_is_pruned_beyond_longest_window(self):
+        registry = MetricsRegistry()
+        now = {"t": 0.0}
+        tracker = SLOTracker(
+            SLOConfig(burn_windows_s=(60.0,)),
+            registry=registry,
+            clock=lambda: now["t"],
+        )
+        for step in range(50):
+            now["t"] = 10.0 * step
+            tracker.evaluate()
+        for objective in tracker._objectives:
+            assert len(objective.history) <= 9  # 60s window / 10s cadence
+
+    def test_errors_before_the_window_do_not_burn(self):
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        now = {"t": 0.0}
+        tracker = SLOTracker(
+            SLOConfig(availability_target=0.95, burn_windows_s=(60.0,)),
+            registry=registry,
+            clock=lambda: now["t"],
+        )
+        serve.labels(outcome="error").inc(50)
+        tracker.evaluate()
+        now["t"] = 120.0
+        tracker.evaluate()  # old snapshot is the baseline by now
+        now["t"] = 130.0
+        serve.labels(outcome="ok").inc(10)
+        availability = tracker.evaluate()["objectives"][0]
+        assert availability["burn_rates"]["60"] == 0.0
+
+
+class TestGauges:
+    def test_evaluate_publishes_slo_gauges(self):
+        registry = MetricsRegistry()
+        serve = serve_counter(registry)
+        serve.labels(outcome="ok").inc(9)
+        serve.labels(outcome="error").inc(1)
+        SLOTracker(
+            SLOConfig(availability_target=0.95, burn_windows_s=(60.0,)),
+            registry=registry,
+            clock=lambda: 0.0,
+        ).evaluate()
+        text = registry.render_prometheus()
+        assert (
+            'echoimage_slo_compliance{objective="availability"} 0.9' in text
+        )
+        assert 'echoimage_slo_budget_remaining{objective="latency"} 1' in text
+        assert (
+            'echoimage_slo_burn_rate{objective="availability",window_s="60"}'
+            in text
+        )
+
+    def test_tracker_follows_the_process_registry(self):
+        from repro.obs import get_registry, set_registry
+
+        tracker = SLOTracker()
+        isolated = MetricsRegistry()
+        previous = get_registry()
+        set_registry(isolated)
+        try:
+            assert tracker.registry is isolated
+        finally:
+            set_registry(previous)
