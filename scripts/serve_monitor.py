@@ -17,6 +17,15 @@ attempts are grouped into batches of ``--batch-size`` requests and
 dispatched to a worker pool, exercising the same bundle-sharing and
 degradation machinery a deployment would run.
 
+With ``--broker`` the pool is fronted by the
+:class:`repro.serve.RequestBroker`: every attempt is recorded up front
+and the whole workload is burst-submitted at once, so choosing
+``--broker-capacity`` below ``--attempts`` drives genuine overload —
+capacity sheds show up as structured ``shed`` responses and in
+``echoimage_broker_shed_total`` — and the run ends with an explicit
+drain and a served/shed/stuck summary line.  ``--exit-threshold``
+enables streaming early-exit dispatch through the same broker.
+
 With ``--obs-port`` the live observability endpoint
 (:class:`repro.obs.ObservabilityServer`) runs for the whole lifetime of
 the monitor: ``/metrics`` serves the Prometheus dump, ``/healthz`` is
@@ -38,6 +47,8 @@ Run:  PYTHONPATH=src python scripts/serve_monitor.py
       PYTHONPATH=src python scripts/serve_monitor.py --backend thread \\
           --obs-port 9102 --flight-json flight.json &
       curl -s http://127.0.0.1:9102/metrics
+      PYTHONPATH=src python scripts/serve_monitor.py --backend serial \\
+          --broker --broker-capacity 8 --tenants 3 --exit-threshold 0.02
 """
 
 from __future__ import annotations
@@ -151,6 +162,32 @@ def parse_args() -> argparse.Namespace:
         "(default 8)",
     )
     parser.add_argument(
+        "--broker", action="store_true",
+        help="front the worker pool with the RequestBroker: all attempts "
+        "are recorded first and then burst-submitted at once, exercising "
+        "admission control (capacity sheds), fair dequeue and drain "
+        "(requires a --backend other than 'direct')",
+    )
+    parser.add_argument(
+        "--broker-capacity", type=int, default=16,
+        help="broker queue capacity; submissions beyond it shed "
+        "(default 16)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=1,
+        help="spread broker submissions over this many tenants to "
+        "exercise the fair dequeue rotation (default 1)",
+    )
+    parser.add_argument(
+        "--exit-threshold", type=float, default=0.0,
+        help="streaming early-exit score threshold for broker dispatch "
+        "(0 = early exit disabled: bit-identical to the batch path)",
+    )
+    parser.add_argument(
+        "--exit-min-beeps", type=int, default=1,
+        help="minimum beeps consumed before an early exit (default 1)",
+    )
+    parser.add_argument(
         "--obs-port", type=int, default=None, metavar="PORT",
         help="serve the live observability endpoint (/metrics /healthz "
         "/readyz /traces /drift) on this port for the whole run "
@@ -178,6 +215,10 @@ def parse_args() -> argparse.Namespace:
 
 def main() -> int:
     args = parse_args()
+    if args.broker and args.backend == "direct":
+        print("--broker requires a serving backend (--backend serial/"
+              "thread/process)", file=sys.stderr)
+        return 2
     rng = np.random.default_rng(args.seed)
     registry = MetricsRegistry()
     set_registry(registry)
@@ -207,12 +248,18 @@ def main() -> int:
     )
     pipeline = EchoImagePipeline(config=config)
 
-    # Readiness: enrollment done, and (when batch-serving) pool alive.
-    state: dict = {"enrolled": False, "server": None}
+    # Readiness: enrollment done, (when batch-serving) pool alive, and
+    # (when brokered) the broker still admitting.
+    state: dict = {"enrolled": False, "server": None, "broker": None}
 
     def ready() -> bool:
         server = state["server"]
-        return state["enrolled"] and (server is None or server.alive)
+        broker = state["broker"]
+        return (
+            state["enrolled"]
+            and (server is None or server.alive)
+            and (broker is None or broker.alive)
+        )
 
     obs_server = None
     if args.obs_port is not None:
@@ -263,6 +310,37 @@ def main() -> int:
             f"batch size {args.batch_size}\n"
         )
 
+    broker = None
+    if args.broker:
+        from repro.config import BrokerConfig, ExitPolicy
+        from repro.serve import RequestBroker
+
+        policy = None
+        if args.exit_threshold > 0:
+            policy = ExitPolicy(
+                min_beeps=args.exit_min_beeps,
+                score_threshold=args.exit_threshold,
+            )
+        broker = RequestBroker(
+            server,
+            BrokerConfig(
+                capacity=args.broker_capacity,
+                dispatch_batch=min(args.batch_size, args.broker_capacity),
+            ),
+            exit_policy=policy,
+            slo_tracker=slo,
+        )
+        state["broker"] = broker
+        exit_note = (
+            "off"
+            if policy is None
+            else f"|mean score| >= {args.exit_threshold}"
+        )
+        print(
+            f"broker fronting the pool: capacity {args.broker_capacity}, "
+            f"tenants {max(1, args.tenants)}, early exit {exit_note}\n"
+        )
+
     state["enrolled"] = True  # bundle (if any) loaded: /readyz goes 200
 
     def print_attempt(attempt, spoofing, result, note=""):
@@ -300,6 +378,7 @@ def main() -> int:
 
     started = time.time()
     pending: list = []
+    workload: list = []
     for attempt in range(1, args.attempts + 1):
         spoofing = args.spoof_every and attempt % args.spoof_every == 0
         subject = spoofer if spoofing else user
@@ -311,7 +390,21 @@ def main() -> int:
         recordings = live_scene.record_beeps(
             chirp, subject.beep_clouds(0.7, args.beeps, rng), rng
         )
-        if server is not None:
+        if broker is not None:
+            from repro.serve import AuthenticationRequest
+
+            workload.append(
+                (
+                    attempt,
+                    spoofing,
+                    AuthenticationRequest(
+                        str(attempt),
+                        tuple(recordings),
+                        tenant=f"tenant-{attempt % max(1, args.tenants)}",
+                    ),
+                )
+            )
+        elif server is not None:
             pending.append((attempt, spoofing, recordings))
             if len(pending) >= args.batch_size:
                 flush_batch(pending)
@@ -349,6 +442,42 @@ def main() -> int:
                 print_attempt(attempt, spoofing, result)
         if args.dump_every and attempt % args.dump_every == 0:
             print("\n" + registry.render_prometheus())
+    if broker is not None:
+        from repro.serve import STATUS_SHED
+
+        # Burst: all recorded attempts hit admission control at once, so
+        # anything beyond the queue capacity sheds immediately.
+        print(
+            f"[burst: {len(workload)} requests into a capacity-"
+            f"{args.broker_capacity} queue]"
+        )
+        futures = [
+            (attempt, spoofing, broker.submit(request))
+            for attempt, spoofing, request in workload
+        ]
+        drained = broker.drain()
+        stuck = broker.pending
+        shed = 0
+        for attempt, spoofing, future in futures:
+            response = future.result(timeout=60.0)
+            if response.status == STATUS_SHED:
+                shed += 1
+                print(f"[{attempt:4d}] shed ({response.shed_reason})")
+            elif not response.ok:
+                print(f"[{attempt:4d}] {response.status} ({response.error})")
+            else:
+                note = ""
+                if response.early_exit:
+                    note = f"  [early exit after {response.beeps_used} beeps]"
+                elif response.degradation:
+                    note = f"  [degraded: {response.degradation}]"
+                print_attempt(attempt, spoofing, response.result, note)
+        print(
+            f"\n[broker: served {broker.served}, shed {shed} "
+            f"{broker.shed_counts}, drained="
+            f"{'yes' if drained else 'NO'}, stuck {stuck}]"
+        )
+        broker.close()
     if server is not None:
         if pending:
             flush_batch(pending)

@@ -38,6 +38,16 @@ BATCH_REQUESTS = 6
 #: cases measure dispatch + pipeline, not one giant attempt).
 BATCH_BEEPS = 2
 
+#: Beeps per request in the streaming cases — long enough that an early
+#: exit skips real imaging work.
+STREAM_BEEPS = 4
+
+#: Early-exit score threshold of the streaming cases.  Calibrated by the
+#: ``stream-exit`` experiment sweep (EXPERIMENTS.md): at this setting
+#: every bench attempt keeps its batch decision while confident attempts
+#: stop after the first beep.
+STREAM_SCORE_THRESHOLD = 0.02
+
 #: Inner-loop factor of the sub-100µs array kernels.  A timed region
 #: that small is dominated by scheduler and CPU-frequency jitter on
 #: small VMs — between-run medians swing 2x while the within-run IQR
@@ -217,6 +227,34 @@ class BenchContext:
             ]
 
         return self.memo("requests", build)
+
+    def stream_requests(self):
+        """The streaming batch: longer attempts so early exit matters."""
+
+        def build():
+            from repro.serve import AuthenticationRequest
+
+            return [
+                AuthenticationRequest(
+                    f"bench-stream-{i}",
+                    tuple(self.recordings(1, STREAM_BEEPS, 400 + i)),
+                )
+                for i in range(BATCH_REQUESTS)
+            ]
+
+        return self.memo("stream_requests", build)
+
+    def exit_policy(self):
+        """The bench early-exit policy (calibrated threshold)."""
+
+        def build():
+            from repro.config import ExitPolicy
+
+            return ExitPolicy(
+                min_beeps=1, score_threshold=STREAM_SCORE_THRESHOLD
+            )
+
+        return self.memo("exit_policy", build)
 
     def authenticator(self, backend: str):
         """A live :class:`BatchAuthenticator` on ``backend`` (pooled)."""
@@ -553,6 +591,43 @@ def _bench_batch_audited(ctx: BenchContext):
     return run
 
 
+@perf_case(
+    "serve.stream_quick",
+    group="serve",
+    description=f"Streaming authentication with calibrated early exit, "
+    f"serial backend ({BATCH_REQUESTS} requests x {STREAM_BEEPS} beeps, "
+    f"score threshold {STREAM_SCORE_THRESHOLD}; compare against "
+    "serve.stream_exact for the early-exit win)",
+)
+def _bench_stream_quick(ctx: BenchContext):
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.stream_requests()
+    policy = ctx.exit_policy()
+    authenticator.authenticate_streaming(requests, policy)  # warm caches
+
+    return lambda: authenticator.authenticate_streaming(requests, policy)
+
+
+@perf_case(
+    "serve.stream_exact",
+    group="serve",
+    description=f"Streaming authentication with early exit disabled "
+    f"(bit-identical to the batch path), serial backend "
+    f"({BATCH_REQUESTS} requests x {STREAM_BEEPS} beeps); the baseline "
+    "for serve.stream_quick and the per-beep dispatch overhead vs "
+    "serve.batch_serial",
+)
+def _bench_stream_exact(ctx: BenchContext):
+    from repro.config import ExitPolicy
+
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.stream_requests()
+    policy = ExitPolicy()  # threshold inf: never exits
+    authenticator.authenticate_streaming(requests, policy)  # warm caches
+
+    return lambda: authenticator.authenticate_streaming(requests, policy)
+
+
 perf_case(
     "serve.batch_process",
     group="serve",
@@ -691,6 +766,40 @@ def _quality_audit_overhead(ctx: BenchContext):
         "plain_median_s": base.median_s,
         "audited_median_s": with_audit.median_s,
         "budget": 0.05,
+    }
+
+
+@quality_case(
+    "quality.stream_agreement",
+    group="quality",
+    unit="rate",
+    higher_is_better=True,
+    description="Fraction of streaming early-exit decisions that match "
+    "the batch decision, 4 legit + 4 spoofer attempts at the calibrated "
+    f"threshold {STREAM_SCORE_THRESHOLD} (details carry the early-exit "
+    "fraction and mean beeps consumed)",
+)
+def _quality_stream_agreement(ctx: BenchContext):
+    pipeline = ctx.pipeline()
+    policy = ctx.exit_policy()
+    attempts = [ctx.recordings(1, STREAM_BEEPS, 500 + i) for i in range(4)]
+    attempts += [ctx.recordings(9, STREAM_BEEPS, 600 + i) for i in range(4)]
+    agreed = 0
+    exited = 0
+    beeps = 0
+    for attempt in attempts:
+        batch = pipeline.authenticate(list(attempt))
+        stream = pipeline.authenticate_streaming(list(attempt), policy)
+        agreed += stream.label == batch.label
+        exited += stream.early_exit
+        beeps += stream.beeps_used
+    num = len(attempts)
+    return agreed / num, {
+        "num_attempts": num,
+        "early_exit_fraction": exited / num,
+        "mean_beeps": beeps / num,
+        "beeps_per_attempt": STREAM_BEEPS,
+        "score_threshold": STREAM_SCORE_THRESHOLD,
     }
 
 

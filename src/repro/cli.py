@@ -205,6 +205,43 @@ def _print_serve_batch(scale: float) -> None:
     )
 
 
+def _print_stream_exit(scale: float) -> None:
+    result = experiments.run_stream_exit(scale=scale)
+    rows = []
+    for threshold in result.thresholds:
+        rows.append(
+            [
+                "inf (disabled)" if np.isinf(threshold) else threshold,
+                f"{result.accuracy[threshold]:.2f}",
+                f"{result.agreement[threshold]:.2f}",
+                f"{result.early_exit_fraction[threshold]:.2f}",
+                f"{result.mean_beeps[threshold]:.2f}",
+                f"{1e3 * result.median_latency_s[threshold]:.1f}",
+            ]
+        )
+    rows.append(
+        [
+            "batch path",
+            f"{result.batch_accuracy:.2f}",
+            "1.00",
+            "0.00",
+            f"{result.beeps_per_attempt:.2f}",
+            f"{1e3 * result.batch_median_latency_s:.1f}",
+        ]
+    )
+    print(
+        format_table(
+            ["score threshold", "accuracy", "vs batch", "early-exit frac",
+             "mean beeps", "median (ms)"],
+            rows,
+            title=f"Streaming early exit — threshold sweep "
+            f"({result.num_attempts} attempts x "
+            f"{result.beeps_per_attempt} beeps, min_beeps="
+            f"{result.min_beeps})",
+        )
+    )
+
+
 def _print_identify_scale(scale: float) -> None:
     result = experiments.run_identify_scale(scale=scale)
     rows = []
@@ -242,6 +279,7 @@ EXPERIMENTS = {
     "fig14": _print_fig14,
     "drift": _print_drift,
     "serve-batch": _print_serve_batch,
+    "stream-exit": _print_stream_exit,
     "identify-scale": _print_identify_scale,
 }
 

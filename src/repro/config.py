@@ -437,6 +437,125 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class ExitPolicy:
+    """Early-exit policy for streaming authentication.
+
+    :meth:`repro.core.pipeline.EchoImagePipeline.authenticate_streaming`
+    images and scores beeps one at a time and stops consuming further
+    beeps once the running aggregate clears this policy.  The exit check
+    is three-way conjunctive at beep ``i`` (1-based):
+
+    - ``i >= min_beeps``;
+    - every per-beep label seen so far agrees (unanimous prefix);
+    - ``|mean(svdd prefix scores)| >= score_threshold`` and, when the
+      unanimous label is an accept, ``mean(svm prefix margins) >=
+      margin_threshold``.
+
+    The defaults (``score_threshold = inf``) never exit, which makes the
+    streaming path reproduce the batch decision bit-for-bit — the
+    disabled policy is the correctness anchor that the property tests
+    pin.
+
+    Attributes:
+        min_beeps: Never exit before this many beeps have been scored.
+        score_threshold: Magnitude the running mean SVDD score must
+            clear before an exit is considered.  ``math.inf`` (default)
+            disables early exit entirely.
+        margin_threshold: Additional floor on the running mean SVM
+            margin required to exit on an *accept* decision (rejects
+            need only the score threshold — spoofer evidence does not
+            produce margins).
+
+    Example:
+        >>> ExitPolicy().enabled            # defaults never exit
+        False
+        >>> ExitPolicy(score_threshold=0.5).enabled
+        True
+        >>> ExitPolicy(min_beeps=0)
+        Traceback (most recent call last):
+            ...
+        ValueError: min_beeps must be >= 1
+    """
+
+    min_beeps: int = 2
+    score_threshold: float = math.inf
+    margin_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_beeps < 1:
+            raise ValueError("min_beeps must be >= 1")
+        if self.score_threshold < 0:
+            raise ValueError("score_threshold must be non-negative")
+        if self.margin_threshold < 0:
+            raise ValueError("margin_threshold must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this policy can ever trigger an early exit."""
+        return math.isfinite(self.score_threshold)
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Parameters of the continuous-ingest request broker.
+
+    The broker (:class:`repro.serve.RequestBroker`) fronts a
+    :class:`repro.serve.BatchAuthenticator` with a bounded queue:
+    requests beyond ``capacity`` are shed immediately with a structured
+    ``shed`` response instead of queueing without bound, tenants are
+    drained round-robin so one chatty tenant cannot starve the rest,
+    and — when an SLO tracker is attached — new admissions are shed
+    while the fast-window availability burn rate exceeds
+    ``max_burn_rate`` (load-shedding protects the remaining error
+    budget).
+
+    Attributes:
+        capacity: Bounded queue depth; admissions beyond it are shed
+            with reason ``"capacity"``.
+        dispatch_batch: Maximum requests the dispatcher hands to the
+            authenticator per batch.
+        max_burn_rate: Availability burn-rate ceiling consulted on
+            admission when an SLO tracker is attached; ``0`` disables
+            SLO-aware shedding.
+        burn_window_s: Which tracker burn window to consult, in seconds
+            (must be one of the tracker's ``burn_windows_s``).
+        poll_interval_s: Dispatcher sleep while the queue is empty.
+        drain_timeout_s: Upper bound :meth:`~repro.serve.RequestBroker.close`
+            waits for in-flight work before giving up.
+
+    Example:
+        >>> cfg = BrokerConfig(capacity=8)
+        >>> cfg.dispatch_batch <= cfg.capacity
+        True
+        >>> BrokerConfig(capacity=0)
+        Traceback (most recent call last):
+            ...
+        ValueError: capacity must be >= 1
+    """
+
+    capacity: int = 64
+    dispatch_batch: int = 8
+    max_burn_rate: float = 0.0
+    burn_window_s: float = 300.0
+    poll_interval_s: float = 0.005
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.dispatch_batch < 1:
+            raise ValueError("dispatch_batch must be >= 1")
+        if self.dispatch_batch > self.capacity:
+            raise ValueError("dispatch_batch must not exceed capacity")
+        if self.max_burn_rate < 0:
+            raise ValueError("max_burn_rate must be >= 0 (0 = disabled)")
+        if self.burn_window_s <= 0:
+            raise ValueError("burn_window_s must be positive")
+        if self.poll_interval_s <= 0 or self.drain_timeout_s <= 0:
+            raise ValueError("poll/drain intervals must be positive")
+
+
+@dataclass(frozen=True)
 class EchoImageConfig:
     """Bundle of all stage configurations for the EchoImage pipeline.
 

@@ -11,6 +11,8 @@ Two operating modes mirror the paper:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 import numpy as _np
@@ -25,6 +27,80 @@ from repro.ml.svdd import SVDD
 
 #: Label returned for samples the spoofer gate rejects.
 SPOOFER_LABEL: int = -1
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """Running aggregate after one incremental per-beep push.
+
+    The snapshot drives early-exit *checks* only: per-row kernel scores
+    are ULP-close — not bitwise identical — to the batch path (BLAS may
+    dispatch a GEMV for one row where the batch runs a GEMM), so any
+    final decision must come from one batch ``decide`` call over all
+    consumed rows.
+
+    Attributes:
+        beeps: Rows pushed so far.
+        labels: Per-beep decisions so far (``SPOOFER_LABEL`` for
+            gate-rejected rows; the single-user stream uses ``"user"``).
+        mean_score: Running mean SVDD decision score.
+        mean_margin: Running mean SVM vote margin over gate-accepted
+            rows, or ``None`` when no margin evidence exists yet
+            (single-user enrollment, the degenerate one-registered-user
+            SVM, or every row rejected).
+        unanimous: Whether every per-beep label so far agrees.
+    """
+
+    beeps: int
+    labels: tuple
+    mean_score: float
+    mean_margin: float | None
+    unanimous: bool
+
+
+class DecisionStream:
+    """Incremental per-beep decision aggregate for streaming serving.
+
+    Obtained from ``begin_stream()`` on a fitted authenticator.  Each
+    :meth:`push` scales one feature row through the enrollment-frozen
+    scaler, scores it against the SVDD gate and (multi-user, when the
+    gate accepts) votes it through the one-vs-one SVM, returning the
+    updated :class:`StreamSnapshot`.  No metrics are recorded here —
+    the final batch ``decide`` call owns the telemetry, exactly as in
+    the non-streaming path.
+    """
+
+    def __init__(self, scaler, svdd, svm=None, lone_label=None) -> None:
+        self._scaler = scaler
+        self._score_stream = svdd.begin_stream()
+        self._vote_stream = svm.begin_stream() if svm is not None else None
+        self._lone_label = lone_label
+        self._labels: list = []
+
+    def push(self, row: _np.ndarray) -> StreamSnapshot:
+        """Score one (unscaled) feature row; returns the running state."""
+        row = _np.atleast_2d(_np.asarray(row, dtype=float))
+        scaled = self._scaler.transform(row)
+        score = self._score_stream.push(scaled)
+        if score >= 0.0:
+            if self._vote_stream is not None:
+                label, _ = self._vote_stream.push(scaled)
+            else:
+                label = self._lone_label
+        else:
+            label = SPOOFER_LABEL
+        self._labels.append(label)
+        if self._vote_stream is not None and self._vote_stream.count:
+            mean_margin = self._vote_stream.mean_margin
+        else:
+            mean_margin = None
+        return StreamSnapshot(
+            beeps=len(self._labels),
+            labels=tuple(self._labels),
+            mean_score=self._score_stream.mean_score,
+            mean_margin=mean_margin,
+            unanimous=len(set(self._labels)) <= 1,
+        )
 
 
 def _svm_kernel(config: AuthenticationConfig) -> Kernel:
@@ -130,6 +206,19 @@ class SingleUserAuthenticator:
                     scores.size - num_accepted
                 )
             return accepted, scores
+
+    def begin_stream(self, lone_label: object = "user") -> DecisionStream:
+        """An incremental per-beep scorer for streaming authentication.
+
+        Args:
+            lone_label: Label reported for gate-accepted rows (the
+                pipeline's per-beep convention is ``"user"``).
+        """
+        if not self._fitted or self._svdd is None:
+            raise RuntimeError("authenticator not fitted; call fit(...) first")
+        return DecisionStream(
+            self._scaler, self._svdd, svm=None, lone_label=lone_label
+        )
 
 
 class MultiUserAuthenticator:
@@ -302,3 +391,14 @@ class MultiUserAuthenticator:
                 else:
                     result[accepted] = self.user_labels_[0]
             return result, scores, full_margins
+
+    def begin_stream(self) -> DecisionStream:
+        """An incremental per-beep scorer for streaming authentication."""
+        if self.user_labels_ is None or self._svdd is None:
+            raise RuntimeError("authenticator not fitted; call fit(...) first")
+        return DecisionStream(
+            self._scaler,
+            self._svdd,
+            svm=self._svm if self._svm_active else None,
+            lone_label=self.user_labels_[0],
+        )

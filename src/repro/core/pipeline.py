@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.array.geometry import MicrophoneArray, respeaker_array
 from repro.acoustics.scene import BeepRecording
-from repro.config import EchoImageConfig
+from repro.config import EchoImageConfig, ExitPolicy
 from repro.core.authenticator import (
     SPOOFER_LABEL,
     MultiUserAuthenticator,
     SingleUserAuthenticator,
+    StreamSnapshot,
 )
 from repro.core.distance import DistanceEstimate, DistanceEstimator
 from repro.core.enrollment import build_training_features, stack_user_features
@@ -69,6 +70,11 @@ class AuthenticationResult:
             serving layer's) or minted fresh for standalone calls; the
             same id appears on the attempt's trace, drift alerts and
             audit-ledger entry.
+        beeps_used: How many beeps the decision actually consumed — the
+            attempt length for the batch path, possibly fewer for
+            :meth:`EchoImagePipeline.authenticate_streaming`.
+        early_exit: Whether the streaming path stopped before consuming
+            every beep (always ``False`` on the batch path).
 
     Example:
         Inspect where an attempt spent its time::
@@ -88,6 +94,8 @@ class AuthenticationResult:
     drift_alerts: tuple[DriftAlert, ...] = ()
     margins: tuple = ()
     request_id: str | None = None
+    beeps_used: int = 0
+    early_exit: bool = False
 
 
 class EchoImagePipeline:
@@ -375,6 +383,120 @@ class EchoImagePipeline:
             drift_alerts=alerts,
             margins=margins,
             request_id=request_id,
+            beeps_used=len(recordings),
+            early_exit=False,
+        )
+
+    def authenticate_streaming(
+        self,
+        recordings: list[BeepRecording],
+        exit_policy: ExitPolicy | None = None,
+    ) -> AuthenticationResult:
+        """Authenticate by feeding beeps incrementally with early exit.
+
+        Beeps are imaged, featurised and scored one at a time; once the
+        running per-beep aggregate clears ``exit_policy`` (see
+        :class:`repro.config.ExitPolicy`) the remaining beeps are never
+        imaged — imaging dominates per-attempt cost, so exiting after
+        beep ``k`` of ``L`` saves roughly ``(L - k)/L`` of it.
+
+        Exactness contract: the *final* decision always comes from one
+        batch ``decide`` call over the consumed feature rows — the
+        incremental per-beep scores drive only the exit check, because
+        per-row kernel evaluation is ULP-close but not bitwise equal to
+        the batch GEMM.  Per-beep imaging and feature extraction *are*
+        bitwise equal to the batch path, so with the policy disabled
+        (``score_threshold = inf``, the default) this method consumes
+        every beep and reproduces :meth:`authenticate` exactly —
+        decision, scores and margins bit-for-bit (pinned by
+        ``tests/serve/test_streaming_properties.py``).
+
+        The distance estimate intentionally uses the *full* attempt in
+        both paths: ranging averages the beep envelopes (Eq. 10) and is
+        cheap, and sharing it keeps the imaging plane — and therefore
+        the consumed-prefix features — identical to the batch path.
+
+        Args:
+            recordings: Beep captures of the attempt.
+            exit_policy: Early-exit policy; ``None`` uses the default
+                (disabled) policy.
+
+        Returns:
+            The :class:`AuthenticationResult`, with ``beeps_used`` /
+            ``early_exit`` describing how much of the attempt was
+            consumed.
+        """
+        if self._multi_auth is None and self._single_auth is None:
+            raise RuntimeError(
+                "no users enrolled; call enroll_user or enroll_users first"
+            )
+        policy = exit_policy or ExitPolicy()
+        margins: tuple = ()
+        with correlation_scope(current_request_id()) as request_id:
+            with start_trace() as attempt_trace:
+                with trace(
+                    "authenticate",
+                    num_beeps=len(recordings),
+                    streaming=True,
+                ) as root:
+                    distance = self.estimate_distance(recordings)
+                    plane = self.imaging_plane(distance.user_distance_m)
+                    if self._multi_auth is not None:
+                        stream = self._multi_auth.begin_stream()
+                    else:
+                        stream = self._single_auth.begin_stream()
+                    rows: list[np.ndarray] = []
+                    early = False
+                    for index, recording in enumerate(recordings):
+                        with trace("stream.beep", beep_index=index) as beep:
+                            images = self._image([recording], plane)
+                            row = self.feature_extractor.extract(images)
+                            rows.append(row)
+                            snapshot = stream.push(row)
+                            beep.update(
+                                mean_score=snapshot.mean_score,
+                                unanimous=snapshot.unanimous,
+                            )
+                        if _should_exit(policy, snapshot):
+                            early = index + 1 < len(recordings)
+                            break
+                    features = np.concatenate(rows, axis=0)
+
+                    if self._multi_auth is not None:
+                        labels, scores, raw_margins = (
+                            self._multi_auth.decide_detailed(features)
+                        )
+                        per_beep = tuple(labels.tolist())
+                        margins = tuple(float(m) for m in raw_margins)
+                    else:
+                        accepted, scores = self._single_auth.decide(features)
+                        per_beep = tuple(
+                            "user" if flag else SPOOFER_LABEL
+                            for flag in accepted
+                        )
+
+                    label = _majority(per_beep)
+                    root.update(
+                        label=str(label),
+                        accepted=label != SPOOFER_LABEL,
+                        beeps_used=len(rows),
+                        early_exit=early,
+                    )
+                    alerts = self._record_attempt(
+                        label != SPOOFER_LABEL, scores, distance
+                    )
+        return AuthenticationResult(
+            label=label,
+            accepted=label != SPOOFER_LABEL,
+            distance=distance,
+            per_beep_labels=per_beep,
+            trace=attempt_trace,
+            scores=tuple(float(s) for s in scores),
+            drift_alerts=alerts,
+            margins=margins,
+            request_id=request_id,
+            beeps_used=len(rows),
+            early_exit=early,
         )
 
     def _record_attempt(
@@ -404,6 +526,28 @@ class EchoImagePipeline:
                     monitor=alert.monitor, kind=alert.kind
                 ).inc()
         return tuple(alerts)
+
+
+def _should_exit(policy: ExitPolicy, snapshot: StreamSnapshot) -> bool:
+    """Whether the running aggregate clears the early-exit policy.
+
+    Conjunctive: enough beeps, unanimous prefix labels, score magnitude
+    over the threshold and — on an accept with margin evidence — margin
+    over its floor.  Missing margin evidence (single-user enrollment or
+    the degenerate one-registered-user SVM) waives the margin term.
+    """
+    if not policy.enabled:
+        return False
+    if snapshot.beeps < policy.min_beeps:
+        return False
+    if not snapshot.unanimous:
+        return False
+    if abs(snapshot.mean_score) < policy.score_threshold:
+        return False
+    accepting = snapshot.labels[-1] != SPOOFER_LABEL
+    if accepting and snapshot.mean_margin is not None:
+        return snapshot.mean_margin >= policy.margin_threshold
+    return True
 
 
 def _majority(labels: tuple) -> object:

@@ -34,6 +34,10 @@ name                                      type       labels              observe
 ``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
 ``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
 ``echoimage_flight_dropped_total``        counter    ``ring``            flight-recorder ring evictions (requests/events)
+``echoimage_broker_queue_depth``          gauge      —                   requests waiting in the broker's bounded queue
+``echoimage_broker_shed_total``           counter    ``reason``          admissions refused (capacity / slo_burn)
+``echoimage_stream_exits_total``          counter    ``stage``           streaming decisions by exit point (early/full)
+``echoimage_stream_beeps_used``           histogram  —                   beeps consumed per streaming decision
 ========================================  =========  ==================  =====================================
 
 The SLO tracker of :mod:`repro.obs.slo` additionally publishes
@@ -86,6 +90,10 @@ CANDIDATE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 IDENTIFY_LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
 )
+
+#: Buckets for beeps consumed per streaming decision (attempts are a
+#: handful of beeps; the paper uses up to 8).
+STREAM_BEEP_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 
 class PipelineMetrics:
@@ -196,6 +204,25 @@ class PipelineMetrics:
             "echoimage_flight_dropped_total",
             "Flight-recorder ring-buffer evictions, by ring",
             labels=("ring",),
+        )
+        self.broker_queue_depth: MetricFamily = registry.gauge(
+            "echoimage_broker_queue_depth",
+            "Requests currently waiting in the broker's bounded queue",
+        )
+        self.broker_shed: MetricFamily = registry.counter(
+            "echoimage_broker_shed_total",
+            "Requests refused at broker admission, by reason",
+            labels=("reason",),
+        )
+        self.stream_exits: MetricFamily = registry.counter(
+            "echoimage_stream_exits_total",
+            "Streaming decisions by exit point (early vs full attempt)",
+            labels=("stage",),
+        )
+        self.stream_beeps_used: MetricFamily = registry.histogram(
+            "echoimage_stream_beeps_used",
+            "Beeps consumed per streaming decision",
+            buckets=STREAM_BEEP_BUCKETS,
         )
 
 

@@ -978,6 +978,179 @@ def run_serve_batch(
     )
 
 
+@dataclass(frozen=True)
+class StreamExitResult:
+    """Result of the streaming early-exit threshold sweep.
+
+    Attributes:
+        thresholds: The swept exit score thresholds (``inf`` = early
+            exit disabled, the batch-identical anchor).
+        num_attempts: Attempts evaluated per threshold (half legitimate,
+            half spoofer).
+        beeps_per_attempt: Beeps available to each attempt.
+        min_beeps: Exit-policy floor used throughout the sweep.
+        accuracy: ``threshold -> fraction of correct decisions`` (legit
+            accepted and spoofers rejected).
+        agreement: ``threshold -> fraction of decisions equal to the
+            batch path's`` (1.0 at ``inf`` by construction).
+        early_exit_fraction: ``threshold -> fraction of attempts that
+            stopped before their last beep``.
+        mean_beeps: ``threshold -> mean beeps consumed``.
+        median_latency_s: ``threshold -> median per-attempt streaming
+            wall time``.
+        batch_accuracy: Accuracy of the plain batch path on the same
+            attempts.
+        batch_median_latency_s: Median per-attempt batch wall time.
+    """
+
+    thresholds: tuple[float, ...]
+    num_attempts: int
+    beeps_per_attempt: int
+    min_beeps: int
+    accuracy: dict
+    agreement: dict
+    early_exit_fraction: dict
+    mean_beeps: dict
+    median_latency_s: dict
+    batch_accuracy: float
+    batch_median_latency_s: float
+
+
+def run_stream_exit(
+    num_attempts: int = 8,
+    beeps_per_attempt: int = 6,
+    thresholds: tuple[float, ...] = (0.01, 0.05, 0.2, float("inf")),
+    min_beeps: int = 1,
+    resolution: int = 24,
+    seed_base: int = 20230048,
+    scale: float | None = None,
+) -> StreamExitResult:
+    """Sweep the early-exit threshold: accuracy vs beeps vs latency.
+
+    Enrolls one synthetic user and evaluates ``num_attempts`` attempts —
+    half by the enrolled subject, half by a never-enrolled spoofer —
+    through :meth:`repro.core.pipeline.EchoImagePipeline.authenticate_streaming`
+    at each exit threshold, recording decision accuracy, agreement with
+    the batch path, the early-exit fraction, mean beeps consumed and the
+    median wall time.  The ``inf`` threshold is the correctness anchor:
+    streaming with the exit disabled must agree with the batch decision
+    on every attempt (the property tests additionally pin bit-identity).
+
+    Args:
+        num_attempts: Total attempts per threshold (rounded up to even,
+            scaled by ``scale``).
+        beeps_per_attempt: Beeps available per attempt.
+        thresholds: Exit score thresholds to sweep.
+        min_beeps: Exit-policy floor (never exit before this many).
+        resolution: Imaging grid resolution.
+        seed_base: Experiment seed.
+        scale: Workload scale applied to the attempt count.
+
+    Returns:
+        The :class:`StreamExitResult`.
+    """
+    import math
+    import time
+
+    from repro.acoustics.noise import NoiseModel
+    from repro.acoustics.scene import AcousticScene
+    from repro.array.geometry import respeaker_array
+    from repro.body.subject import SyntheticSubject
+    from repro.config import (
+        AuthenticationConfig,
+        ExitPolicy,
+        ImagingConfig,
+    )
+    from repro.core.pipeline import EchoImagePipeline
+    from repro.signal.chirp import LFMChirp
+
+    num_attempts = max(scaled(num_attempts, scale), 2)
+    num_attempts += num_attempts % 2
+    scene = AcousticScene(
+        array=respeaker_array(),
+        noise=NoiseModel(kind="quiet", level_db_spl=30.0),
+    )
+    chirp = LFMChirp()
+
+    def record(subject_id: int, num_beeps: int, seed: int):
+        rng = np.random.default_rng(seed)
+        subject = SyntheticSubject(subject_id=subject_id)
+        clouds = subject.beep_clouds(0.7, num_beeps, rng)
+        return scene.record_beeps(chirp, clouds, rng)
+
+    # Enrollment depth and gate margin picked so the batch path separates
+    # the enrolled subject from the spoofer at this resolution; the sweep
+    # then shows how much of that accuracy each exit threshold keeps.
+    config = EchoImageConfig(
+        imaging=ImagingConfig(grid_resolution=resolution),
+        auth=AuthenticationConfig(svdd_margin=0.15),
+    )
+    pipeline = EchoImagePipeline(config=config)
+    pipeline.enroll_user(record(1, 6 * beeps_per_attempt, seed_base))
+    half = num_attempts // 2
+    attempts = [
+        (True, record(1, beeps_per_attempt, seed_base + 50 + i))
+        for i in range(half)
+    ] + [
+        (False, record(9, beeps_per_attempt, seed_base + 1000 + i))
+        for i in range(half)
+    ]
+
+    batch_latencies = []
+    batch_results = []
+    batch_correct = 0
+    for legitimate, attempt in attempts:
+        started = time.perf_counter()
+        result = pipeline.authenticate(list(attempt))
+        batch_latencies.append(time.perf_counter() - started)
+        batch_results.append(result)
+        batch_correct += result.accepted == legitimate
+
+    accuracy: dict = {}
+    agreement: dict = {}
+    early_exit_fraction: dict = {}
+    mean_beeps: dict = {}
+    median_latency_s: dict = {}
+    for threshold in thresholds:
+        policy = ExitPolicy(
+            min_beeps=min_beeps,
+            score_threshold=(
+                math.inf if math.isinf(threshold) else float(threshold)
+            ),
+        )
+        latencies = []
+        correct = 0
+        agreed = 0
+        exited = 0
+        beeps_used = 0
+        for (legitimate, attempt), reference in zip(attempts, batch_results):
+            started = time.perf_counter()
+            result = pipeline.authenticate_streaming(list(attempt), policy)
+            latencies.append(time.perf_counter() - started)
+            correct += result.accepted == legitimate
+            agreed += result.label == reference.label
+            exited += result.early_exit
+            beeps_used += result.beeps_used
+        accuracy[threshold] = correct / num_attempts
+        agreement[threshold] = agreed / num_attempts
+        early_exit_fraction[threshold] = exited / num_attempts
+        mean_beeps[threshold] = beeps_used / num_attempts
+        median_latency_s[threshold] = float(np.median(latencies))
+    return StreamExitResult(
+        thresholds=tuple(thresholds),
+        num_attempts=num_attempts,
+        beeps_per_attempt=beeps_per_attempt,
+        min_beeps=min_beeps,
+        accuracy=accuracy,
+        agreement=agreement,
+        early_exit_fraction=early_exit_fraction,
+        mean_beeps=mean_beeps,
+        median_latency_s=median_latency_s,
+        batch_accuracy=batch_correct / num_attempts,
+        batch_median_latency_s=float(np.median(batch_latencies)),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Sub-linear identification at scale (sharded enrollment store)
 # ---------------------------------------------------------------------------

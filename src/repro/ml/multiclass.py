@@ -183,3 +183,60 @@ class OneVsOneSVC:
         """The normalised vote margin alone (see
         :meth:`predict_with_margins`)."""
         return self.predict_with_margins(x)[1]
+
+    def begin_stream(self, candidates=None) -> "VoteStream":
+        """An incremental per-sample voter over the fitted machines.
+
+        See :class:`VoteStream` for the exactness caveat.
+        """
+        return VoteStream(self, candidates=candidates)
+
+
+class VoteStream:
+    """Incremental per-sample voting against a fitted :class:`OneVsOneSVC`.
+
+    Feeds one feature row at a time and maintains the running mean of
+    the normalised vote margins plus label unanimity across the rows
+    seen so far.  Each row is voted through
+    :meth:`OneVsOneSVC.predict_with_margins` on a ``(1, d)`` slice, so
+    the per-row margins are ULP-close — not guaranteed bitwise
+    identical — to the batch call's.  Streaming callers use them only
+    for early-exit *checks*; the final decision must come from one
+    batch call over all consumed rows.
+    """
+
+    def __init__(self, svc: OneVsOneSVC, candidates=None) -> None:
+        if svc.classes_ is None:
+            raise RuntimeError("classifier not fitted; call fit(...) first")
+        self._svc = svc
+        self._candidates = candidates
+        self._margin_sum = 0.0
+        self.count = 0
+        self.labels: list = []
+
+    def push(self, row: np.ndarray):
+        """Vote one feature row; returns ``(label, margin)``."""
+        row = np.asarray(row, dtype=float)
+        if row.ndim == 1:
+            row = row[None, :]
+        if row.shape[0] != 1:
+            raise ValueError(f"push expects one row, got {row.shape[0]}")
+        labels, margins = self._svc.predict_with_margins(
+            row, candidates=self._candidates
+        )
+        label = labels[0]
+        margin = float(margins[0])
+        self.labels.append(label)
+        self._margin_sum += margin
+        self.count += 1
+        return label, margin
+
+    @property
+    def mean_margin(self) -> float:
+        """Running mean of the margins pushed so far (0.0 when empty)."""
+        return self._margin_sum / self.count if self.count else 0.0
+
+    @property
+    def unanimous(self) -> bool:
+        """Whether every pushed row voted for the same label."""
+        return len(set(self.labels)) <= 1

@@ -28,6 +28,45 @@ import numpy as np
 from repro.ml.kernels import Kernel
 
 
+class SVDDScoreStream:
+    """Incremental per-sample scoring against a fitted :class:`SVDD`.
+
+    Feeds one feature row at a time and maintains the running mean of
+    the decision scores seen so far.  Per-row scores go through the same
+    kernel expression as :meth:`SVDD.decision_function` but on a
+    ``(1, d)`` slice, so BLAS may dispatch a GEMV where the batch path
+    runs a GEMM — the results are ULP-close, **not** guaranteed bitwise
+    identical.  Streaming callers therefore use these scores only for
+    early-exit *checks*; any final decision must come from one batch
+    ``decision_function`` call over all consumed rows (see
+    :meth:`repro.core.pipeline.EchoImagePipeline.authenticate_streaming`).
+    """
+
+    def __init__(self, svdd: "SVDD") -> None:
+        if svdd.support_vectors_ is None:
+            raise RuntimeError("SVDD not fitted; call fit(...) first")
+        self._svdd = svdd
+        self._sum = 0.0
+        self.count = 0
+
+    def push(self, row: np.ndarray) -> float:
+        """Score one feature row; returns its decision score."""
+        row = np.asarray(row, dtype=float)
+        if row.ndim == 1:
+            row = row[None, :]
+        if row.shape[0] != 1:
+            raise ValueError(f"push expects one row, got {row.shape[0]}")
+        score = float(self._svdd.decision_function(row)[0])
+        self._sum += score
+        self.count += 1
+        return score
+
+    @property
+    def mean_score(self) -> float:
+        """Running mean of the scores pushed so far (0.0 when empty)."""
+        return self._sum / self.count if self.count else 0.0
+
+
 class SVDD:
     """One-class support vector domain description.
 
@@ -194,3 +233,10 @@ class SVDD:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """+1 for accepted (inside) samples, -1 for rejected ones."""
         return np.where(self.decision_function(x) >= 0.0, 1, -1)
+
+    def begin_stream(self) -> SVDDScoreStream:
+        """An incremental per-sample scorer over this fitted description.
+
+        See :class:`SVDDScoreStream` for the exactness caveat.
+        """
+        return SVDDScoreStream(self)

@@ -128,6 +128,9 @@ STAGES = (
     "auth.svdd",
     "auth.svm",
     "serve.batch",
+    "serve.stream",
+    "stream.beep",
+    "broker.enqueue",
     "bench.case",
 )
 

@@ -17,7 +17,13 @@ Three pieces:
   :class:`~repro.config.ServingConfig`), with per-batch timeout and a
   graceful-degradation ladder;
 * :class:`AuthenticationRequest` / :class:`AuthenticationResponse` —
-  the serving wire format.
+  the serving wire format;
+* :class:`RequestBroker` — continuous-ingest front end over the
+  executor: bounded queue with admission control (structured ``shed``
+  responses), per-tenant fair dequeue, optional SLO-aware shedding, and
+  streaming early-exit dispatch via
+  :class:`~repro.config.ExitPolicy` (threshold disabled = bit-identical
+  to the batch path).
 
 Example::
 
@@ -42,6 +48,7 @@ sequential seed pipeline's outputs; see ``docs/ARCHITECTURE.md`` for the
 degradation ladder and sharing guarantees.
 """
 
+from repro.serve.broker import SHED_CAPACITY, SHED_SLO_BURN, RequestBroker
 from repro.serve.bundle import ModelBundle
 from repro.serve.degradation import (
     DEFAULT_LADDER,
@@ -53,6 +60,7 @@ from repro.serve.requests import (
     STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SHED,
     STATUS_TIMEOUT,
     STATUSES,
     AuthenticationRequest,
@@ -67,9 +75,13 @@ __all__ = [
     "DegradationPolicy",
     "DegradationStep",
     "ModelBundle",
+    "RequestBroker",
+    "SHED_CAPACITY",
+    "SHED_SLO_BURN",
     "STATUSES",
     "STATUS_DEGRADED",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_SHED",
     "STATUS_TIMEOUT",
 ]

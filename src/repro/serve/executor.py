@@ -56,7 +56,7 @@ from dataclasses import replace
 from time import monotonic, perf_counter
 from typing import Callable
 
-from repro.config import EchoImageConfig, ServingConfig
+from repro.config import EchoImageConfig, ExitPolicy, ServingConfig
 from repro.core.pipeline import EchoImagePipeline
 from repro.core.telemetry import pipeline_metrics
 from repro.obs import (
@@ -139,7 +139,11 @@ class _WorkerRuntime:
             self._pipelines[key] = pipeline
         return pipeline
 
-    def run(self, request: AuthenticationRequest) -> AuthenticationResponse:
+    def run(
+        self,
+        request: AuthenticationRequest,
+        exit_policy: ExitPolicy | None = None,
+    ) -> AuthenticationResponse:
         """Serve one request, degrading on failure.
 
         The whole walk runs inside the request's correlation scope, so
@@ -147,23 +151,36 @@ class _WorkerRuntime:
         carries ``request.request_id`` — on the process backend the id
         travels with the pickled request, which is what keeps serial,
         thread and process runs identically correlated.
+
+        When ``exit_policy`` is given the full-fidelity attempt runs the
+        streaming early-exit path; degradation-ladder retries always run
+        the plain batch pipeline, so a response can carry ``early_exit``
+        or ``degradation`` but never both.
         """
         with correlation_scope(request.request_id):
-            return self._run_correlated(request)
+            return self._run_correlated(request, exit_policy)
 
     def _run_correlated(
-        self, request: AuthenticationRequest
+        self,
+        request: AuthenticationRequest,
+        exit_policy: ExitPolicy | None = None,
     ) -> AuthenticationResponse:
         start = perf_counter()
         try:
-            result = self._pipeline(None).authenticate(
-                list(request.recordings)
-            )
+            pipeline = self._pipeline(None)
+            if exit_policy is not None:
+                result = pipeline.authenticate_streaming(
+                    list(request.recordings), exit_policy
+                )
+            else:
+                result = pipeline.authenticate(list(request.recordings))
             return AuthenticationResponse(
                 request_id=request.request_id,
                 status=STATUS_OK,
                 result=result,
                 latency_s=perf_counter() - start,
+                beeps_used=result.beeps_used,
+                early_exit=result.early_exit,
             )
         except Exception as exc:  # noqa: BLE001 — isolate request failures
             last_error = exc
@@ -179,6 +196,8 @@ class _WorkerRuntime:
                         result=result,
                         degradation=step.name,
                         latency_s=perf_counter() - start,
+                        beeps_used=result.beeps_used,
+                        early_exit=False,
                     )
                 except Exception as exc:  # noqa: BLE001
                     last_error = exc
@@ -210,7 +229,10 @@ def _init_process_worker(
     )
 
 
-def _process_run(request: AuthenticationRequest) -> AuthenticationResponse:
+def _process_run(
+    request: AuthenticationRequest,
+    exit_policy: ExitPolicy | None = None,
+) -> AuthenticationResponse:
     """Serve one request in a worker interpreter, capturing telemetry.
 
     The request runs against a fresh, empty metrics registry and a
@@ -224,7 +246,7 @@ def _process_run(request: AuthenticationRequest) -> AuthenticationResponse:
     previous = set_registry(fresh)
     add_sink(captured.append)
     try:
-        response = _PROCESS_RUNTIME.run(request)
+        response = _PROCESS_RUNTIME.run(request, exit_policy)
     finally:
         remove_sink(captured.append)
         set_registry(previous)
@@ -302,13 +324,15 @@ class BatchAuthenticator:
         )
 
     def _thread_run(
-        self, request: AuthenticationRequest
+        self,
+        request: AuthenticationRequest,
+        exit_policy: ExitPolicy | None = None,
     ) -> AuthenticationResponse:
         runtime = getattr(self._local, "runtime", None)
         if runtime is None:
             runtime = self._make_runtime()
             self._local.runtime = runtime
-        return runtime.run(request)
+        return runtime.run(request, exit_policy)
 
     # -- pool lifecycle ------------------------------------------------
 
@@ -381,31 +405,59 @@ class BatchAuthenticator:
         ``"timeout"``.  A worker failure never raises here — it becomes
         a structured ``"error"`` response for that request only.
         """
-        requests = list(requests)
+        return self._serve(list(requests), None, "serve.batch")
+
+    def authenticate_streaming(
+        self,
+        requests: list[AuthenticationRequest],
+        exit_policy: ExitPolicy | None = None,
+    ) -> list[AuthenticationResponse]:
+        """Serve a batch through the streaming early-exit path.
+
+        Identical contract to :meth:`authenticate_batch` plus the
+        early-exit knob: each request's beeps are imaged and scored
+        incrementally and the attempt stops once the running aggregate
+        clears ``exit_policy``.  With the policy disabled (the default
+        :class:`~repro.config.ExitPolicy`) every decision, score and
+        margin is bit-identical to :meth:`authenticate_batch`.
+        Degradation-ladder retries always run the batch pipeline, so no
+        response carries both ``early_exit`` and ``degradation``.
+        """
+        policy = exit_policy or ExitPolicy()
+        return self._serve(list(requests), policy, "serve.stream")
+
+    def _serve(
+        self,
+        requests: list[AuthenticationRequest],
+        exit_policy: ExitPolicy | None,
+        span_name: str,
+    ) -> list[AuthenticationResponse]:
         with ensure_trace() as batch_trace, trace(
-            "serve.batch",
+            span_name,
             backend=self.config.backend,
             num_requests=len(requests),
         ) as span:
             if not requests:
                 responses: list[AuthenticationResponse] = []
             elif self.config.backend == "serial":
-                responses = self._serve_serial(requests)
+                responses = self._serve_serial(requests, exit_policy)
             else:
-                responses = self._serve_pooled(requests)
+                responses = self._serve_pooled(requests, exit_policy)
             outcomes: dict[str, int] = {}
             for response in responses:
                 outcomes[response.status] = (
                     outcomes.get(response.status, 0) + 1
                 )
             span.update(**{f"num_{k}": v for k, v in outcomes.items()})
-            self._record_batch(responses)
+            self._record_batch(responses, streaming=exit_policy is not None)
         if requests:
             self._record_flight(responses, batch_trace)
         return responses
 
     def _serve_serial(
-        self, requests: list[AuthenticationRequest]
+        self,
+        requests: list[AuthenticationRequest],
+        exit_policy: ExitPolicy | None = None,
     ) -> list[AuthenticationResponse]:
         if self._serial_runtime is None:
             self._serial_runtime = self._make_runtime()
@@ -415,18 +467,26 @@ class BatchAuthenticator:
             if monotonic() >= deadline:
                 responses.append(self._timeout_response(request))
             else:
-                responses.append(self._serial_runtime.run(request))
+                responses.append(
+                    self._serial_runtime.run(request, exit_policy)
+                )
         return responses
 
     def _serve_pooled(
-        self, requests: list[AuthenticationRequest]
+        self,
+        requests: list[AuthenticationRequest],
+        exit_policy: ExitPolicy | None = None,
     ) -> list[AuthenticationResponse]:
         pool = self._ensure_pool()
         assert pool is not None
         if self.config.backend == "thread":
-            submit = lambda request: pool.submit(self._thread_run, request)
+            submit = lambda request: pool.submit(
+                self._thread_run, request, exit_policy
+            )
         else:
-            submit = lambda request: pool.submit(_process_run, request)
+            submit = lambda request: pool.submit(
+                _process_run, request, exit_policy
+            )
         deadline = monotonic() + self.config.timeout_s
         futures: list[tuple[AuthenticationRequest, Future]] = [
             (request, submit(request)) for request in requests
@@ -487,7 +547,9 @@ class BatchAuthenticator:
         )
 
     def _record_batch(
-        self, responses: list[AuthenticationResponse]
+        self,
+        responses: list[AuthenticationResponse],
+        streaming: bool = False,
     ) -> None:
         """Parent-side telemetry: counters, exemplars and audit entries.
 
@@ -512,6 +574,13 @@ class BatchAuthenticator:
                             "request_id": response.request_id,
                             "value": response.latency_s,
                         },
+                    )
+                if streaming and response.beeps_used is not None:
+                    metrics.stream_exits.labels(
+                        stage="early" if response.early_exit else "full"
+                    ).inc()
+                    metrics.stream_beeps_used.observe(
+                        float(response.beeps_used)
                     )
             if ledger is not None:
                 self._audit_response(ledger, response)
@@ -542,6 +611,12 @@ class BatchAuthenticator:
             fields["distance_m"] = float(result.distance.user_distance_m)
         if response.degradation is not None:
             fields["degradation"] = response.degradation
+        if response.beeps_used is not None:
+            # The beeps the decision actually consumed — the degraded
+            # (shortened) attempt length, or the streaming exit point.
+            fields["beeps_used"] = int(response.beeps_used)
+        if response.early_exit:
+            fields["early_exit"] = True
         if response.latency_s is not None:
             fields["latency_s"] = response.latency_s
         if response.error is not None:
@@ -600,6 +675,12 @@ class BatchAuthenticator:
                     "degradation",
                     request_id=response.request_id,
                     step=response.degradation,
+                )
+            elif response.early_exit:
+                recorder.record_event(
+                    "early_exit",
+                    request_id=response.request_id,
+                    beeps_used=response.beeps_used,
                 )
             if response.result is not None:
                 for alert in response.result.drift_alerts:

@@ -22,9 +22,18 @@ STATUS_DEGRADED = "degraded"
 STATUS_ERROR = "error"
 #: The request did not finish inside the batch's time budget.
 STATUS_TIMEOUT = "timeout"
+#: The broker refused the request at admission (queue full or SLO
+#: burn-rate shedding); it was never executed.
+STATUS_SHED = "shed"
 
 #: Every status a response can carry.
-STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_ERROR, STATUS_TIMEOUT)
+STATUSES = (
+    STATUS_OK,
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    STATUS_SHED,
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +48,8 @@ class AuthenticationRequest:
             :func:`repro.obs.correlation.new_request_id`, so every
             request is correlatable even when the caller does not care.
         recordings: The attempt's beep captures, one per probing beep.
+        tenant: Logical traffic source the broker's fair dequeue groups
+            by; the default lumps unattributed traffic together.
 
     Example:
         >>> import numpy as np
@@ -49,10 +60,13 @@ class AuthenticationRequest:
         >>> AuthenticationRequest(recordings=(rec,)).request_id.startswith(
         ...     "req-")
         True
+        >>> AuthenticationRequest(recordings=(rec,), tenant="lobby").tenant
+        'lobby'
     """
 
     request_id: str = ""
     recordings: tuple[BeepRecording, ...] = ()
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -92,6 +106,16 @@ class AuthenticationResponse:
             :class:`~repro.obs.PipelineTrace` documents completed in
             the worker while serving this request.  Replayed through
             the parent's trace sinks, then stripped.
+        shed_reason: Why the broker refused a ``shed`` response
+            (``"capacity"`` or ``"slo_burn"``); ``None`` otherwise.
+        beeps_used: Beeps the decision actually consumed; ``None`` when
+            no decision was produced.  Equals the (possibly degraded)
+            attempt length on the batch path, possibly fewer on the
+            streaming path.
+        early_exit: Whether the streaming path stopped before its last
+            beep.  Mutually exclusive with ``degradation`` by
+            construction: degraded retries run the non-streaming
+            pipeline, so a response never carries both.
     """
 
     request_id: str
@@ -102,6 +126,9 @@ class AuthenticationResponse:
     latency_s: float | None = None
     metrics_delta: dict | None = None
     worker_traces: tuple = ()
+    shed_reason: str | None = None
+    beeps_used: int | None = None
+    early_exit: bool = False
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

@@ -1,6 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the seed-audit gate.
+
+The seed audit (:func:`pytest_sessionstart`) refuses to run the suite
+while any test file under ``tests/serve`` or ``tests/bench`` calls into
+``np.random`` at module level.  Module-level RNG calls execute at
+import time, outside any fixture's seeding discipline, and either leak
+hidden global state between tests or — worse — draw from the unseeded
+global generator and make a "deterministic" suite flaky.  Tests draw
+randomness from the seeded ``rng`` fixture or a locally constructed
+``np.random.default_rng(seed)`` inside the test body instead.
+"""
 
 from __future__ import annotations
+
+import ast
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -10,6 +23,90 @@ from repro.acoustics.scene import AcousticScene
 from repro.array.geometry import respeaker_array
 from repro.body.subject import SyntheticSubject
 from repro.signal.chirp import LFMChirp
+
+#: Test trees covered by the module-level RNG audit, relative to this
+#: file.  The serve/bench suites assert bit-identity and timing gates,
+#: so import-time randomness there is never acceptable.
+SEED_AUDIT_DIRS = ("serve", "bench")
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """``np.random.default_rng`` from its attribute-chain AST, or ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _ModuleLevelRandomCalls(ast.NodeVisitor):
+    """Collects ``np.random.*`` calls that execute at import time.
+
+    Function and lambda bodies are skipped (they run under the test's
+    own control), but decorators and default argument values are still
+    visited — those evaluate when the module is imported.
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[tuple[int, str]] = []
+
+    def _visit_signature_only(self, node) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            self.visit(default)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_signature_only(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_signature_only(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # a lambda body runs at call time, not import time
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        if name.startswith(("np.random.", "numpy.random.")):
+            self.violations.append((node.lineno, name))
+        self.generic_visit(node)
+
+
+def find_module_level_np_random_calls(
+    source: str, filename: str = "<test>"
+) -> list[tuple[int, str]]:
+    """``(lineno, dotted_name)`` of import-time ``np.random`` calls."""
+    auditor = _ModuleLevelRandomCalls()
+    auditor.visit(ast.parse(source, filename=filename))
+    return auditor.violations
+
+
+def pytest_sessionstart(session) -> None:
+    """Fail the session on module-level RNG calls in audited suites."""
+    root = Path(__file__).resolve().parent
+    failures: list[str] = []
+    for rel in SEED_AUDIT_DIRS:
+        for path in sorted((root / rel).glob("test_*.py")):
+            source = path.read_text(encoding="utf-8")
+            for lineno, name in find_module_level_np_random_calls(
+                source, str(path)
+            ):
+                failures.append(
+                    f"{path.relative_to(root.parent)}:{lineno}: "
+                    f"module-level {name}(...) call"
+                )
+    if failures:
+        raise pytest.UsageError(
+            "seed audit: np.random must not be called at module level in "
+            "test files (draw from the seeded `rng` fixture or a local "
+            "default_rng(seed) instead):\n  " + "\n  ".join(failures)
+        )
 
 
 @pytest.fixture

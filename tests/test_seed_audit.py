@@ -1,0 +1,135 @@
+"""The seed-audit gate itself: what counts as an import-time RNG call.
+
+``tests/conftest.py`` refuses to start the session when a test file
+under the audited suites calls ``np.random.*`` at module level.  These
+tests pin the auditor's notion of "module level" — anything that
+executes at import time, including decorators and default argument
+values, but not function or lambda bodies.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.conftest import find_module_level_np_random_calls
+
+
+def _audit(source: str):
+    return find_module_level_np_random_calls(textwrap.dedent(source))
+
+
+class TestFlagged:
+    def test_module_level_seed_call(self):
+        violations = _audit(
+            """
+            import numpy as np
+
+            np.random.seed(0)
+            """
+        )
+        assert violations == [(4, "np.random.seed")]
+
+    def test_module_level_generator_construction(self):
+        violations = _audit("import numpy as np\nrng = np.random.default_rng()\n")
+        assert violations == [(2, "np.random.default_rng")]
+
+    def test_full_numpy_alias(self):
+        violations = _audit(
+            """
+            import numpy
+
+            DATA = numpy.random.rand(3)
+            """
+        )
+        assert violations == [(4, "numpy.random.rand")]
+
+    def test_default_argument_value(self):
+        violations = _audit(
+            """
+            import numpy as np
+
+            def sample(values=np.random.rand(4)):
+                return values
+            """
+        )
+        assert [name for _, name in violations] == ["np.random.rand"]
+
+    def test_decorator_argument(self):
+        violations = _audit(
+            """
+            import numpy as np
+            import pytest
+
+            @pytest.mark.parametrize("x", np.random.rand(3))
+            def test_x(x):
+                pass
+            """
+        )
+        assert [name for _, name in violations] == ["np.random.rand"]
+
+    def test_class_body(self):
+        violations = _audit(
+            """
+            import numpy as np
+
+            class TestThing:
+                noise = np.random.normal(size=8)
+            """
+        )
+        assert [name for _, name in violations] == ["np.random.normal"]
+
+
+class TestAllowed:
+    def test_call_inside_test_function(self):
+        assert not _audit(
+            """
+            import numpy as np
+
+            def test_something():
+                rng = np.random.default_rng(7)
+                return rng.normal()
+            """
+        )
+
+    def test_call_inside_lambda(self):
+        assert not _audit(
+            """
+            import numpy as np
+
+            make = lambda: np.random.default_rng(7)
+            """
+        )
+
+    def test_seeded_fixture_pattern(self):
+        assert not _audit(
+            """
+            import numpy as np
+            import pytest
+
+            @pytest.fixture
+            def rng():
+                return np.random.default_rng(12345)
+            """
+        )
+
+    def test_non_random_numpy_calls(self):
+        assert not _audit(
+            """
+            import numpy as np
+
+            GRID = np.linspace(0.0, 1.0, 16)
+            """
+        )
+
+
+def test_audited_suites_are_currently_clean():
+    from pathlib import Path
+
+    from tests.conftest import SEED_AUDIT_DIRS
+
+    root = Path(__file__).resolve().parent
+    for rel in SEED_AUDIT_DIRS:
+        for path in sorted((root / rel).glob("test_*.py")):
+            assert not find_module_level_np_random_calls(
+                path.read_text(encoding="utf-8"), str(path)
+            ), f"{path} has module-level np.random calls"
