@@ -1,0 +1,228 @@
+"""Stitch one request's cross-source incident timeline.
+
+When the security sentinel raises an alert, the triage question is
+always the same: *what exactly did this request do, everywhere?*  The
+answer is scattered across three sources that all carry the same
+correlation id:
+
+* the **audit ledger** (hash-chained JSONL) — the tamper-evident
+  decision record;
+* the **flight recorder** black box (``"kind": "flight_recorder"``
+  JSON) — the request's completed record with its span tree, plus every
+  structured event (``security_alert``, ``shed``, ``timeout``, ...)
+  that named the request;
+* the request's **pipeline spans** — where the wall time went.
+
+This script joins all three by correlation id and prints one
+chronologically sorted timeline (or ``--json`` for the machine-readable
+document).  Exit codes: 0 when at least one source mentioned the
+request, 1 when none did, 2 on unreadable inputs.
+
+Run:  PYTHONPATH=src python scripts/incident_report.py req-1a2b3c4d5e6f7081 \\
+          --audit audit.jsonl --flight flight.json
+      PYTHONPATH=src python scripts/incident_report.py req-1a2b... \\
+          --flight flight.json --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import SCHEMA_VERSION, AuditLedger, ChainError, PipelineTrace
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="stitch one request's audit/flight/span timeline"
+    )
+    parser.add_argument(
+        "request_id", help="correlation id to report on (req-...)"
+    )
+    parser.add_argument(
+        "--audit", default=None, metavar="FILE",
+        help="audit-ledger JSONL to search (rotated segments included)",
+    )
+    parser.add_argument(
+        "--flight", default=None, metavar="FILE",
+        help="flight-recorder black-box JSON to search",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the timeline as one JSON document instead of text",
+    )
+    return parser.parse_args()
+
+
+def audit_moments(path: str, request_id: str) -> list[dict]:
+    """Timeline moments from the audit ledger, oldest first."""
+    entries = AuditLedger(path).query(
+        request_id=request_id, include_rotated=True
+    )
+    return [
+        {
+            "at": entry.get("ts"),
+            "source": "audit",
+            "what": f"{entry.get('kind', '?')} decision: "
+            f"{entry.get('decision', '?')}",
+            "detail": {
+                key: value
+                for key, value in entry.items()
+                if key not in ("schema", "prev_hash", "request_id")
+            },
+        }
+        for entry in entries
+    ]
+
+
+def flight_moments(path: str, request_id: str) -> list[dict]:
+    """Timeline moments from a flight-recorder black box."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("kind") != "flight_recorder":
+        raise ValueError(
+            f"{path} is not a flight-recorder black box "
+            f"(kind={document.get('kind')!r})"
+        )
+    moments = []
+    for record in document.get("requests", []):
+        if record.get("request_id") != request_id:
+            continue
+        latency = record.get("latency_s")
+        what = f"served: {record.get('status', '?')}"
+        if latency is not None:
+            what += f" in {latency * 1e3:.1f} ms"
+        if record.get("degradation"):
+            what += f" (degraded: {record['degradation']})"
+        if record.get("error"):
+            what += f" (error: {record['error']})"
+        moments.append(
+            {
+                "at": record.get("recorded_at"),
+                "source": "flight",
+                "what": what,
+                "detail": {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("trace", "request_id")
+                },
+                "trace": record.get("trace"),
+            }
+        )
+    for event in document.get("events", []):
+        if event.get("request_id") != request_id:
+            continue
+        kind = event.get("kind", "?")
+        what = f"event: {kind}"
+        if kind == "security_alert":
+            what = (
+                f"SECURITY ALERT [{event.get('severity', '?')}] "
+                f"{event.get('rule', '?')}: {event.get('message', '')}"
+            )
+        elif kind == "shed":
+            what = f"shed by broker: {event.get('reason', '?')}"
+        moments.append(
+            {
+                "at": event.get("recorded_at"),
+                "source": "flight",
+                "what": what,
+                "detail": {
+                    key: value
+                    for key, value in event.items()
+                    if key != "request_id"
+                },
+            }
+        )
+    return moments
+
+
+def build_timeline(
+    request_id: str,
+    audit_path: str | None,
+    flight_path: str | None,
+) -> dict:
+    """The stitched, sorted incident document (``"schema": 1``)."""
+    moments: list[dict] = []
+    sources: dict[str, str] = {}
+    if audit_path is not None:
+        moments.extend(audit_moments(audit_path, request_id))
+        sources["audit"] = audit_path
+    if flight_path is not None:
+        moments.extend(flight_moments(flight_path, request_id))
+        sources["flight"] = flight_path
+    moments.sort(key=lambda moment: (moment.get("at") or 0.0))
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "incident_report",
+        "request_id": request_id,
+        "sources": sources,
+        "num_moments": len(moments),
+        "timeline": moments,
+    }
+
+
+def _stamp(epoch: float | None) -> str:
+    if epoch is None:
+        return "        -        "
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
+
+
+def render(document: dict) -> str:
+    """The incident document as human-readable text."""
+    lines = [
+        f"# Incident report — {document['request_id']}",
+        ", ".join(
+            f"{name}: {path}"
+            for name, path in document["sources"].items()
+        )
+        or "(no sources given)",
+        f"{document['num_moments']} moments",
+        "",
+    ]
+    for moment in document["timeline"]:
+        lines.append(
+            f"{_stamp(moment.get('at'))}  [{moment['source']:<6}] "
+            f"{moment['what']}"
+        )
+        trace = moment.get("trace")
+        if trace:
+            tree = PipelineTrace.from_dict(trace)
+            lines.extend(
+                "    " + row for row in tree.format().splitlines()
+            )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    args = parse_args()
+    if args.audit is None and args.flight is None:
+        print(
+            "error: need --audit and/or --flight to search",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        document = build_timeline(args.request_id, args.audit, args.flight)
+    except (OSError, json.JSONDecodeError, ValueError, ChainError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(render(document))
+    if document["num_moments"] == 0:
+        print(
+            f"error: no source mentions {args.request_id}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(141)

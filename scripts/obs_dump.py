@@ -6,11 +6,16 @@ batch fails or on demand (``scripts/serve_monitor.py --flight-json``,
 ``FlightRecorder.dump``).  This script renders that file for a human:
 a summary header, one line per retained request record, the structured
 events, and — with ``--traces`` — each request's span tree via
-:meth:`repro.obs.PipelineTrace.format`.
+:meth:`repro.obs.PipelineTrace.format`.  When the black box holds
+``security_alert`` or ``shed`` events they are additionally re-grouped
+by correlation id, so one glance shows which requests drew attention;
+``--kind`` narrows the events section to one event kind.
 
 Run:  PYTHONPATH=src python scripts/obs_dump.py flight.json
       PYTHONPATH=src python scripts/obs_dump.py flight.json --traces
       PYTHONPATH=src python scripts/obs_dump.py flight.json --limit 10
+      PYTHONPATH=src python scripts/obs_dump.py flight.json \\
+          --kind security_alert
 """
 
 from __future__ import annotations
@@ -36,6 +41,10 @@ def parse_args() -> argparse.Namespace:
         "--traces", action="store_true",
         help="also render each request's pipeline span tree",
     )
+    parser.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="only show events of this kind (e.g. security_alert, shed)",
+    )
     return parser.parse_args()
 
 
@@ -51,7 +60,32 @@ def _tail(items: list[dict], limit: int | None) -> list[dict]:
     return items[len(items) - limit:]
 
 
-def render(document: dict, limit: int | None, with_traces: bool) -> str:
+def _attention_groups(events: list[dict]) -> dict[str, list[dict]]:
+    """``security_alert``/``shed`` events grouped by correlation id."""
+    groups: dict[str, list[dict]] = {}
+    for event in events:
+        if event.get("kind") not in ("security_alert", "shed"):
+            continue
+        key = str(event.get("request_id") or "(no request id)")
+        groups.setdefault(key, []).append(event)
+    return groups
+
+
+def _attention_line(event: dict) -> str:
+    if event.get("kind") == "security_alert":
+        return (
+            f"alert [{event.get('severity', '?')}] "
+            f"{event.get('rule', '?')}: {event.get('message', '')}"
+        )
+    return f"shed: {event.get('reason', '?')}"
+
+
+def render(
+    document: dict,
+    limit: int | None,
+    with_traces: bool,
+    kind: str | None = None,
+) -> str:
     """The black-box document as human-readable text."""
     schema = document.get("schema")
     if schema != SCHEMA_VERSION or document.get("kind") != "flight_recorder":
@@ -93,8 +127,13 @@ def render(document: dict, limit: int | None, with_traces: bool) -> str:
         if with_traces and record.get("trace") is not None:
             trace = PipelineTrace.from_dict(record["trace"])
             lines.extend("      " + row for row in trace.format().splitlines())
-    lines += ["", "## Events (oldest first)"]
-    events = _tail(document.get("events", []), limit)
+    heading = "## Events (oldest first)"
+    all_events = document.get("events", [])
+    if kind is not None:
+        all_events = [e for e in all_events if e.get("kind") == kind]
+        heading = f"## Events (oldest first, kind={kind})"
+    lines += ["", heading]
+    events = _tail(all_events, limit)
     if not events:
         lines.append("(none retained)")
     for event in events:
@@ -107,6 +146,12 @@ def render(document: dict, limit: int | None, with_traces: bool) -> str:
             f"[{event.get('seq', '?'):>5}]  {_stamp(event.get('recorded_at'))}"
             f"  {event.get('kind', '?'):<12}  {json.dumps(details)}"
         )
+    groups = _attention_groups(events)
+    if groups:
+        lines += ["", "## Attention by request (alerts & sheds)"]
+        for request_id, grouped in sorted(groups.items()):
+            lines.append(f"{request_id}:")
+            lines.extend(f"    {_attention_line(e)}" for e in grouped)
     return "\n".join(lines)
 
 
@@ -119,7 +164,7 @@ def main() -> int:
         print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
         return 2
     try:
-        print(render(document, args.limit, args.traces))
+        print(render(document, args.limit, args.traces, args.kind))
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -32,8 +32,20 @@ the monitor: ``/metrics`` serves the Prometheus dump, ``/healthz`` is
 up from startup, ``/readyz`` flips to 200 once enrollment finishes (and
 back to 503 if the worker pool shuts down), ``/traces`` serves the
 flight recorder, ``/drift`` the alerts raised so far, ``/audit`` the
-decision audit ledger (when ``--audit-jsonl`` is set) and ``/slo`` the
-live error-budget document.  The flight recorder is always on;
+decision audit ledger (when ``--audit-jsonl`` is set), ``/slo`` the
+live error-budget document and ``/alerts`` the security sentinel's
+rule catalogue and alert feed.
+
+A :class:`repro.obs.SecuritySentinel` is always installed for the run:
+every decision streams through its attack-pattern detectors and any
+security alerts are printed as they fire, routed to
+``echoimage_security_alerts_total`` and served on ``/alerts``.  With
+``--replay-burst N`` the monitor injects a scripted replay attack
+(:func:`repro.attacks.replay_burst`) right after enrollment — N
+machine-paced replays of a recorded victim beep under request ids
+``replay-burst-0..N-1`` — which trips the ``velocity_burst`` rule and
+gives scrapers and ``scripts/incident_report.py`` a correlation id to
+stitch a timeline from.  The flight recorder is always on;
 ``--flight-json`` writes its black-box file at the end (pretty-print it
 with ``scripts/obs_dump.py``).  ``--audit-jsonl`` appends every decision
 to a hash-chained tamper-evident ledger — query or verify it afterwards
@@ -76,11 +88,13 @@ from repro.obs import (
     FlightRecorder,
     MetricsRegistry,
     ObservabilityServer,
+    SecuritySentinel,
     SLOTracker,
     correlation_scope,
     set_audit_ledger,
     set_flight_recorder,
     set_registry,
+    set_security_sentinel,
 )
 from repro.signal.chirp import LFMChirp
 
@@ -209,6 +223,13 @@ def parse_args() -> argparse.Namespace:
         "audit ledger at FILE (query and verify it with "
         "scripts/audit_query.py)",
     )
+    parser.add_argument(
+        "--replay-burst", type=int, default=0, metavar="N",
+        help="inject N machine-paced replays of a recorded victim beep "
+        "right after enrollment (request ids replay-burst-0..N-1) — a "
+        "scripted attack drill that trips the sentinel's velocity_burst "
+        "rule (0 = off)",
+    )
     parser.add_argument("--seed", type=int, default=11, help="scene seed")
     return parser.parse_args()
 
@@ -230,6 +251,8 @@ def main() -> int:
         set_audit_ledger(ledger)
         print(f"[audit ledger appending to {args.audit_jsonl}]")
     slo = SLOTracker(registry=registry)
+    sentinel = SecuritySentinel()
+    set_security_sentinel(sentinel)
 
     chirp = LFMChirp()
     user = SyntheticSubject(subject_id=1)
@@ -272,10 +295,12 @@ def main() -> int:
             drift_source=pipeline.drift.alerts,
             audit_ledger=ledger,
             slo=slo,
+            sentinel=sentinel,
         ).start()
         print(
             f"[observability endpoint on {obs_server.url()} — "
-            f"/metrics /healthz /readyz /traces /drift /audit /slo]\n"
+            f"/metrics /healthz /readyz /traces /drift /audit /slo "
+            f"/alerts]\n"
         )
 
     print(
@@ -342,6 +367,64 @@ def main() -> int:
         )
 
     state["enrolled"] = True  # bundle (if any) loaded: /readyz goes 200
+
+    def observe_direct(result, request_id, tenant="default"):
+        """Feed a direct-path decision into the sentinel's detectors.
+
+        Mirrors the serving layer's hook: the batch/broker paths feed
+        the sentinel from inside ``repro.serve``; direct calls must do
+        it here.
+        """
+        finite = [float(s) for s in result.scores if np.isfinite(s)]
+        return sentinel.observe_auth(
+            accepted=bool(result.accepted),
+            tenant=tenant,
+            user=str(result.label) if result.accepted else None,
+            score=max(finite) if finite else None,
+            request_id=request_id,
+        )
+
+    if args.replay_burst:
+        from repro.attacks import replay_burst
+
+        steps = replay_burst(user, num_attempts=args.replay_burst)
+        burst_ids = [f"replay-burst-{i}" for i in range(len(steps))]
+        print(
+            f"[replay burst: {len(steps)} machine-paced replays, "
+            f"request ids {burst_ids[0]}..{burst_ids[-1]}]"
+        )
+        before = len(sentinel.alerts())
+        burst_recordings = [
+            scene.record_beeps(chirp, [step.body] * args.beeps, rng)
+            for step in steps
+        ]
+        if server is not None:
+            from repro.serve import AuthenticationRequest
+
+            # One batch: the decisions finalize back-to-back, so the
+            # sentinel sees the burst at machine pacing.
+            server.authenticate_batch(
+                [
+                    AuthenticationRequest(
+                        rid, tuple(recs), tenant="tenant-replay"
+                    )
+                    for rid, recs in zip(burst_ids, burst_recordings)
+                ]
+            )
+        else:
+            results = []
+            for rid, recordings in zip(burst_ids, burst_recordings):
+                result = pipeline.authenticate(recordings)
+                recorder.record_request(rid, "ok", trace=result.trace)
+                results.append((rid, result))
+            for rid, result in results:  # feed back-to-back
+                observe_direct(result, rid, tenant="tenant-replay")
+        for alert in sentinel.alerts()[before:]:
+            print(f"       SECURITY {json.dumps(alert.to_dict())}")
+        print(
+            f"[security alerts after burst: "
+            f"{len(sentinel.alerts()) - before}]\n"
+        )
 
     def print_attempt(attempt, spoofing, result, note=""):
         mean_score = float(np.mean(result.scores))
@@ -424,6 +507,8 @@ def main() -> int:
                     print(f"[{attempt:4d}] no-echo reject ({error})")
                     continue
                 recorder.record_request(request_id, "ok", trace=result.trace)
+                for alert in observe_direct(result, request_id):
+                    print(f"       SECURITY {json.dumps(alert.to_dict())}")
                 if ledger is not None:
                     ledger.append(
                         "authenticate", request_id,
@@ -492,6 +577,10 @@ def main() -> int:
     print(f"drift alerts raised: {len(alerts)}")
     for alert in alerts:
         print(f"  {alert.message}")
+    security = sentinel.alerts()
+    print(f"security alerts raised: {len(security)}")
+    for alert in security:
+        print(f"  [{alert.severity}] {alert.rule}: {alert.message}")
     print("\n# Final metrics (Prometheus text exposition)")
     dump = registry.render_prometheus()
     print(dump, end="")
@@ -523,6 +612,7 @@ def main() -> int:
         set_audit_ledger(None)
     if obs_server is not None:
         obs_server.stop()
+    set_security_sentinel(None)
     return 0
 
 

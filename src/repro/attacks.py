@@ -16,9 +16,24 @@ examples and tests can measure what the spoofer gate actually sees:
 * ``recorded_replay_of_body`` — the strongest modelled adversary: a
   perfect *geometric* copy of the victim's body with reflectivity scaled
   by the decoy material.
+
+Beyond single postures, the module also scripts whole attack
+*campaigns* — paced sequences of :class:`AttackStep` that the
+``attack-detect`` experiment replays against the serving stack to
+measure what :class:`repro.obs.sentinel.SecuritySentinel` detects:
+
+* :func:`replay_burst` — one replica re-fired mechanically, faster than
+  a human could re-position (trips the velocity detector);
+* :func:`colocated_impostor_campaign` — a patient impostor retrying at
+  human pace (trips the EWMA reject-rate detector);
+* :func:`threshold_probing_sweep` — an adaptive attacker sweeping
+  replica fidelity upward against the decision boundary (trips the
+  near-threshold probing detector).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -161,3 +176,137 @@ def recorded_replay_of_body(
         reflectivities=reflectivities,
         label=f"replica-f{fidelity:.2f}",
     )
+
+
+# ---------------------------------------------------------------------------
+# Scripted attack campaigns (paced sequences of attempts)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttackStep:
+    """One scripted attempt of an attack campaign.
+
+    Attributes:
+        body: The posture presented for this attempt (``None`` for an
+            empty room).
+        gap_s: Scripted seconds since the previous attempt — the pacing
+            the sentinel's velocity and fan-out detectors see.
+        label: Step label for reporting (e.g. ``"probe-f0.44"``).
+    """
+
+    body: ReflectorCloud | None
+    gap_s: float
+    label: str
+
+
+def replay_burst(
+    victim: SyntheticSubject,
+    num_attempts: int = 6,
+    fidelity: float = 0.97,
+    gap_s: float = 0.05,
+    distance_m: float = 0.7,
+    rng: np.random.Generator | None = None,
+) -> list[AttackStep]:
+    """A recorded replay re-fired mechanically, back to back.
+
+    The same high-fidelity replica is presented ``num_attempts`` times
+    with only ``gap_s`` between attempts — far faster than a person
+    could physically step in front of the device and re-position.  Even
+    when each individual attempt passes the gate, the *pacing* is the
+    tell the velocity detector keys on.
+
+    Args:
+        victim: The replayed subject.
+        num_attempts: Attempts in the burst.
+        fidelity: Replica copy quality (high: the replay "works").
+        gap_s: Scripted seconds between consecutive attempts.
+        distance_m: Replica placement.
+        rng: Random generator for the replica's residual copy errors.
+
+    Returns:
+        The scripted steps, in firing order.
+    """
+    if num_attempts < 1:
+        raise ValueError("num_attempts must be >= 1")
+    replica = recorded_replay_of_body(victim, distance_m, fidelity, rng)
+    return [
+        AttackStep(body=replica, gap_s=gap_s, label=f"replay-burst-{i}")
+        for i in range(num_attempts)
+    ]
+
+
+def colocated_impostor_campaign(
+    attacker: SyntheticSubject,
+    num_attempts: int = 6,
+    gap_s: float = 4.0,
+    distance_m: float = 0.7,
+) -> list[AttackStep]:
+    """A patient impostor standing in and retrying at human pace.
+
+    Each attempt is the attacker's own body at the victim's usual spot,
+    spaced like a person re-trying after each rejection.  No single
+    attempt is anomalous; the accumulating *reject stream* is what the
+    EWMA reject-rate detector keys on.
+
+    Args:
+        attacker: The impostor's body.
+        num_attempts: Retry attempts.
+        gap_s: Scripted seconds between retries.
+        distance_m: Standing distance.
+
+    Returns:
+        The scripted steps, in firing order.
+    """
+    if num_attempts < 1:
+        raise ValueError("num_attempts must be >= 1")
+    body = impostor(attacker, distance_m)
+    return [
+        AttackStep(body=body, gap_s=gap_s, label=f"impostor-{i}")
+        for i in range(num_attempts)
+    ]
+
+
+def threshold_probing_sweep(
+    victim: SyntheticSubject,
+    fidelities: tuple[float, ...] = (0.30, 0.38, 0.44, 0.48, 0.52),
+    gap_s: float = 4.0,
+    distance_m: float = 0.7,
+    rng_seed: int = 7,
+) -> list[AttackStep]:
+    """An adaptive attacker sweeping replica fidelity against the gate.
+
+    Presents replicas of monotonically increasing fidelity, watching the
+    decision boundary from below: each rejected attempt scores a little
+    closer to the accept gate than the last.  That climbing-score
+    signature is what the near-threshold probing detector keys on —
+    before the attacker actually crosses the boundary.
+
+    Args:
+        victim: The copied subject.
+        fidelities: Increasing copy qualities, one attempt each.
+        gap_s: Scripted seconds between attempts.
+        distance_m: Replica placement.
+        rng_seed: Seed for each replica's residual copy errors (fixed
+            per step so only fidelity varies along the sweep).
+
+    Returns:
+        The scripted steps, in firing order.
+    """
+    if not fidelities:
+        raise ValueError("fidelities must be non-empty")
+    if list(fidelities) != sorted(fidelities):
+        raise ValueError("fidelities must be non-decreasing")
+    return [
+        AttackStep(
+            body=recorded_replay_of_body(
+                victim,
+                distance_m,
+                fidelity,
+                np.random.default_rng(rng_seed),
+            ),
+            gap_s=gap_s,
+            label=f"probe-f{fidelity:.2f}",
+        )
+        for fidelity in fidelities
+    ]

@@ -770,6 +770,46 @@ def _quality_audit_overhead(ctx: BenchContext):
 
 
 @quality_case(
+    "quality.sentinel_overhead",
+    group="quality",
+    unit="rate",
+    higher_is_better=False,
+    description="Fractional serving-latency overhead of the security "
+    "sentinel's streaming detectors (sentinel-installed serial batch "
+    "median vs plain, budget < 0.05)",
+)
+def _quality_sentinel_overhead(ctx: BenchContext):
+    from repro.bench.timer import measure
+    from repro.obs import SecuritySentinel, set_security_sentinel
+
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.requests()
+    sentinel = SecuritySentinel()
+
+    def plain():
+        authenticator.authenticate_batch(requests)
+
+    def guarded():
+        set_security_sentinel(sentinel)
+        try:
+            authenticator.authenticate_batch(requests)
+        finally:
+            set_security_sentinel(None)
+
+    kwargs = dict(warmup=1, min_repeats=5, max_repeats=15, max_time_s=5.0)
+    base = measure(plain, **kwargs)
+    with_sentinel = measure(guarded, **kwargs)
+    overhead = with_sentinel.median_s / base.median_s - 1.0
+    # Same clamp as quality.audit_overhead: noise can flip the sign and
+    # the tracked number is the overhead, not a speedup.
+    return max(0.0, overhead), {
+        "plain_median_s": base.median_s,
+        "guarded_median_s": with_sentinel.median_s,
+        "budget": 0.05,
+    }
+
+
+@quality_case(
     "quality.stream_agreement",
     group="quality",
     unit="rate",

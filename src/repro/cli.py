@@ -269,6 +269,37 @@ def _print_identify_scale(scale: float) -> None:
     )
 
 
+def _print_attack_detect(scale: float) -> None:
+    result = experiments.run_attack_detect(scale=scale)
+    rows = []
+    for name in result.classes:
+        tta = result.time_to_first_alert_s[name]
+        attempts = result.attempts_to_first_alert[name]
+        rows.append(
+            [
+                name,
+                result.expected_rule[name],
+                "yes" if result.detected[name] else "NO",
+                "-" if tta is None else f"{tta:.2f}",
+                "-" if attempts is None else attempts,
+                ", ".join(result.rules_fired[name]) or "-",
+            ]
+        )
+    print(
+        format_table(
+            ["attack class", "expected rule", "detected",
+             "time to alert (s)", "attempts", "rules fired"],
+            rows,
+            title="Security sentinel — scripted attack detection",
+        )
+    )
+    print(
+        f"benign traffic: {result.num_benign} attempts, "
+        f"{result.benign_false_alarms} false alarms; "
+        f"{result.total_alerts} alerts total"
+    )
+
+
 EXPERIMENTS = {
     "table1": _print_table1,
     "fig5": _print_fig5,
@@ -281,6 +312,7 @@ EXPERIMENTS = {
     "serve-batch": _print_serve_batch,
     "stream-exit": _print_stream_exit,
     "identify-scale": _print_identify_scale,
+    "attack-detect": _print_attack_detect,
 }
 
 
@@ -342,8 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="serve the live observability endpoint (/metrics, /healthz, "
-        "/readyz, /traces, /drift, /audit, /slo) on this port while the "
-        "experiments run (0 = ephemeral)",
+        "/readyz, /traces, /drift, /audit, /slo, /alerts) on this port "
+        "while the experiments run (0 = ephemeral)",
     )
     runner.add_argument(
         "--audit-jsonl",
@@ -429,7 +461,8 @@ def main(argv: list[str] | None = None) -> int:
         obs_server = ObservabilityServer(port=args.obs_port).start()
         print(
             f"[observability endpoint on {obs_server.url()} — "
-            f"/metrics /healthz /readyz /traces /drift /audit /slo]"
+            f"/metrics /healthz /readyz /traces /drift /audit /slo "
+            f"/alerts]"
         )
     try:
         for name in names:

@@ -379,6 +379,128 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class SentinelConfig:
+    """Parameters of the streaming security sentinel
+    (:mod:`repro.obs.sentinel`).
+
+    Attributes:
+        ewma_alpha: Smoothing factor of the per-tenant reject-rate and
+            shed-rate EWMAs (higher = reacts faster, forgets faster).
+        reject_rate_threshold: EWMA reject-rate ceiling above which the
+            ``reject_spike`` rule fires.
+        shed_rate_threshold: EWMA broker-shed-rate ceiling of the
+            ``shed_spike`` rule.
+        min_attempts: Observations required from a tenant before its
+            rate rules may fire (suppresses cold-start noise).
+        probe_run: Consecutive monotonically climbing rejected scores
+            required before ``threshold_probing`` fires.
+        probe_band: Width of the score band below the accept gate at 0;
+            a climbing run only fires once its latest score lands within
+            the band.
+        probe_tolerance: Slack allowed in the "monotonically climbing"
+            test (scores may dip by this much and still count).
+        min_interval_s: Inter-attempt gap below which back-to-back
+            attempts are considered faster than human re-positioning.
+        burst_run: Consecutive too-fast gaps before ``velocity_burst``
+            fires.
+        tenant_fanout: Distinct tenants one accepted user must appear
+            from (inside ``fanout_window_s``) before ``tenant_fanout``
+            fires.
+        fanout_window_s: Sliding window of the fan-out tracker.
+        cooldown_s: Per ``(rule, key)`` re-fire suppression after an
+            alert, across edge re-arms.
+        shard_window: Sliding-window length of the per-shard score
+            drift monitors.
+        shard_min_samples: Observations before shard drift tests run
+            (also the auto-baseline size without a frozen baseline).
+        shard_mean_sigmas: Mean-shift threshold of the shard monitors.
+        shard_variance_ratio: Variance-ratio threshold of the shard
+            monitors.
+
+    Example:
+        >>> cfg = SentinelConfig(probe_run=3)
+        >>> cfg.reject_rate_threshold
+        0.8
+        >>> SentinelConfig(ewma_alpha=1.5)
+        Traceback (most recent call last):
+            ...
+        ValueError: ewma_alpha must lie in (0, 1], got 1.5
+        >>> SentinelConfig(tenant_fanout=1)
+        Traceback (most recent call last):
+            ...
+        ValueError: tenant_fanout must be >= 2
+    """
+
+    ewma_alpha: float = 0.25
+    reject_rate_threshold: float = 0.8
+    shed_rate_threshold: float = 0.6
+    min_attempts: int = 6
+    probe_run: int = 4
+    probe_band: float = 0.2
+    probe_tolerance: float = 0.005
+    min_interval_s: float = 0.5
+    burst_run: int = 3
+    tenant_fanout: int = 3
+    fanout_window_s: float = 30.0
+    cooldown_s: float = 30.0
+    shard_window: int = 32
+    shard_min_samples: int = 8
+    shard_mean_sigmas: float = 4.0
+    shard_variance_ratio: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must lie in (0, 1], got {self.ewma_alpha}"
+            )
+        for name in ("reject_rate_threshold", "shed_rate_threshold"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(
+                    f"{name} must lie in (0, 1), got {value}"
+                )
+        if self.min_attempts < 1:
+            raise ValueError("min_attempts must be >= 1")
+        if self.probe_run < 2:
+            raise ValueError("probe_run must be >= 2")
+        if self.probe_band <= 0 or self.probe_tolerance < 0:
+            raise ValueError(
+                "probe_band must be positive and probe_tolerance >= 0"
+            )
+        if self.min_interval_s < 0 or self.cooldown_s < 0:
+            raise ValueError(
+                "min_interval_s and cooldown_s must be >= 0"
+            )
+        if self.burst_run < 1:
+            raise ValueError("burst_run must be >= 1")
+        if self.tenant_fanout < 2:
+            raise ValueError("tenant_fanout must be >= 2")
+        if self.fanout_window_s <= 0:
+            raise ValueError("fanout_window_s must be positive")
+        if self.shard_window < 2:
+            raise ValueError("shard_window must be >= 2")
+        if not 2 <= self.shard_min_samples <= self.shard_window:
+            raise ValueError(
+                "shard_min_samples must lie in [2, shard_window]"
+            )
+        if self.shard_mean_sigmas <= 0:
+            raise ValueError("shard_mean_sigmas must be positive")
+        if self.shard_variance_ratio <= 1.0:
+            raise ValueError("shard_variance_ratio must exceed 1")
+
+    def build_sentinel(self, clock=None):
+        """A :class:`repro.obs.SecuritySentinel` with these parameters.
+
+        Args:
+            clock: Optional monotonic-seconds source (experiments inject
+                a scripted clock for deterministic attack pacing).
+        """
+        from repro.obs import SecuritySentinel
+
+        return SecuritySentinel(self, clock=clock)
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Parameters of the batched serving layer (:mod:`repro.serve`).
 

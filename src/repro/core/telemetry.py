@@ -30,15 +30,23 @@ name                                      type       labels              observe
 ``echoimage_identify_candidates``         histogram  —                   prefilter candidate-set sizes (k after clipping)
 ``echoimage_identify_latency_seconds``    histogram  —                   two-stage identify wall time (prefilter + shard)
 ``echoimage_identify_shard_refits_total`` counter    ``reason``          per-shard refits triggered by enroll/revoke
-``echoimage_serve_requests_total``        counter    ``outcome``         batch-serving requests (ok/degraded/error/timeout)
+``echoimage_serve_requests_total``        counter    ``outcome``, ``tenant``  batch-serving requests (ok/degraded/error/timeout)
 ``echoimage_serve_degradations_total``    counter    ``step``            degradation-ladder fallbacks taken
 ``echoimage_serve_request_latency_seconds``  histogram  —                per-request wall time inside the worker pool
 ``echoimage_flight_dropped_total``        counter    ``ring``            flight-recorder ring evictions (requests/events)
 ``echoimage_broker_queue_depth``          gauge      —                   requests waiting in the broker's bounded queue
-``echoimage_broker_shed_total``           counter    ``reason``          admissions refused (capacity / slo_burn)
+``echoimage_broker_shed_total``           counter    ``reason``, ``tenant``  admissions refused (capacity / slo_burn)
 ``echoimage_stream_exits_total``          counter    ``stage``           streaming decisions by exit point (early/full)
 ``echoimage_stream_beeps_used``           histogram  —                   beeps consumed per streaming decision
+``echoimage_security_alerts_total``       counter    ``rule``, ``severity``  security-sentinel alerts fired per rule
 ========================================  =========  ==================  =====================================
+
+The ``tenant`` label is bounded-cardinality: the first
+:data:`TENANT_LABEL_CAP` distinct tenants a registry sees keep their
+verbatim names and everything beyond hashes stably into
+``bucket-<k>`` via :meth:`PipelineMetrics.tenant_label`, so an
+adversary minting tenant ids cannot blow up the Prometheus series
+count.
 
 The SLO tracker of :mod:`repro.obs.slo` additionally publishes
 ``echoimage_slo_*`` gauges (compliance, error-budget remaining, burn
@@ -49,12 +57,22 @@ handle bundle.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+
 from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
     get_registry,
     metrics_enabled,
 )
+
+#: Distinct tenants that keep their verbatim name on the ``tenant``
+#: metric label; later arrivals hash into ``bucket-<k>``.
+TENANT_LABEL_CAP = 12
+
+#: Hash buckets overflow tenants collapse into.
+TENANT_HASH_BUCKETS = 8
 
 #: Buckets for SVDD decision scores: symmetric around the accept
 #: boundary at 0 (scores are ``R^2 (1+margin) - d^2``, typically |s| < 1).
@@ -187,8 +205,8 @@ class PipelineMetrics:
         )
         self.serve_requests: MetricFamily = registry.counter(
             "echoimage_serve_requests_total",
-            "Batch-serving requests by outcome",
-            labels=("outcome",),
+            "Batch-serving requests by outcome and tenant",
+            labels=("outcome", "tenant"),
         )
         self.serve_degradations: MetricFamily = registry.counter(
             "echoimage_serve_degradations_total",
@@ -211,8 +229,8 @@ class PipelineMetrics:
         )
         self.broker_shed: MetricFamily = registry.counter(
             "echoimage_broker_shed_total",
-            "Requests refused at broker admission, by reason",
-            labels=("reason",),
+            "Requests refused at broker admission, by reason and tenant",
+            labels=("reason", "tenant"),
         )
         self.stream_exits: MetricFamily = registry.counter(
             "echoimage_stream_exits_total",
@@ -224,6 +242,34 @@ class PipelineMetrics:
             "Beeps consumed per streaming decision",
             buckets=STREAM_BEEP_BUCKETS,
         )
+        self.security_alerts: MetricFamily = registry.counter(
+            "echoimage_security_alerts_total",
+            "Security-sentinel alerts fired, by rule and severity",
+            labels=("rule", "severity"),
+        )
+        self._tenant_lock = threading.Lock()
+        self._tenant_seen: set[str] = set()
+
+    def tenant_label(self, tenant: str) -> str:
+        """The bounded-cardinality ``tenant`` label value for a tenant.
+
+        The first :data:`TENANT_LABEL_CAP` distinct tenants this
+        registry's handles see keep their verbatim names; every later
+        tenant hashes stably (SHA-1) into one of
+        :data:`TENANT_HASH_BUCKETS` ``bucket-<k>`` values, bounding the
+        label's cardinality at ``cap + buckets`` no matter how many
+        tenant ids traffic invents.
+        """
+        tenant = str(tenant)
+        with self._tenant_lock:
+            if tenant in self._tenant_seen:
+                return tenant
+            if len(self._tenant_seen) < TENANT_LABEL_CAP:
+                self._tenant_seen.add(tenant)
+                return tenant
+        digest = hashlib.sha1(tenant.encode("utf-8")).digest()
+        bucket = int.from_bytes(digest[:4], "big") % TENANT_HASH_BUCKETS
+        return f"bucket-{bucket}"
 
 
 _BOUND: dict[int, tuple[MetricsRegistry, PipelineMetrics]] = {}

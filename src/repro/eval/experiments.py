@@ -1275,3 +1275,258 @@ def run_identify_scale(
         accuracy=accuracy,
         prefilter_recall=prefilter_recall,
     )
+
+
+# ---------------------------------------------------------------------------
+# Security sentinel vs scripted attack campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttackDetectResult:
+    """Result of the sentinel attack-detection experiment.
+
+    Attributes:
+        classes: The scripted attack classes, in replay order.
+        expected_rule: ``class -> sentinel rule`` that should catch it.
+        detected: ``class -> whether the expected rule fired`` during
+            that class's campaign.
+        time_to_first_alert_s: ``class -> scripted seconds`` from the
+            campaign's first attempt to the expected rule's first alert
+            (``None`` when undetected).
+        attempts_to_first_alert: ``class -> attempts consumed`` before
+            the expected rule first fired (``None`` when undetected).
+        rules_fired: ``class -> all rules`` that fired during the
+            campaign, in firing order.
+        num_benign: Benign warm-up attempts replayed first.
+        benign_false_alarms: Alerts of any rule raised during the benign
+            phase (the headline: must be zero).
+        total_alerts: Alerts raised across all phases.
+    """
+
+    classes: tuple[str, ...]
+    expected_rule: dict
+    detected: dict
+    time_to_first_alert_s: dict
+    attempts_to_first_alert: dict
+    rules_fired: dict
+    num_benign: int
+    benign_false_alarms: int
+    total_alerts: int
+
+
+def run_attack_detect(
+    num_benign: int = 6,
+    attempts_per_attack: int = 6,
+    beeps_per_attempt: int = 6,
+    benign_gap_s: float = 4.0,
+    burst_gap_s: float = 0.05,
+    probe_band: float = 0.0095,
+    resolution: int = 24,
+    seed_base: int = 20230048,
+    scale: float | None = None,
+) -> AttackDetectResult:
+    """Replay scripted attack campaigns against the armed serving stack.
+
+    Enrolls one synthetic victim, installs a
+    :class:`repro.obs.sentinel.SecuritySentinel` with a *scripted clock*
+    (so attack pacing is deterministic rather than wall time), and
+    serves four phases of traffic through the real
+    :class:`repro.serve.BatchAuthenticator` hook path, each phase on its
+    own tenant:
+
+    1. **benign** — the victim's own attempts at human pace; any alert
+       here is a false alarm;
+    2. **replay_burst** — :func:`repro.attacks.replay_burst`, expected
+       to trip ``velocity_burst``;
+    3. **colocated_impostor** —
+       :func:`repro.attacks.colocated_impostor_campaign`, expected to
+       trip ``reject_spike``;
+    4. **threshold_probing** —
+       :func:`repro.attacks.threshold_probing_sweep`, expected to trip
+       ``threshold_probing``.
+
+    Args:
+        num_benign: Benign warm-up attempts.
+        attempts_per_attack: Attempts in the burst and impostor
+            campaigns (the probing sweep's length is its fidelity
+            schedule).
+        beeps_per_attempt: Beeps per served attempt.
+        benign_gap_s: Scripted pacing of benign / human-paced phases.
+        burst_gap_s: Scripted pacing inside the replay burst.
+        probe_band: Sentinel probing band — how close (in SVDD score) a
+            climbing reject must get to the gate before it counts as
+            probing.  Calibrated to this pipeline's score scale: wide
+            enough to admit the sweep's final scores, tight enough to
+            exclude the saturated far-body score every unrelated
+            impostor produces.
+        resolution: Imaging grid resolution.
+        seed_base: Experiment seed.
+        scale: Workload scale applied to the benign attempt count.
+
+    Returns:
+        The :class:`AttackDetectResult`.
+    """
+    from repro import attacks
+    from repro.acoustics.noise import NoiseModel
+    from repro.acoustics.scene import AcousticScene
+    from repro.array.geometry import respeaker_array
+    from repro.body.subject import SyntheticSubject
+    from repro.config import (
+        AuthenticationConfig,
+        ImagingConfig,
+        SentinelConfig,
+        ServingConfig,
+    )
+    from repro.core.pipeline import EchoImagePipeline
+    from repro.obs import SecuritySentinel, set_security_sentinel
+    from repro.serve import (
+        AuthenticationRequest,
+        BatchAuthenticator,
+        ModelBundle,
+    )
+    from repro.signal.chirp import LFMChirp
+
+    num_benign = max(scaled(num_benign, scale), 4)
+    scene = AcousticScene(
+        array=respeaker_array(),
+        noise=NoiseModel(kind="quiet", level_db_spl=30.0),
+    )
+    chirp = LFMChirp()
+    victim = SyntheticSubject(subject_id=1)
+
+    def record_clouds(clouds, seed):
+        rng = np.random.default_rng(seed)
+        return scene.record_beeps(chirp, clouds, rng)
+
+    # Enrollment depth and gate margin mirror the stream-exit experiment:
+    # deep enough that the victim's own attempts pass while far bodies
+    # saturate just under the gate.
+    config = EchoImageConfig(
+        imaging=ImagingConfig(grid_resolution=resolution),
+        auth=AuthenticationConfig(svdd_margin=0.15),
+    )
+    pipeline = EchoImagePipeline(config=config)
+    rng = np.random.default_rng(seed_base)
+    pipeline.enroll_user(
+        record_clouds(victim.beep_clouds(0.7, 36, rng), seed_base)
+    )
+    bundle = ModelBundle.from_pipeline(pipeline)
+
+    class ScriptedClock:
+        """Deterministic stand-in for ``time.monotonic``."""
+
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    clock = ScriptedClock()
+    sentinel = SecuritySentinel(
+        SentinelConfig(probe_band=probe_band), clock=clock
+    )
+
+    phases: list[tuple[str, str | None, list]] = [
+        (
+            "benign",
+            None,
+            [
+                attacks.AttackStep(
+                    body=None, gap_s=benign_gap_s, label=f"benign-{i}"
+                )
+                for i in range(num_benign)
+            ],
+        ),
+        (
+            "replay_burst",
+            "velocity_burst",
+            attacks.replay_burst(
+                victim,
+                num_attempts=attempts_per_attack,
+                gap_s=burst_gap_s,
+            ),
+        ),
+        (
+            "colocated_impostor",
+            "reject_spike",
+            attacks.colocated_impostor_campaign(
+                SyntheticSubject(subject_id=9),
+                num_attempts=attempts_per_attack,
+                gap_s=benign_gap_s,
+            ),
+        ),
+        (
+            "threshold_probing",
+            "threshold_probing",
+            attacks.threshold_probing_sweep(
+                victim, gap_s=benign_gap_s
+            ),
+        ),
+    ]
+
+    expected_rule: dict = {}
+    detected: dict = {}
+    time_to_first_alert_s: dict = {}
+    attempts_to_first_alert: dict = {}
+    rules_fired: dict = {}
+    benign_false_alarms = 0
+
+    previous = set_security_sentinel(sentinel)
+    try:
+        serving = ServingConfig(backend="serial")
+        with BatchAuthenticator(bundle, serving) as server:
+            for phase_index, (name, rule, steps) in enumerate(phases):
+                tenant = f"tenant-{name}"
+                phase_started = None
+                fired: list[str] = []
+                first_hit_s = None
+                first_hit_attempts = None
+                for step_index, step in enumerate(steps):
+                    clock.now += step.gap_s
+                    if phase_started is None:
+                        phase_started = clock.now
+                    seed = seed_base + 500 * (phase_index + 1) + step_index
+                    if step.body is None:  # benign: the victim themselves
+                        rng = np.random.default_rng(seed)
+                        clouds = victim.beep_clouds(
+                            0.7, beeps_per_attempt, rng
+                        )
+                    else:
+                        clouds = [step.body] * beeps_per_attempt
+                    request = AuthenticationRequest(
+                        request_id=f"atk-{name}-{step_index}",
+                        recordings=tuple(record_clouds(clouds, seed)),
+                        tenant=tenant,
+                    )
+                    before = len(sentinel.alerts())
+                    server.authenticate_batch([request])
+                    new = sentinel.alerts()[before:]
+                    fired.extend(alert.rule for alert in new)
+                    if rule is not None and first_hit_s is None and any(
+                        alert.rule == rule for alert in new
+                    ):
+                        first_hit_s = clock.now - phase_started
+                        first_hit_attempts = step_index + 1
+                if rule is None:
+                    benign_false_alarms = len(fired)
+                else:
+                    expected_rule[name] = rule
+                    detected[name] = first_hit_s is not None
+                    time_to_first_alert_s[name] = first_hit_s
+                    attempts_to_first_alert[name] = first_hit_attempts
+                rules_fired[name] = tuple(fired)
+    finally:
+        set_security_sentinel(previous)
+
+    return AttackDetectResult(
+        classes=tuple(name for name, rule, _ in phases if rule),
+        expected_rule=expected_rule,
+        detected=detected,
+        time_to_first_alert_s=time_to_first_alert_s,
+        attempts_to_first_alert=attempts_to_first_alert,
+        rules_fired=rules_fired,
+        num_benign=num_benign,
+        benign_false_alarms=benign_false_alarms,
+        total_alerts=len(sentinel.alerts()),
+    )

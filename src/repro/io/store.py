@@ -411,6 +411,20 @@ class EnrollmentStore:
         )
         self._states[shard_id] = state
         self._dirty.add(shard_id)
+        # Freeze the shard's enrollment-time score distribution into the
+        # security sentinel (when one is installed), so the shard_drift
+        # rule compares live identification scores against what the
+        # shard looked like the moment it was (re)fitted.  Imported
+        # lazily for the same repro.obs/repro.io cycle reason as the
+        # ledger below.
+        from repro.obs.sentinel import get_security_sentinel
+
+        sentinel = get_security_sentinel()
+        if sentinel is not None:
+            _, scores = state.auth.decide(stacked)
+            values = [float(s) for s in scores]
+            if len(values) >= 2:
+                sentinel.freeze_shard_baseline(shard_id, values)
 
     # ------------------------------------------------------------------
     # Identification
@@ -466,6 +480,18 @@ class EnrollmentStore:
                 gate_scores=[float(s) for s in result.gate_scores],
                 num_users=result.num_users,
                 latency_s=time.perf_counter() - started,
+            )
+        # Same lazy-import dance as the ledger: the decided shard's gate
+        # scores stream into the sentinel's per-shard drift monitors.
+        from repro.obs.sentinel import get_security_sentinel
+
+        sentinel = get_security_sentinel()
+        if sentinel is not None and result.shard is not None:
+            sentinel.observe_identify(
+                shard=result.shard,
+                gate_scores=result.gate_scores,
+                user=str(result.label) if result.accepted else None,
+                request_id=request_id,
             )
         return result
 

@@ -29,13 +29,18 @@ The subsystem has three layers:
   hash-chained decision ledger (tamper-evident via
   :func:`verify_chain`), queryable by request id / user / decision /
   time range;
+* :mod:`repro.obs.sentinel` — :class:`SecuritySentinel` /
+  :class:`AlertEngine`: streaming attack-pattern detectors (reject-rate
+  spikes, near-threshold probing, velocity bursts, tenant fan-out,
+  shard score drift) raising edge-triggered :class:`SecurityAlert`
+  objects served by ``/alerts``;
 * :mod:`repro.obs.slo` — :class:`SLOConfig` / :class:`SLOTracker`:
   declarative latency and availability objectives with error-budget and
   burn-rate accounting derived from the serving metrics;
 * :mod:`repro.obs.server` — :class:`ObservabilityServer`, a
   dependency-free ``http.server`` endpoint exposing ``/metrics``,
-  ``/healthz``, ``/readyz``, ``/traces``, ``/drift``, ``/audit`` and
-  ``/slo`` live;
+  ``/healthz``, ``/readyz``, ``/traces``, ``/drift``, ``/audit``,
+  ``/slo`` and ``/alerts`` live;
 * :mod:`repro.obs.envinfo` — :func:`environment_fingerprint`, the
   commit/interpreter/numpy/CPU/``REPRO_SCALE`` stamp carried by every
   JSON artifact (metrics dumps, stage reports, flight black boxes and
@@ -113,6 +118,17 @@ from repro.obs.audit import (
 from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.server import ObservabilityServer
 
+# repro.obs.sentinel imports repro.config, which (via the repro package
+# __init__) can re-enter this package — it must come last, when every
+# name above is already bound.
+from repro.obs.sentinel import (
+    AlertEngine,
+    SecurityAlert,
+    SecuritySentinel,
+    get_security_sentinel,
+    set_security_sentinel,
+)
+
 #: Span names emitted by the instrumented EchoImage pipeline.
 STAGES = (
     "authenticate",
@@ -166,6 +182,11 @@ __all__ = [
     "SLOConfig",
     "SLOTracker",
     "ObservabilityServer",
+    "AlertEngine",
+    "SecurityAlert",
+    "SecuritySentinel",
+    "get_security_sentinel",
+    "set_security_sentinel",
     "PipelineTrace",
     "Span",
     "NULL_SPAN",

@@ -178,20 +178,36 @@ class FlightRecorder:
             records = records[len(records) - min(limit, len(records)):]
         return records
 
-    def events(self, limit: int | None = None) -> list[dict]:
-        """The retained events, oldest first (newest ``limit``)."""
+    def events(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> list[dict]:
+        """The retained events, oldest first.
+
+        Args:
+            limit: Keep only the newest ``limit`` (applied after the
+                kind filter, so ``limit=5, kind="shed"`` means the five
+                newest shed events).
+            kind: Keep only events of this kind (e.g. ``"shed"``,
+                ``"security_alert"``, ``"drift_alert"``).
+        """
         with self._lock:
             events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
         if limit is not None and limit >= 0:
             events = events[len(events) - min(limit, len(events)):]
         return events
 
-    def to_dict(self, limit: int | None = None) -> dict:
+    def to_dict(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> dict:
         """Versioned black-box document (``"schema": 1``).
 
         Args:
             limit: Optional cap on the number of newest request records
                 and events included.
+            kind: Optional event-kind filter (request records are not
+                filtered — they have no kind).
         """
         with self._lock:
             total_requests = self._total_requests
@@ -199,7 +215,7 @@ class FlightRecorder:
             dropped_requests = self._dropped_requests
             dropped_events = self._dropped_events
         requests = self.requests(limit)
-        events = self.events(limit)
+        events = self.events(limit, kind=kind)
         from repro.obs.envinfo import environment_fingerprint
 
         return {

@@ -15,6 +15,8 @@ path           returns
 ``/audit``     decision audit-ledger query (``?request_id=`` / ``user=`` /
                ``decision=`` / ``since=`` / ``until=`` / ``limit=N``)
 ``/slo``       SLO compliance, error-budget and burn-rate document
+``/alerts``    security-sentinel rule catalogue + alerts (``?limit=N`` /
+               ``rule=``); 404 while no sentinel is installed
 =============  ===========================================================
 
 The server runs on a daemon thread (`ThreadingHTTPServer`), so scrapes
@@ -91,6 +93,11 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == "/slo":
                 self._reply_json(200, obs.slo_document())
+            elif route == "/alerts":
+                status, document = obs.alerts_document(
+                    parse_qs(parsed.query)
+                )
+                self._reply_json(status, document)
             else:
                 self._reply_json(
                     404,
@@ -121,7 +128,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 #: The paths the server answers (everything else is a JSON 404).
 ENDPOINTS = (
-    "/metrics", "/healthz", "/readyz", "/traces", "/drift", "/audit", "/slo",
+    "/metrics", "/healthz", "/readyz", "/traces", "/drift", "/audit",
+    "/slo", "/alerts",
 )
 
 
@@ -175,6 +183,12 @@ class ObservabilityServer:
         slo: :class:`repro.obs.slo.SLOTracker` evaluated by ``/slo``;
             ``None`` lazily builds a tracker with default objectives
             over this server's registry.
+        sentinel: :class:`repro.obs.sentinel.SecuritySentinel` served
+            by ``/alerts``; defaults to the process-wide sentinel
+            (:func:`repro.obs.sentinel.get_security_sentinel`) at each
+            request.  Unlike ``/audit``'s disabled document, ``/alerts``
+            is a JSON 404 while no sentinel is installed — scrapers must
+            not mistake "nobody is watching" for "no alerts".
 
     The server is restart-safe in the sense that ``start``/``stop`` are
     idempotent; a stopped instance cannot be started again (build a new
@@ -193,6 +207,7 @@ class ObservabilityServer:
         drift_source: Callable[[], list] | None = None,
         audit_ledger=None,
         slo=None,
+        sentinel=None,
     ) -> None:
         if config is not None:
             host = config.host if host is None else host
@@ -205,6 +220,7 @@ class ObservabilityServer:
         self.drift_source = drift_source
         self._audit_ledger = audit_ledger
         self._slo = slo
+        self._sentinel = sentinel
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._stopped = False
@@ -287,6 +303,43 @@ class ObservabilityServer:
         document = ledger.to_document(entries)
         document["enabled"] = True
         return document
+
+    @property
+    def sentinel(self):
+        """The sentinel served by ``/alerts`` (may be ``None``)."""
+        if self._sentinel is not None:
+            return self._sentinel
+        from repro.obs.sentinel import get_security_sentinel
+
+        return get_security_sentinel()
+
+    def alerts_document(self, query: dict | None = None) -> tuple[int, dict]:
+        """``(status, document)`` of the ``/alerts`` payload.
+
+        Args:
+            query: ``parse_qs``-style mapping; recognised keys are
+                ``limit`` (newest N alerts) and ``rule`` (filter by
+                rule name).  Malformed ``limit`` values are ignored,
+                like every other endpoint's.
+
+        Returns:
+            ``(404, error document)`` while no sentinel is installed —
+            deliberately unlike ``/audit``'s ``enabled: false`` —
+            otherwise ``(200, sentinel document)``.
+        """
+        query = query or {}
+        sentinel = self.sentinel
+        if sentinel is None:
+            return 404, {
+                "error": "no security sentinel installed",
+                "hint": (
+                    "install one with repro.obs.set_security_sentinel()"
+                ),
+            }
+        return 200, sentinel.to_dict(
+            limit=_parse_limit(query),
+            rule=_query_str(query, "rule"),
+        )
 
     def slo_document(self) -> dict:
         """The ``/slo`` payload (evaluates the tracker on demand)."""

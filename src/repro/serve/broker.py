@@ -8,9 +8,13 @@ with a bounded queue so the serving layer can accept a continuous trickle
   beyond that, :meth:`RequestBroker.submit` resolves the request
   immediately with a structured ``shed`` response (reason
   ``"capacity"``) instead of queueing without bound.  Shedding is
-  deliberate and observable: ``echoimage_broker_shed_total{reason}``
-  counts it, a ``shed`` flight-recorder event carries the request id,
-  and the response echoes the id so callers stay correlated.
+  deliberate and observable:
+  ``echoimage_broker_shed_total{reason,tenant}`` counts it, a ``shed``
+  flight-recorder event carries the request id, and the response echoes
+  the id so callers stay correlated.  Admissions and sheds also feed
+  the :class:`repro.obs.sentinel.SecuritySentinel` (when one is
+  installed), whose ``shed_spike`` rule flags a single tenant flooding
+  the queue.
 * **SLO-aware shedding** — with an attached
   :class:`~repro.obs.slo.SLOTracker` and ``max_burn_rate > 0``, new
   admissions are refused (reason ``"slo_burn"``) while the availability
@@ -52,7 +56,12 @@ from time import monotonic
 
 from repro.config import BrokerConfig, ExitPolicy
 from repro.core.telemetry import pipeline_metrics
-from repro.obs import ensure_trace, get_flight_recorder, trace
+from repro.obs import (
+    ensure_trace,
+    get_flight_recorder,
+    get_security_sentinel,
+    trace,
+)
 from repro.obs.slo import SLOTracker
 from repro.serve.executor import BatchAuthenticator
 from repro.serve.requests import (
@@ -187,6 +196,12 @@ class RequestBroker:
                 self._wakeup.notify()
             span.update(depth=depth)
             self._set_depth_gauge(depth)
+            sentinel = get_security_sentinel()
+            if sentinel is not None:
+                sentinel.observe_admission(
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                )
             self._ensure_dispatcher()
         return future
 
@@ -233,14 +248,24 @@ class RequestBroker:
             self._shed_counts[reason] = self._shed_counts.get(reason, 0) + 1
         metrics = pipeline_metrics()
         if metrics is not None:
-            metrics.broker_shed.labels(reason=reason).inc()
-            metrics.serve_requests.labels(outcome=STATUS_SHED).inc()
+            tenant = metrics.tenant_label(request.tenant)
+            metrics.broker_shed.labels(reason=reason, tenant=tenant).inc()
+            metrics.serve_requests.labels(
+                outcome=STATUS_SHED, tenant=tenant
+            ).inc()
         get_flight_recorder().record_event(
             "shed",
             request_id=request.request_id,
             reason=reason,
             tenant=request.tenant,
         )
+        sentinel = get_security_sentinel()
+        if sentinel is not None:
+            sentinel.observe_admission(
+                tenant=request.tenant,
+                shed_reason=reason,
+                request_id=request.request_id,
+            )
         return AuthenticationResponse(
             request_id=request.request_id,
             status=STATUS_SHED,

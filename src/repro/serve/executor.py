@@ -70,6 +70,7 @@ from repro.obs import (
     get_audit_ledger,
     get_flight_recorder,
     get_registry,
+    get_security_sentinel,
     metrics_enabled,
     remove_sink,
     set_registry,
@@ -449,7 +450,9 @@ class BatchAuthenticator:
                     outcomes.get(response.status, 0) + 1
                 )
             span.update(**{f"num_{k}": v for k, v in outcomes.items()})
-            self._record_batch(responses, streaming=exit_policy is not None)
+            self._record_batch(
+                requests, responses, streaming=exit_policy is not None
+            )
         if requests:
             self._record_flight(responses, batch_trace)
         return responses
@@ -548,6 +551,7 @@ class BatchAuthenticator:
 
     def _record_batch(
         self,
+        requests: list[AuthenticationRequest],
         responses: list[AuthenticationResponse],
         streaming: bool = False,
     ) -> None:
@@ -556,13 +560,20 @@ class BatchAuthenticator:
         Audit entries are written here — once per response, in the
         parent — rather than inside the workers, so all three backends
         produce exactly one ledger entry per request and the ledger
-        file never sees concurrent multi-process appends.
+        file never sees concurrent multi-process appends.  Responses
+        arrive in input order, so zipping against the requests recovers
+        each response's tenant for the per-tenant counter label and the
+        security sentinel's detectors.
         """
         metrics = pipeline_metrics()
         ledger = get_audit_ledger()
-        for response in responses:
+        sentinel = get_security_sentinel()
+        for request, response in zip(requests, responses):
             if metrics is not None:
-                metrics.serve_requests.labels(outcome=response.status).inc()
+                metrics.serve_requests.labels(
+                    outcome=response.status,
+                    tenant=metrics.tenant_label(request.tenant),
+                ).inc()
                 if response.degradation is not None:
                     metrics.serve_degradations.labels(
                         step=response.degradation
@@ -584,6 +595,29 @@ class BatchAuthenticator:
                     )
             if ledger is not None:
                 self._audit_response(ledger, response)
+            if sentinel is not None:
+                self._sentinel_observe(sentinel, request, response)
+
+    @staticmethod
+    def _sentinel_observe(sentinel, request, response) -> None:
+        """Feed one decision into the security sentinel's detectors.
+
+        The best (highest) finite SVDD score is what an adaptive
+        attacker optimises against the gate, so that is the probing
+        signal; identified users enter the fan-out tracker only on
+        accepted attempts, keeping spoofer labels out of it.
+        """
+        result = response.result
+        if result is None:
+            return
+        finite = [float(s) for s in result.scores if math.isfinite(s)]
+        sentinel.observe_auth(
+            accepted=bool(result.accepted),
+            tenant=request.tenant,
+            user=str(result.label) if result.accepted else None,
+            score=max(finite) if finite else None,
+            request_id=response.request_id,
+        )
 
     def _audit_response(self, ledger, response) -> None:
         """Append one response's decision context to the audit ledger."""

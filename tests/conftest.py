@@ -1,8 +1,8 @@
 """Shared fixtures for the test suite, plus the seed-audit gate.
 
 The seed audit (:func:`pytest_sessionstart`) refuses to run the suite
-while any test file under ``tests/serve`` or ``tests/bench`` calls into
-``np.random`` at module level.  Module-level RNG calls execute at
+while any test file under ``tests/serve``, ``tests/bench`` or
+``tests/obs`` calls into ``np.random`` at module level.  Module-level RNG calls execute at
 import time, outside any fixture's seeding discipline, and either leak
 hidden global state between tests or — worse — draw from the unseeded
 global generator and make a "deterministic" suite flaky.  Tests draw
@@ -26,8 +26,9 @@ from repro.signal.chirp import LFMChirp
 
 #: Test trees covered by the module-level RNG audit, relative to this
 #: file.  The serve/bench suites assert bit-identity and timing gates,
-#: so import-time randomness there is never acceptable.
-SEED_AUDIT_DIRS = ("serve", "bench")
+#: and the obs suite pins alert counts against scripted clocks, so
+#: import-time randomness in any of them is never acceptable.
+SEED_AUDIT_DIRS = ("serve", "bench", "obs")
 
 
 def _dotted_name(node: ast.AST) -> str:

@@ -104,3 +104,27 @@ class TestAugmentationStudy:
         assert result.train_sizes == (8, 16)
         assert len(result.metrics["augmented"]) == 2
         assert len(result.metrics["plain"]) == 2
+
+
+class TestAttackDetect:
+    def test_detects_every_class_with_quiet_benign_traffic(self):
+        from repro.eval.experiments import run_attack_detect
+        from repro.obs import get_security_sentinel
+
+        result = run_attack_detect(num_benign=4, scale=1.0)
+        assert set(result.classes) == {
+            "replay_burst", "colocated_impostor", "threshold_probing"
+        }
+        for name in result.classes:
+            assert result.detected[name], name
+            assert result.time_to_first_alert_s[name] > 0
+            # Each campaign trips exactly its own rule — detection is
+            # attributable, not just present.
+            assert set(result.rules_fired[name]) == {
+                result.expected_rule[name]
+            }, name
+        assert result.benign_false_alarms == 0
+        assert result.rules_fired["benign"] == ()
+        assert result.total_alerts >= len(result.classes)
+        # The experiment restored whatever sentinel was installed before.
+        assert get_security_sentinel() is None

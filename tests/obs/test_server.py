@@ -353,6 +353,150 @@ class TestSLOEndpoint:
         assert "echoimage_slo_compliance" in metrics_body
         assert "echoimage_slo_budget_remaining" in metrics_body
 
+class TestAlertsEndpoint:
+    @staticmethod
+    def _sentinel(clock=None):
+        from repro.config import SentinelConfig
+        from repro.obs import SecuritySentinel
+
+        # Aggressive thresholds so a handful of observations alert.
+        return SecuritySentinel(
+            SentinelConfig(
+                min_attempts=3, reject_rate_threshold=0.5, ewma_alpha=0.5
+            ),
+            clock=clock or (lambda: 0.0),
+        )
+
+    @pytest.fixture()
+    def alerting_server(self, telemetry):
+        registry, recorder, _ = telemetry
+        sentinel = self._sentinel()
+        for _ in range(4):
+            sentinel.observe_auth(
+                accepted=False, tenant="porch", score=-0.8,
+                request_id="req-evil",
+            )
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder,
+            sentinel=sentinel,
+        ) as running:
+            yield running, sentinel
+
+    def test_alerts_serves_sentinel_document(self, alerting_server):
+        server, sentinel = alerting_server
+        status, content_type, body = fetch(server.url("/alerts"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "security_sentinel"
+        assert doc["total_alerts"] == len(sentinel.alerts()) >= 1
+        assert doc["counts"]["reject_spike"] >= 1
+        assert doc["alerts"][0]["rule"] == "reject_spike"
+        assert doc["alerts"][0]["request_id"] == "req-evil"
+        # The rule catalogue rides along for triage tooling.
+        rules = {r["rule"]: r["severity"] for r in doc["rules"]}
+        assert rules["threshold_probing"] == "critical"
+
+    def test_alerts_query_filters_and_malformed_params(
+        self, alerting_server
+    ):
+        server, _ = alerting_server
+        doc = json.loads(
+            fetch(server.url("/alerts?rule=reject_spike&limit=1"))[2]
+        )
+        assert len(doc["alerts"]) == 1
+        assert doc["alerts"][0]["rule"] == "reject_spike"
+        # Unknown rules filter to empty; unparseable limits mean "all" —
+        # the /traces?limit=bogus convention, never a 4xx/5xx.
+        doc = json.loads(fetch(server.url("/alerts?rule=nope"))[2])
+        assert doc["alerts"] == []
+        doc = json.loads(
+            fetch(server.url("/alerts?limit=bogus&rule="))[2]
+        )
+        assert doc["total_alerts"] >= 1
+
+    def test_alerts_404_without_sentinel(self, server):
+        from repro.obs import set_security_sentinel
+
+        # The fixture server has no sentinel; make sure no process-wide
+        # one leaks in from another test either.
+        previous = set_security_sentinel(None)
+        try:
+            status, content_type, body = fetch(server.url("/alerts"))
+        finally:
+            set_security_sentinel(previous)
+        assert status == 404
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert "no security sentinel" in doc["error"]
+        assert "set_security_sentinel" in doc["hint"]
+
+    def test_alerts_follows_the_process_default_sentinel(self, telemetry):
+        from repro.obs import set_security_sentinel
+
+        registry, recorder, _ = telemetry
+        sentinel = self._sentinel()
+        sentinel.observe_auth(accepted=False, tenant="porch", score=-0.8)
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ) as server:
+            previous = set_security_sentinel(sentinel)
+            try:
+                doc = json.loads(fetch(server.url("/alerts"))[2])
+            finally:
+                set_security_sentinel(previous)
+        assert doc["observed_attempts"] == 1
+
+    def test_concurrent_scrapes_while_alerting(self, telemetry):
+        """/alerts under concurrent detector churn never fails."""
+        registry, recorder, _ = telemetry
+        ticker = {"now": 0.0}
+        sentinel = self._sentinel(clock=lambda: ticker["now"])
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                ticker["now"] += 60.0  # stay clear of the cooldown
+                sentinel.observe_auth(
+                    accepted=False, tenant=f"t{i % 3}", score=-0.8
+                )
+                sentinel.observe_admission(
+                    tenant=f"t{i % 3}", shed_reason="capacity"
+                )
+                i += 1
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        results = []
+        try:
+            with ObservabilityServer(
+                port=0, registry=registry, recorder=recorder,
+                sentinel=sentinel,
+            ) as server:
+
+                def scrape():
+                    for path in (
+                        "/alerts", "/alerts?limit=2", "/metrics"
+                    ):
+                        results.append(fetch(server.url(path))[0])
+
+                scrapers = [
+                    threading.Thread(target=scrape) for _ in range(8)
+                ]
+                for t in scrapers:
+                    t.start()
+                for t in scrapers:
+                    t.join(timeout=30)
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+        assert len(results) == 24
+        assert set(results) == {200}
+
+
+class TestSLOEndpointConcurrency:
     def test_concurrent_audit_and_slo_scrapes(self, telemetry, tmp_path):
         from repro.obs import AuditLedger
 

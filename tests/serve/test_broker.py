@@ -155,8 +155,14 @@ class TestAdmissionControl:
             set_registry(previous_registry)
             set_flight_recorder(previous_recorder)
         assert shed.status == STATUS_SHED
-        assert 'echoimage_broker_shed_total{reason="capacity"} 1' in rendered
-        assert 'echoimage_serve_requests_total{outcome="shed"} 1' in rendered
+        assert (
+            'echoimage_broker_shed_total{reason="capacity",tenant="acme"}'
+            " 1" in rendered
+        )
+        assert (
+            'echoimage_serve_requests_total{outcome="shed",tenant="acme"}'
+            " 1" in rendered
+        )
         # Queue fully drained by close: the depth gauge must read zero.
         assert "echoimage_broker_queue_depth 0" in rendered
         events = [e for e in recorder.events() if e["kind"] == "shed"]

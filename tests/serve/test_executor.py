@@ -303,10 +303,12 @@ class TestTelemetry:
         finally:
             set_registry(previous)
         assert (
-            'echoimage_serve_requests_total{outcome="ok"} 1' in rendered
+            'echoimage_serve_requests_total{outcome="ok",tenant="default"} 1'
+            in rendered
         )
         assert (
-            'echoimage_serve_requests_total{outcome="error"} 1' in rendered
+            'echoimage_serve_requests_total'
+            '{outcome="error",tenant="default"} 1' in rendered
         )
         assert "echoimage_serve_request_latency_seconds_count 2" in rendered
 

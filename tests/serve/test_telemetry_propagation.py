@@ -112,7 +112,10 @@ class TestBackendTotalsMatch:
         assert serial_totals == other_totals
         assert (
             serial_totals[
-                ("echoimage_serve_requests_total", (("outcome", "ok"),))
+                (
+                    "echoimage_serve_requests_total",
+                    (("outcome", "ok"), ("tenant", "default")),
+                )
             ]
             == 3.0
         )

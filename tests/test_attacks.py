@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 from repro.attacks import (
+    colocated_impostor_campaign,
     flat_board_decoy,
     impostor,
     mannequin_decoy,
     recorded_replay_of_body,
     remote_replay,
+    replay_burst,
+    threshold_probing_sweep,
 )
 from repro.body.subject import SyntheticSubject
 
@@ -92,3 +95,58 @@ class TestAttacksAgainstGate:
         # Own body scores highest; the crude board scores lowest.
         assert own > board
         assert replica > board
+
+
+class TestScriptedCampaigns:
+    def test_replay_burst_refires_one_replica_at_machine_pace(self):
+        steps = replay_burst(SyntheticSubject(1), num_attempts=4)
+        assert len(steps) == 4
+        assert [s.label for s in steps] == [
+            f"replay-burst-{i}" for i in range(4)
+        ]
+        # Machine pacing, and the *same* recording re-fired every time.
+        assert all(s.gap_s == pytest.approx(0.05) for s in steps)
+        first = steps[0].body
+        for step in steps[1:]:
+            assert step.body is first
+
+    def test_impostor_campaign_paces_like_a_person(self):
+        attacker = SyntheticSubject(9)
+        steps = colocated_impostor_campaign(attacker, num_attempts=3)
+        assert len(steps) == 3
+        assert all(s.gap_s == pytest.approx(4.0) for s in steps)
+        reference = attacker.cloud_at(0.7)
+        for step in steps:
+            assert np.allclose(step.body.positions, reference.positions)
+
+    def test_probing_sweep_climbs_in_fidelity(self):
+        victim = SyntheticSubject(2)
+        steps = threshold_probing_sweep(victim)
+        assert len(steps) == 5
+        assert [s.label for s in steps] == [
+            "probe-f0.30", "probe-f0.38", "probe-f0.44",
+            "probe-f0.48", "probe-f0.52",
+        ]
+        # Higher fidelity replicas hew closer to the victim's true body.
+        body = victim.cloud_at(0.7)
+        errors = [
+            float(np.linalg.norm(s.body.positions - body.positions))
+            for s in steps
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_probing_sweep_is_deterministic(self):
+        a = threshold_probing_sweep(SyntheticSubject(3))
+        b = threshold_probing_sweep(SyntheticSubject(3))
+        for left, right in zip(a, b):
+            assert np.array_equal(left.body.positions, right.body.positions)
+
+    def test_campaign_validation(self):
+        with pytest.raises(ValueError):
+            replay_burst(SyntheticSubject(1), num_attempts=0)
+        with pytest.raises(ValueError):
+            threshold_probing_sweep(
+                SyntheticSubject(1), fidelities=(0.5, 0.4)
+            )
+        with pytest.raises(ValueError):
+            threshold_probing_sweep(SyntheticSubject(1), fidelities=())
