@@ -15,13 +15,21 @@ correlation id:
 
 This script joins all three by correlation id and prints one
 chronologically sorted timeline (or ``--json`` for the machine-readable
-document).  Exit codes: 0 when at least one source mentioned the
-request, 1 when none did, 2 on unreadable inputs.
+document).  With ``--replay --capture-dir DIR`` it additionally
+re-executes the request from its :class:`repro.obs.CaptureStore`
+capture and appends the stage-diff verdict
+(``identical``/``divergent``/``environment-mismatch``) to the timeline
+— turning "what did it do?" into "and does it still do it?".  Exit
+codes: 0 when at least one source mentioned the request, 1 when none
+did, 2 on unreadable inputs (the replay verdict never changes the exit
+code; use ``scripts/replay_request.py`` to gate on it).
 
 Run:  PYTHONPATH=src python scripts/incident_report.py req-1a2b3c4d5e6f7081 \\
           --audit audit.jsonl --flight flight.json
       PYTHONPATH=src python scripts/incident_report.py req-1a2b... \\
           --flight flight.json --json
+      PYTHONPATH=src python scripts/incident_report.py req-1a2b... \\
+          --audit audit.jsonl --replay --capture-dir capture_store
 """
 
 from __future__ import annotations
@@ -52,6 +60,15 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--json", action="store_true",
         help="print the timeline as one JSON document instead of text",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="re-execute the request from its capture and append the "
+        "stage-diff verdict to the timeline (needs --capture-dir)",
+    )
+    parser.add_argument(
+        "--capture-dir", default=None, metavar="DIR",
+        help="CaptureStore root holding the request's capture",
     )
     return parser.parse_args()
 
@@ -138,10 +155,49 @@ def flight_moments(path: str, request_id: str) -> list[dict]:
     return moments
 
 
+def replay_moments(capture_dir: str, request_id: str) -> list[dict]:
+    """Timeline moments from replaying the request's capture.
+
+    Empty when the request was never captured; a "not replayable"
+    moment when the capture cannot be re-executed standalone (identify
+    captures need an enrollment store, some captures carry no bundle).
+    """
+    from repro.obs import CaptureStore
+    from repro.obs import replay as replay_mod
+
+    store = CaptureStore(root=capture_dir)
+    capture = store.get(request_id)
+    if capture is None:
+        return []
+    base = {"at": capture.captured_at, "source": "replay"}
+    if capture.kind == "identify" or capture.bundle_hash is None:
+        return [
+            {
+                **base,
+                "what": f"captured ({capture.kind}) but not replayable "
+                "here — use scripts/replay_request.py",
+                "detail": capture.summary_document(),
+            }
+        ]
+    bundle = store.load_bundle(capture.bundle_hash)
+    report = replay_mod.replay_request(capture, bundle)
+    what = f"replay verdict: {report.verdict}"
+    if report.stage is not None:
+        what += f" at stage '{report.stage}'"
+    if report.environment_mismatches:
+        what += (
+            " (environment changed: "
+            + ", ".join(report.environment_mismatches)
+            + ")"
+        )
+    return [{**base, "what": what, "detail": report.to_dict()}]
+
+
 def build_timeline(
     request_id: str,
     audit_path: str | None,
     flight_path: str | None,
+    capture_dir: str | None = None,
 ) -> dict:
     """The stitched, sorted incident document (``"schema": 1``)."""
     moments: list[dict] = []
@@ -152,6 +208,9 @@ def build_timeline(
     if flight_path is not None:
         moments.extend(flight_moments(flight_path, request_id))
         sources["flight"] = flight_path
+    if capture_dir is not None:
+        moments.extend(replay_moments(capture_dir, request_id))
+        sources["capture"] = capture_dir
     moments.sort(key=lambda moment: (moment.get("at") or 0.0))
     return {
         "schema": SCHEMA_VERSION,
@@ -197,16 +256,27 @@ def render(document: dict) -> str:
 
 def main() -> int:
     args = parse_args()
-    if args.audit is None and args.flight is None:
+    if args.audit is None and args.flight is None and not args.replay:
         print(
             "error: need --audit and/or --flight to search",
             file=sys.stderr,
         )
         return 2
+    if args.replay and args.capture_dir is None:
+        print("error: --replay needs --capture-dir DIR", file=sys.stderr)
+        return 2
     try:
-        document = build_timeline(args.request_id, args.audit, args.flight)
+        document = build_timeline(
+            args.request_id,
+            args.audit,
+            args.flight,
+            args.capture_dir if args.replay else None,
+        )
     except (OSError, json.JSONDecodeError, ValueError, ChainError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # StorageError & co. from the capture side
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(document, indent=2))

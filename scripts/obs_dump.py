@@ -9,13 +9,18 @@ events, and — with ``--traces`` — each request's span tree via
 :meth:`repro.obs.PipelineTrace.format`.  When the black box holds
 ``security_alert`` or ``shed`` events they are additionally re-grouped
 by correlation id, so one glance shows which requests drew attention;
-``--kind`` narrows the events section to one event kind.
+``--kind`` narrows the events section to one event kind, and
+``--request-id`` narrows both sections to one correlation id (the
+flight-side view of a single request, pairing with
+``scripts/replay_request.py`` on the capture side).
 
 Run:  PYTHONPATH=src python scripts/obs_dump.py flight.json
       PYTHONPATH=src python scripts/obs_dump.py flight.json --traces
       PYTHONPATH=src python scripts/obs_dump.py flight.json --limit 10
       PYTHONPATH=src python scripts/obs_dump.py flight.json \\
           --kind security_alert
+      PYTHONPATH=src python scripts/obs_dump.py flight.json \\
+          --request-id req-1a2b3c4d5e6f7081 --traces
 """
 
 from __future__ import annotations
@@ -44,6 +49,11 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--kind", default=None, metavar="KIND",
         help="only show events of this kind (e.g. security_alert, shed)",
+    )
+    parser.add_argument(
+        "--request-id", default=None, metavar="ID",
+        help="only show the request record and events of this "
+        "correlation id",
     )
     return parser.parse_args()
 
@@ -85,6 +95,7 @@ def render(
     limit: int | None,
     with_traces: bool,
     kind: str | None = None,
+    request_id: str | None = None,
 ) -> str:
     """The black-box document as human-readable text."""
     schema = document.get("schema")
@@ -102,10 +113,15 @@ def render(
         f"{document.get('total_events', 0)} events "
         f"({document.get('dropped_events', 0)} dropped; ring sizes "
         f"{document.get('max_requests')}/{document.get('max_events')})",
-        "",
-        "## Requests (oldest first)",
     ]
-    requests = _tail(document.get("requests", []), limit)
+    all_requests = document.get("requests", [])
+    if request_id is not None:
+        lines[0] += f" — request {request_id}"
+        all_requests = [
+            r for r in all_requests if r.get("request_id") == request_id
+        ]
+    lines += ["", "## Requests (oldest first)"]
+    requests = _tail(all_requests, limit)
     if not requests:
         lines.append("(none retained)")
     for record in requests:
@@ -129,6 +145,10 @@ def render(
             lines.extend("      " + row for row in trace.format().splitlines())
     heading = "## Events (oldest first)"
     all_events = document.get("events", [])
+    if request_id is not None:
+        all_events = [
+            e for e in all_events if e.get("request_id") == request_id
+        ]
     if kind is not None:
         all_events = [e for e in all_events if e.get("kind") == kind]
         heading = f"## Events (oldest first, kind={kind})"
@@ -164,7 +184,15 @@ def main() -> int:
         print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
         return 2
     try:
-        print(render(document, args.limit, args.traces, args.kind))
+        print(
+            render(
+                document,
+                args.limit,
+                args.traces,
+                args.kind,
+                args.request_id,
+            )
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

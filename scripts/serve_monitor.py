@@ -49,7 +49,12 @@ stitch a timeline from.  The flight recorder is always on;
 ``--flight-json`` writes its black-box file at the end (pretty-print it
 with ``scripts/obs_dump.py``).  ``--audit-jsonl`` appends every decision
 to a hash-chained tamper-evident ledger — query or verify it afterwards
-with ``scripts/audit_query.py``.
+with ``scripts/audit_query.py``.  ``--capture-dir`` installs a
+:class:`repro.obs.CaptureStore` rooted there: every served request's
+inputs, resolved config, stage digests and content-addressed model
+bundle are persisted so any decision can be re-executed and diffed
+afterwards with ``scripts/replay_request.py`` (the postmortem
+counterpart of the live endpoint's ``/capture`` view).
 
 Run:  PYTHONPATH=src python scripts/serve_monitor.py
       PYTHONPATH=src python scripts/serve_monitor.py --attempts 60 \\
@@ -224,6 +229,16 @@ def parse_args() -> argparse.Namespace:
         "scripts/audit_query.py)",
     )
     parser.add_argument(
+        "--capture-dir", metavar="DIR", default=None,
+        help="persist per-request captures (inputs, config, stage "
+        "digests, model bundle) to a CaptureStore rooted at DIR — "
+        "replay any request afterwards with scripts/replay_request.py",
+    )
+    parser.add_argument(
+        "--capture-max", type=int, default=256,
+        help="captures retained before LRU eviction (default 256)",
+    )
+    parser.add_argument(
         "--replay-burst", type=int, default=0, metavar="N",
         help="inject N machine-paced replays of a recorded victim beep "
         "right after enrollment (request ids replay-burst-0..N-1) — a "
@@ -253,6 +268,20 @@ def main() -> int:
     slo = SLOTracker(registry=registry)
     sentinel = SecuritySentinel()
     set_security_sentinel(sentinel)
+    capture_store = None
+    if args.capture_dir:
+        from repro.obs import CaptureStore, set_capture_store
+
+        capture_store = CaptureStore(
+            root=args.capture_dir, max_captures=args.capture_max,
+            async_persist=True,
+        )
+        set_capture_store(capture_store)
+        print(
+            f"[capturing requests to {args.capture_dir} "
+            f"(max {args.capture_max}) — replay with "
+            f"scripts/replay_request.py]"
+        )
 
     chirp = LFMChirp()
     user = SyntheticSubject(subject_id=1)
@@ -300,7 +329,7 @@ def main() -> int:
         print(
             f"[observability endpoint on {obs_server.url()} — "
             f"/metrics /healthz /readyz /traces /drift /audit /slo "
-            f"/alerts]\n"
+            f"/alerts /capture]\n"
         )
 
     print(
@@ -318,6 +347,18 @@ def main() -> int:
         f"score baseline frozen: mean {baseline.mean:.4f}, "
         f"std {baseline.std:.4f} over {baseline.count} enrollment scores\n"
     )
+
+    direct_bundle_hash = None
+    if capture_store is not None and args.backend == "direct":
+        from repro.serve import ModelBundle
+
+        # The serving backends content-address their bundle inside
+        # repro.serve; the direct path must do it by hand so its
+        # captures are replayable too.
+        direct_bundle_hash = capture_store.ensure_bundle(
+            ModelBundle.from_pipeline(pipeline)
+        )
+        print(f"[capture bundle content hash {direct_bundle_hash}]\n")
 
     server = None
     if args.backend != "direct":
@@ -414,8 +455,16 @@ def main() -> int:
         else:
             results = []
             for rid, recordings in zip(burst_ids, burst_recordings):
-                result = pipeline.authenticate(recordings)
+                with correlation_scope(rid):
+                    result = pipeline.authenticate(recordings)
                 recorder.record_request(rid, "ok", trace=result.trace)
+                if capture_store is not None:
+                    capture_store.annotate(
+                        rid,
+                        bundle_hash=direct_bundle_hash,
+                        backend="direct",
+                        tenant="tenant-replay",
+                    )
                 results.append((rid, result))
             for rid, result in results:  # feed back-to-back
                 observe_direct(result, rid, tenant="tenant-replay")
@@ -507,6 +556,12 @@ def main() -> int:
                     print(f"[{attempt:4d}] no-echo reject ({error})")
                     continue
                 recorder.record_request(request_id, "ok", trace=result.trace)
+                if capture_store is not None:
+                    capture_store.annotate(
+                        request_id,
+                        bundle_hash=direct_bundle_hash,
+                        backend="direct",
+                    )
                 for alert in observe_direct(result, request_id):
                     print(f"       SECURITY {json.dumps(alert.to_dict())}")
                 if ledger is not None:
@@ -603,6 +658,18 @@ def main() -> int:
             f"compliance {objective['compliance']:.4f}  "
             f"budget remaining {objective['budget_remaining']:+.3f}"
         )
+    if capture_store is not None:
+        from repro.obs import set_capture_store
+
+        capture_store.close()  # drain background writes before summary
+        print(
+            f"[capture store: {len(capture_store)} requests in "
+            f"{args.capture_dir}, bundles "
+            f"{sorted(capture_store.bundle_hashes())} — replay with "
+            f"scripts/replay_request.py <id> --capture-dir "
+            f"{args.capture_dir}]"
+        )
+        set_capture_store(None)
     if ledger is not None:
         verdict = ledger.verify_chain()
         print(

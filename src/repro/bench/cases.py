@@ -282,6 +282,22 @@ class BenchContext:
 
         return self.memo("audit_ledger", build)
 
+    def capture_store(self):
+        """A throwaway on-disk capture store (deleted by :meth:`close`)."""
+
+        def build():
+            import tempfile
+
+            from repro.obs import CaptureStore
+
+            root = tempfile.mkdtemp(prefix="bench-capture-")
+            self._temp_dirs.append(root)
+            return CaptureStore(
+                root=root, max_captures=256, async_persist=True
+            )
+
+        return self.memo("capture_store", build)
+
     # -- sharded enrollment store -------------------------------------
 
     #: Embedding dimensionality of the synthetic store populations.
@@ -729,17 +745,65 @@ def _quality_spoofer_detection(ctx: BenchContext):
     }
 
 
+#: Fractional serving-latency budget shared by the instrumentation
+#: overhead cases (audit ledger, request capture, security sentinel).
+OVERHEAD_BUDGET = 0.05
+
+
+def _overhead_exceedance(plain, instrumented, detail_key: str):
+    """Budget exceedance of an instrumented serial batch over plain.
+
+    Samples the two modes back-to-back in pairs and takes the median of
+    the per-pair ratios: a whole serial batch runs ~200ms, so two
+    sequential measurement blocks straddle enough wall-clock for
+    machine-load drift to dwarf the few-percent signal being measured;
+    pairing cancels the drift.  The *gated* value is the exceedance
+    over :data:`OVERHEAD_BUDGET` — zero while the overhead stays
+    inside the budget — so the quality gate's absolute tolerance
+    compares against the budget line rather than against whichever
+    noise the baseline run happened to catch (the raw overhead stays
+    visible in the details).
+    """
+    import statistics
+    import time
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    plain(), instrumented()  # warm both paths (caches, pools, stores)
+    plain_s, instrumented_s = [], []
+    deadline = time.perf_counter() + 10.0
+    for _ in range(9):
+        plain_s.append(timed(plain))
+        instrumented_s.append(timed(instrumented))
+        if time.perf_counter() > deadline and len(plain_s) >= 5:
+            break
+    # Noise can flip a pair's sign; the tracked number is the overhead,
+    # not a speedup, so clamp at zero.
+    overhead = max(0.0, statistics.median(
+        i / p - 1.0 for p, i in zip(plain_s, instrumented_s)
+    ))
+    return max(0.0, overhead - OVERHEAD_BUDGET), {
+        "overhead": overhead,
+        "plain_median_s": statistics.median(plain_s),
+        detail_key: statistics.median(instrumented_s),
+        "pairs": len(plain_s),
+        "budget": OVERHEAD_BUDGET,
+    }
+
+
 @quality_case(
     "quality.audit_overhead",
     group="quality",
     unit="rate",
     higher_is_better=False,
-    description="Fractional serving-latency overhead of correlation + "
-    "audit-ledger writes (audited serial batch median vs plain, budget "
-    "< 0.05)",
+    description="Serving-latency overhead of correlation + audit-ledger "
+    "writes beyond the 0.05 budget (paired audited-vs-plain serial "
+    "batches; 0.0 while within budget)",
 )
 def _quality_audit_overhead(ctx: BenchContext):
-    from repro.bench.timer import measure
     from repro.obs import set_audit_ledger
 
     authenticator = ctx.authenticator("serial")
@@ -756,17 +820,37 @@ def _quality_audit_overhead(ctx: BenchContext):
         finally:
             set_audit_ledger(None)
 
-    kwargs = dict(warmup=1, min_repeats=5, max_repeats=15, max_time_s=5.0)
-    base = measure(plain, **kwargs)
-    with_audit = measure(audited, **kwargs)
-    overhead = with_audit.median_s / base.median_s - 1.0
-    # Timing noise can make the audited run *faster*; the tracked number
-    # is the overhead, so clamp at zero rather than reporting a speedup.
-    return max(0.0, overhead), {
-        "plain_median_s": base.median_s,
-        "audited_median_s": with_audit.median_s,
-        "budget": 0.05,
-    }
+    return _overhead_exceedance(plain, audited, "audited_median_s")
+
+
+@quality_case(
+    "quality.capture_overhead",
+    group="quality",
+    unit="rate",
+    higher_is_better=False,
+    description="Serving-latency overhead of per-request capture "
+    "(digests + arrays + background disk persist) beyond the 0.05 "
+    "budget (paired captured-vs-plain serial batches; 0.0 while "
+    "within budget)",
+)
+def _quality_capture_overhead(ctx: BenchContext):
+    from repro.obs import set_capture_store
+
+    authenticator = ctx.authenticator("serial")
+    requests = ctx.requests()
+    store = ctx.capture_store()
+
+    def plain():
+        authenticator.authenticate_batch(requests)
+
+    def captured():
+        set_capture_store(store)
+        try:
+            authenticator.authenticate_batch(requests)
+        finally:
+            set_capture_store(None)
+
+    return _overhead_exceedance(plain, captured, "captured_median_s")
 
 
 @quality_case(
@@ -774,12 +858,11 @@ def _quality_audit_overhead(ctx: BenchContext):
     group="quality",
     unit="rate",
     higher_is_better=False,
-    description="Fractional serving-latency overhead of the security "
-    "sentinel's streaming detectors (sentinel-installed serial batch "
-    "median vs plain, budget < 0.05)",
+    description="Serving-latency overhead of the security sentinel's "
+    "streaming detectors beyond the 0.05 budget (paired "
+    "sentinel-vs-plain serial batches; 0.0 while within budget)",
 )
 def _quality_sentinel_overhead(ctx: BenchContext):
-    from repro.bench.timer import measure
     from repro.obs import SecuritySentinel, set_security_sentinel
 
     authenticator = ctx.authenticator("serial")
@@ -796,17 +879,7 @@ def _quality_sentinel_overhead(ctx: BenchContext):
         finally:
             set_security_sentinel(None)
 
-    kwargs = dict(warmup=1, min_repeats=5, max_repeats=15, max_time_s=5.0)
-    base = measure(plain, **kwargs)
-    with_sentinel = measure(guarded, **kwargs)
-    overhead = with_sentinel.median_s / base.median_s - 1.0
-    # Same clamp as quality.audit_overhead: noise can flip the sign and
-    # the tracked number is the overhead, not a speedup.
-    return max(0.0, overhead), {
-        "plain_median_s": base.median_s,
-        "guarded_median_s": with_sentinel.median_s,
-        "budget": 0.05,
-    }
+    return _overhead_exceedance(plain, guarded, "guarded_median_s")
 
 
 @quality_case(

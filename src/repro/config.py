@@ -327,6 +327,13 @@ class ObservabilityConfig:
             path; ``None`` (default) disables auditing entirely.
         audit_max_bytes: Rotation threshold of the active ledger file;
             ``0`` disables rotation.
+        capture_dir: When set, per-request captures (inputs, resolved
+            config, stage digests — everything
+            :func:`repro.obs.replay.replay_request` needs) are persisted
+            to a :class:`repro.obs.CaptureStore` rooted here; ``None``
+            (default) disables capture entirely.
+        capture_max: Captures retained before the store evicts the
+            least-recently-used entry.
 
     Example:
         >>> cfg = ObservabilityConfig(port=9102)
@@ -345,6 +352,8 @@ class ObservabilityConfig:
     flight_dump_path: str | None = None
     audit_path: str | None = None
     audit_max_bytes: int = 4_000_000
+    capture_dir: str | None = None
+    capture_max: int = 256
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -355,6 +364,8 @@ class ObservabilityConfig:
             raise ValueError("flight-recorder ring sizes must be >= 1")
         if self.audit_max_bytes < 0:
             raise ValueError("audit_max_bytes must be >= 0 (0 = no rotation)")
+        if self.capture_max < 1:
+            raise ValueError("capture_max must be >= 1")
 
     def build_recorder(self):
         """A :class:`repro.obs.FlightRecorder` with these parameters."""
@@ -376,6 +387,21 @@ class ObservabilityConfig:
         from repro.obs import AuditLedger
 
         return AuditLedger(self.audit_path, max_bytes=self.audit_max_bytes)
+
+    def build_capture_store(self):
+        """A :class:`repro.obs.CaptureStore` rooted at :attr:`capture_dir`.
+
+        Returns ``None`` when capture is not configured — callers
+        install the store process-wide with
+        :func:`repro.obs.set_capture_store`.
+        """
+        if self.capture_dir is None:
+            return None
+        from repro.obs import CaptureStore
+
+        return CaptureStore(
+            root=self.capture_dir, max_captures=self.capture_max
+        )
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,13 @@ from repro.obs import (
     start_trace,
     trace,
 )
+from repro.obs.capture import (
+    RequestCapture,
+    StageCollector,
+    capture_environment,
+    decision_document,
+    get_capture_store,
+)
 
 
 @dataclass(frozen=True)
@@ -343,6 +350,8 @@ class EchoImagePipeline:
                 "no users enrolled; call enroll_user or enroll_users first"
             )
         margins: tuple = ()
+        store = get_capture_store()
+        collector = None
         with correlation_scope(current_request_id()) as request_id:
             with start_trace() as attempt_trace:
                 with trace(
@@ -352,6 +361,15 @@ class EchoImagePipeline:
                     plane = self.imaging_plane(distance.user_distance_m)
                     images = self._image(recordings, plane)
                     features = self.feature_extractor.extract(images)
+                    if store is not None:
+                        collector = StageCollector(
+                            root, store.capture_arrays
+                        )
+                        collector.stamp(
+                            "distance", _distance_vector(distance)
+                        )
+                        collector.stamp("images", np.stack(images))
+                        collector.stamp("features", features)
 
                     if self._multi_auth is not None:
                         labels, scores, raw_margins = (
@@ -367,13 +385,23 @@ class EchoImagePipeline:
                         )
 
                     label = _majority(per_beep)
+                    if collector is not None:
+                        collector.stamp(
+                            "scores", np.asarray(scores, dtype=float)
+                        )
+                        if margins:
+                            collector.stamp(
+                                "margins",
+                                np.asarray(margins, dtype=float),
+                            )
+                        collector.stamp("labels", list(per_beep))
                     root.update(
                         label=str(label), accepted=label != SPOOFER_LABEL
                     )
                     alerts = self._record_attempt(
                         label != SPOOFER_LABEL, scores, distance
                     )
-        return AuthenticationResult(
+        result = AuthenticationResult(
             label=label,
             accepted=label != SPOOFER_LABEL,
             distance=distance,
@@ -386,6 +414,11 @@ class EchoImagePipeline:
             beeps_used=len(recordings),
             early_exit=False,
         )
+        if store is not None:
+            self._record_capture(
+                store, result, collector, tuple(recordings), None
+            )
+        return result
 
     def authenticate_streaming(
         self,
@@ -432,6 +465,8 @@ class EchoImagePipeline:
             )
         policy = exit_policy or ExitPolicy()
         margins: tuple = ()
+        store = get_capture_store()
+        collector = None
         with correlation_scope(current_request_id()) as request_id:
             with start_trace() as attempt_trace:
                 with trace(
@@ -446,12 +481,15 @@ class EchoImagePipeline:
                     else:
                         stream = self._single_auth.begin_stream()
                     rows: list[np.ndarray] = []
+                    consumed_images: list[np.ndarray] = []
                     early = False
                     for index, recording in enumerate(recordings):
                         with trace("stream.beep", beep_index=index) as beep:
                             images = self._image([recording], plane)
                             row = self.feature_extractor.extract(images)
                             rows.append(row)
+                            if store is not None:
+                                consumed_images.extend(images)
                             snapshot = stream.push(row)
                             beep.update(
                                 mean_score=snapshot.mean_score,
@@ -461,6 +499,17 @@ class EchoImagePipeline:
                             early = index + 1 < len(recordings)
                             break
                     features = np.concatenate(rows, axis=0)
+                    if store is not None:
+                        collector = StageCollector(
+                            root, store.capture_arrays
+                        )
+                        collector.stamp(
+                            "distance", _distance_vector(distance)
+                        )
+                        collector.stamp(
+                            "images", np.stack(consumed_images)
+                        )
+                        collector.stamp("features", features)
 
                     if self._multi_auth is not None:
                         labels, scores, raw_margins = (
@@ -476,6 +525,16 @@ class EchoImagePipeline:
                         )
 
                     label = _majority(per_beep)
+                    if collector is not None:
+                        collector.stamp(
+                            "scores", np.asarray(scores, dtype=float)
+                        )
+                        if margins:
+                            collector.stamp(
+                                "margins",
+                                np.asarray(margins, dtype=float),
+                            )
+                        collector.stamp("labels", list(per_beep))
                     root.update(
                         label=str(label),
                         accepted=label != SPOOFER_LABEL,
@@ -485,7 +544,7 @@ class EchoImagePipeline:
                     alerts = self._record_attempt(
                         label != SPOOFER_LABEL, scores, distance
                     )
-        return AuthenticationResult(
+        result = AuthenticationResult(
             label=label,
             accepted=label != SPOOFER_LABEL,
             distance=distance,
@@ -497,6 +556,49 @@ class EchoImagePipeline:
             request_id=request_id,
             beeps_used=len(rows),
             early_exit=early,
+        )
+        if store is not None:
+            self._record_capture(
+                store, result, collector, tuple(recordings), policy
+            )
+        return result
+
+    def _record_capture(
+        self,
+        store,
+        result: AuthenticationResult,
+        collector,
+        recordings: tuple,
+        exit_policy: ExitPolicy | None,
+    ) -> None:
+        """Record one successful attempt into the capture store.
+
+        ``self.config`` is the *resolved* config of this pipeline — for
+        a degraded ladder retry that is the degraded config, and
+        ``recordings`` is the (possibly subset-selected) input the
+        attempt actually consumed, so replaying the capture re-executes
+        exactly what served the request.  Bundle hash / degradation /
+        tenant annotations are attached afterwards by the serving layer.
+        """
+        store.record(
+            RequestCapture(
+                request_id=result.request_id,
+                kind="stream" if exit_policy is not None else "authenticate",
+                environment=capture_environment(),
+                stage_digests=dict(collector.digests),
+                stage_arrays=dict(collector.arrays),
+                decision=decision_document(result),
+                recordings=recordings,
+                config=self.config,
+                exit_policy=exit_policy,
+                feature_mode=self.feature_extractor.mode,
+                batched_imaging=self.batched_imaging,
+                trace=(
+                    result.trace.to_dict()
+                    if result.trace is not None
+                    else None
+                ),
+            )
         )
 
     def _record_attempt(
@@ -526,6 +628,18 @@ class EchoImagePipeline:
                     monitor=alert.monitor, kind=alert.kind
                 ).inc()
         return tuple(alerts)
+
+
+def _distance_vector(distance: DistanceEstimate) -> np.ndarray:
+    """The replay-comparable numeric summary of a distance estimate."""
+    return np.array(
+        [
+            distance.user_distance_m,
+            distance.slant_distance_m,
+            distance.echo_snr_db,
+        ],
+        dtype=float,
+    )
 
 
 def _should_exit(policy: ExitPolicy, snapshot: StreamSnapshot) -> bool:

@@ -164,15 +164,30 @@ def save_pickle(path: str | Path, kind: str, payload) -> Path:
     Returns:
         The written path.
     """
+    return write_bytes_atomic(path, envelope_bytes(kind, payload))
+
+
+def envelope_bytes(kind: str, payload) -> bytes:
+    """The serialised envelope :func:`save_pickle` would write.
+
+    Splitting serialisation from the write lets a caller snapshot a
+    mutable payload under its own lock and perform the (slower) file
+    write outside it — the capture store's background writer does this.
+    """
+    envelope = {"schema": PICKLE_SCHEMA, "kind": kind, "payload": payload}
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def write_bytes_atomic(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` via temp file + ``os.replace``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    envelope = {"schema": PICKLE_SCHEMA, "kind": kind, "payload": payload}
     handle, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
         with os.fdopen(handle, "wb") as tmp:
-            pickle.dump(envelope, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write(data)
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -502,6 +502,10 @@ class EnrollmentStore:
         started: float,
         request_id: str,
     ) -> IdentificationResult:
+        # Lazy for the same reason as the ledger import above.
+        from repro.obs.capture import get_capture_store
+
+        store = get_capture_store()
         features = np.atleast_2d(np.asarray(features, dtype=float))
         k = self.candidate_k if k is None else k
         with self._lock, ensure_trace(), trace(
@@ -515,12 +519,14 @@ class EnrollmentStore:
             if not candidates:
                 span.set("outcome", "empty")
                 self._observe_identify("empty", 0, started, request_id)
-                return IdentificationResult(
+                result = IdentificationResult(
                     label=SPOOFER_LABEL,
                     accepted=False,
                     num_users=len(self),
                     request_id=request_id,
                 )
+                self._record_capture(store, span, features, k, result)
+                return result
             by_shard: dict[int, list] = {}
             for label in candidates:
                 by_shard.setdefault(self._assignment[label], []).append(label)
@@ -557,7 +563,7 @@ class EnrollmentStore:
                 started,
                 request_id,
             )
-            return IdentificationResult(
+            result = IdentificationResult(
                 label=label,
                 accepted=accepted,
                 candidates=tuple(candidates),
@@ -567,6 +573,49 @@ class EnrollmentStore:
                 num_users=len(self),
                 request_id=request_id,
             )
+            self._record_capture(store, span, features, k, result)
+            return result
+
+    @staticmethod
+    def _record_capture(store, span, features, k, result) -> None:
+        """Record an identify attempt into the opt-in capture store.
+
+        Stage digests land on the ``identify`` span via
+        :meth:`~repro.obs.Span.record_digest`; the input feature matrix
+        rides along so :func:`repro.obs.replay.replay_identify` can
+        re-run the two-stage lookup against the same store.
+        """
+        if store is None:
+            return
+        from repro.obs.capture import (
+            RequestCapture,
+            StageCollector,
+            capture_environment,
+            identify_decision_document,
+        )
+
+        collector = StageCollector(span, store.capture_arrays)
+        collector.stamp("features", features)
+        if result.gate_scores:
+            collector.stamp(
+                "gate_scores",
+                np.asarray(result.gate_scores, dtype=float),
+            )
+        collector.stamp(
+            "labels", [str(x) for x in result.per_sample_labels]
+        )
+        store.record(
+            RequestCapture(
+                request_id=result.request_id,
+                kind="identify",
+                environment=capture_environment(),
+                stage_digests=dict(collector.digests),
+                stage_arrays=dict(collector.arrays),
+                decision=identify_decision_document(result),
+                features=np.array(features, copy=True),
+                identify_k=k,
+            )
+        )
 
     def _observe_identify(
         self,

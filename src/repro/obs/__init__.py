@@ -44,7 +44,15 @@ The subsystem has three layers:
 * :mod:`repro.obs.envinfo` — :func:`environment_fingerprint`, the
   commit/interpreter/numpy/CPU/``REPRO_SCALE`` stamp carried by every
   JSON artifact (metrics dumps, stage reports, flight black boxes and
-  the ``BENCH_*.json`` records of :mod:`repro.bench`).
+  the ``BENCH_*.json`` records of :mod:`repro.bench`);
+* :mod:`repro.obs.capture` / :mod:`repro.obs.replay` — opt-in
+  deterministic record-and-replay: :class:`CaptureStore` retains, per
+  request, the inputs and resolved config actually used plus per-stage
+  output digests (``Span.record_digest``), and
+  :func:`repro.obs.replay.replay_request` re-executes a capture and
+  diffs it stage by stage (``identical`` / ``divergent`` /
+  ``environment-mismatch``) — served live at ``/capture`` and rendered
+  by ``scripts/replay_request.py``.
 
 The instrumented stage names emitted by the EchoImage pipeline are listed
 in :data:`STAGES`; the metric names are tabulated in
@@ -115,6 +123,20 @@ from repro.obs.audit import (
     set_audit_ledger,
     verify_chain,
 )
+
+# repro.obs.capture sits on the repro.io.storage envelope substrate,
+# which the audit import above has already fully initialised.  The
+# replay side (repro.obs.replay) is *not* re-exported here: it builds
+# pipelines from serving bundles, and importing repro.serve from this
+# package would cycle — import repro.obs.replay directly.
+from repro.obs.capture import (
+    CaptureStore,
+    RequestCapture,
+    StageCollector,
+    bundle_content_hash,
+    get_capture_store,
+    set_capture_store,
+)
 from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.server import ObservabilityServer
 
@@ -179,6 +201,12 @@ __all__ = [
     "get_audit_ledger",
     "set_audit_ledger",
     "verify_chain",
+    "CaptureStore",
+    "RequestCapture",
+    "StageCollector",
+    "bundle_content_hash",
+    "get_capture_store",
+    "set_capture_store",
     "SLOConfig",
     "SLOTracker",
     "ObservabilityServer",

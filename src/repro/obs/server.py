@@ -8,7 +8,9 @@ are retrievable *after the fact* without attaching a debugger:
 path           returns
 =============  ===========================================================
 ``/metrics``   Prometheus text exposition of the metrics registry
-``/healthz``   200 while the endpoint thread is alive (liveness)
+``/healthz``   200 liveness JSON: status, ``started_at``,
+               ``uptime_seconds`` and the environment fingerprint —
+               fleet inventory scraped from the probe already being hit
 ``/readyz``    200 when the readiness probe passes, 503 otherwise
 ``/traces``    flight-recorder black-box JSON (``?limit=N`` for recent N)
 ``/drift``     drift alerts raised so far, as versioned JSON
@@ -17,6 +19,8 @@ path           returns
 ``/slo``       SLO compliance, error-budget and burn-rate document
 ``/alerts``    security-sentinel rule catalogue + alerts (``?limit=N`` /
                ``rule=``); 404 while no sentinel is installed
+``/capture``   capture-store index, or one capture's summary with
+               ``?request_id=``; 404 while no capture store is installed
 =============  ===========================================================
 
 The server runs on a daemon thread (`ThreadingHTTPServer`), so scrapes
@@ -37,6 +41,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, urlparse
@@ -74,7 +79,7 @@ class _Handler(BaseHTTPRequestHandler):
                     PROMETHEUS_CONTENT_TYPE,
                 )
             elif route == "/healthz":
-                self._reply(200, "ok\n", "text/plain; charset=utf-8")
+                self._reply_json(200, obs.health_document())
             elif route == "/readyz":
                 ready = obs.check_ready()
                 self._reply(
@@ -95,6 +100,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_json(200, obs.slo_document())
             elif route == "/alerts":
                 status, document = obs.alerts_document(
+                    parse_qs(parsed.query)
+                )
+                self._reply_json(status, document)
+            elif route == "/capture":
+                status, document = obs.capture_document(
                     parse_qs(parsed.query)
                 )
                 self._reply_json(status, document)
@@ -129,7 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
 #: The paths the server answers (everything else is a JSON 404).
 ENDPOINTS = (
     "/metrics", "/healthz", "/readyz", "/traces", "/drift", "/audit",
-    "/slo", "/alerts",
+    "/slo", "/alerts", "/capture",
 )
 
 
@@ -189,6 +199,12 @@ class ObservabilityServer:
             request.  Unlike ``/audit``'s disabled document, ``/alerts``
             is a JSON 404 while no sentinel is installed — scrapers must
             not mistake "nobody is watching" for "no alerts".
+        capture_store: :class:`repro.obs.CaptureStore` served by
+            ``/capture``; defaults to the process-wide store
+            (:func:`repro.obs.get_capture_store`) at each request.
+            Like ``/alerts``, a JSON 404 while none is installed —
+            capture is opt-in, and an empty index would read as "the
+            request was never captured".
 
     The server is restart-safe in the sense that ``start``/``stop`` are
     idempotent; a stopped instance cannot be started again (build a new
@@ -208,6 +224,7 @@ class ObservabilityServer:
         audit_ledger=None,
         slo=None,
         sentinel=None,
+        capture_store=None,
     ) -> None:
         if config is not None:
             host = config.host if host is None else host
@@ -221,9 +238,11 @@ class ObservabilityServer:
         self._audit_ledger = audit_ledger
         self._slo = slo
         self._sentinel = sentinel
+        self._capture_store = capture_store
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._stopped = False
+        self._started_at: float | None = None
 
     # -- telemetry sources ---------------------------------------------
 
@@ -341,6 +360,76 @@ class ObservabilityServer:
             rule=_query_str(query, "rule"),
         )
 
+    def health_document(self) -> dict:
+        """The ``/healthz`` payload: liveness plus fleet inventory.
+
+        Probes already hit this path, so it carries the endpoint's start
+        time, its uptime and the process's environment fingerprint —
+        enough for an inventory scraper to map a fleet (commit,
+        interpreter, numpy, machine) without a second endpoint.
+        """
+        from repro.obs.envinfo import environment_fingerprint
+
+        now = time.time()
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "health",
+            "status": "ok",
+            "started_at": self._started_at,
+            "uptime_seconds": (
+                now - self._started_at
+                if self._started_at is not None
+                else None
+            ),
+            "environment": dict(environment_fingerprint()),
+        }
+
+    @property
+    def capture_store(self):
+        """The store served by ``/capture`` (may be ``None``)."""
+        if self._capture_store is not None:
+            return self._capture_store
+        from repro.obs.capture import get_capture_store
+
+        return get_capture_store()
+
+    def capture_document(
+        self, query: dict | None = None
+    ) -> tuple[int, dict]:
+        """``(status, document)`` of the ``/capture`` payload.
+
+        Args:
+            query: ``parse_qs``-style mapping; ``request_id`` selects
+                one capture's summary, otherwise the store index is
+                served.
+
+        Returns:
+            ``(404, error document)`` while no capture store is
+            installed, or for an unknown request id; otherwise
+            ``(200, summary | index)``.
+        """
+        query = query or {}
+        store = self.capture_store
+        if store is None:
+            return 404, {
+                "error": "no capture store installed",
+                "hint": (
+                    "install one with repro.obs.set_capture_store() "
+                    "(capture is opt-in)"
+                ),
+            }
+        request_id = _query_str(query, "request_id")
+        if request_id is None:
+            return 200, store.index_document()
+        capture = store.get(request_id)
+        if capture is None:
+            return 404, {
+                "error": "request id not captured",
+                "request_id": request_id,
+                "captured": len(store),
+            }
+        return 200, capture.summary_document()
+
     def slo_document(self) -> dict:
         """The ``/slo`` payload (evaluates the tracker on demand)."""
         if self._slo is None:
@@ -363,6 +452,7 @@ class ObservabilityServer:
         httpd.daemon_threads = True
         httpd.obs = self  # type: ignore[attr-defined]
         self._httpd = httpd
+        self._started_at = time.time()
         self._thread = threading.Thread(
             target=httpd.serve_forever,
             name="repro-obs-server",

@@ -33,6 +33,7 @@ Example:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
@@ -41,6 +42,54 @@ from dataclasses import dataclass, field
 
 from repro.obs.correlation import current_request_id
 from repro.obs.metrics import SCHEMA_VERSION
+
+#: Attribute-key prefix under which :meth:`Span.record_digest` stamps
+#: stage-output digests (``digest.<stage>``).
+DIGEST_PREFIX = "digest."
+
+
+def digest_value(value) -> str:
+    """A short stable content digest of a stage output.
+
+    Arrays are hashed over dtype, shape and contiguous bytes, so two
+    arrays digest equal iff they are bitwise identical with the same
+    layout metadata; lists/tuples hash element-wise with bracketing so
+    nesting is unambiguous; everything else hashes its ``repr``.  The
+    16-hex-character (64-bit) prefix keeps span attributes and capture
+    indices light while staying far beyond collision reach for the
+    per-request stage counts involved.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, value)
+    return hasher.hexdigest()[:16]
+
+
+def _feed(hasher, value) -> None:
+    # Imported lazily: the tracer itself must stay importable (and
+    # cheap) in contexts that never touch array payloads.
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        hasher.update(b"ndarray:")
+        hasher.update(str(array.dtype).encode("utf-8"))
+        hasher.update(str(array.shape).encode("utf-8"))
+        hasher.update(array.tobytes())
+    elif isinstance(value, (list, tuple)):
+        hasher.update(b"[")
+        for item in value:
+            _feed(hasher, item)
+            hasher.update(b",")
+        hasher.update(b"]")
+    elif isinstance(value, bytes):
+        hasher.update(b"bytes:")
+        hasher.update(value)
+    elif isinstance(value, str):
+        hasher.update(b"str:")
+        hasher.update(value.encode("utf-8"))
+    else:
+        hasher.update(b"repr:")
+        hasher.update(repr(value).encode("utf-8"))
 
 
 @dataclass
@@ -70,6 +119,26 @@ class Span:
     def update(self, **attributes) -> None:
         """Attach several attributes at once."""
         self.attributes.update(attributes)
+
+    def record_digest(self, stage: str, value) -> str:
+        """Digest a stage output and stamp it as ``digest.<stage>``.
+
+        The capture/replay layer (:mod:`repro.obs.capture`) uses this to
+        fingerprint each stage's output inside the trace itself, so a
+        replay can name the first diverging stage without shipping the
+        arrays.  Returns the digest so callers can index it elsewhere.
+        """
+        digest = digest_value(value)
+        self.attributes[DIGEST_PREFIX + stage] = digest
+        return digest
+
+    def digests(self) -> dict:
+        """Stage digests recorded on this span, keyed by stage name."""
+        return {
+            key[len(DIGEST_PREFIX):]: value
+            for key, value in self.attributes.items()
+            if key.startswith(DIGEST_PREFIX)
+        }
 
     def iter_spans(self):
         """This span and every descendant, depth-first."""
@@ -111,6 +180,11 @@ class _NullSpan:
 
     def update(self, **attributes) -> None:  # pragma: no cover - trivial
         pass
+
+    def record_digest(self, stage: str, value) -> str:
+        # No trace collecting: skip the hash entirely — this is what
+        # keeps record_digest free on the untraced hot path.
+        return ""
 
 
 NULL_SPAN = _NullSpan()

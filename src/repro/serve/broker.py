@@ -344,11 +344,28 @@ class RequestBroker:
                     )
                     for request in requests
                 ]
+            self._annotate_captures(requests)
             with self._lock:
                 self._inflight -= len(batch)
                 self._served += len(batch)
             for (_, future), response in zip(batch, responses):
                 future.set_result(response)
+
+    @staticmethod
+    def _annotate_captures(requests) -> None:
+        """Mark served captures as broker traffic.
+
+        The authenticator already recorded and bundle-annotated them;
+        the broker only adds the admission path, so a replayed dispute
+        shows how the request entered the system.
+        """
+        from repro.obs import get_capture_store
+
+        store = get_capture_store()
+        if store is None:
+            return
+        for request in requests:
+            store.annotate(request.request_id, via="broker")
 
     def _set_depth_gauge(self, depth: int) -> None:
         metrics = pipeline_metrics()

@@ -130,6 +130,25 @@ class ModelBundle:
                                f"payload is {type(bundle).__name__}")
         return bundle
 
+    def content_hash(self) -> str:
+        """Short content hash identifying this bundle's model state.
+
+        The capture/replay layer (:mod:`repro.obs.capture`) stamps this
+        into every capture and stashes bundles content-addressed, so a
+        replay can prove it re-executed against the exact model that
+        served the request.  The hash is computed once and cached on the
+        instance; the cache rides along through pickling, so a bundle
+        hashed before :meth:`save` reports the same hash after
+        :meth:`load`.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            from repro.obs.capture import bundle_content_hash
+
+            cached = bundle_content_hash(self)
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
     def build_pipeline(
         self,
         config: EchoImageConfig | None = None,

@@ -60,6 +60,7 @@ from repro.config import EchoImageConfig, ExitPolicy, ServingConfig
 from repro.core.pipeline import EchoImagePipeline
 from repro.core.telemetry import pipeline_metrics
 from repro.obs import (
+    CaptureStore,
     FlightRecorder,
     MetricsRegistry,
     PipelineTrace,
@@ -68,11 +69,13 @@ from repro.obs import (
     emit_trace,
     ensure_trace,
     get_audit_ledger,
+    get_capture_store,
     get_flight_recorder,
     get_registry,
     get_security_sentinel,
     metrics_enabled,
     remove_sink,
+    set_capture_store,
     set_registry,
     trace,
 )
@@ -233,28 +236,43 @@ def _init_process_worker(
 def _process_run(
     request: AuthenticationRequest,
     exit_policy: ExitPolicy | None = None,
+    capture: bool = False,
 ) -> AuthenticationResponse:
     """Serve one request in a worker interpreter, capturing telemetry.
 
     The request runs against a fresh, empty metrics registry and a
     trace-collecting sink, so the registry snapshot afterwards *is* the
     request's metric delta.  Both ride back to the parent on the
-    response (see ``BatchAuthenticator._finalize_response``).
+    response (see ``BatchAuthenticator._finalize_response``).  When the
+    parent has a capture store installed it asks for ``capture``: the
+    request then also runs against a fresh in-memory
+    :class:`~repro.obs.CaptureStore`, whose drained captures ride home
+    on ``capture_payloads`` the same way the metric delta does.
     """
     assert _PROCESS_RUNTIME is not None, "pool initializer did not run"
     fresh = MetricsRegistry()
     captured: list[PipelineTrace] = []
     previous = set_registry(fresh)
+    capture_payloads: tuple = ()
+    memory_store = CaptureStore(max_captures=4) if capture else None
+    previous_store = (
+        set_capture_store(memory_store) if capture else None
+    )
     add_sink(captured.append)
     try:
         response = _PROCESS_RUNTIME.run(request, exit_policy)
     finally:
         remove_sink(captured.append)
+        if capture:
+            set_capture_store(previous_store)
         set_registry(previous)
+    if memory_store is not None:
+        capture_payloads = tuple(memory_store.drain())
     return replace(
         response,
         metrics_delta=fresh.snapshot(),
         worker_traces=tuple(t.to_dict() for t in captured if t),
+        capture_payloads=capture_payloads,
     )
 
 
@@ -487,8 +505,9 @@ class BatchAuthenticator:
                 self._thread_run, request, exit_policy
             )
         else:
+            want_capture = get_capture_store() is not None
             submit = lambda request: pool.submit(
-                _process_run, request, exit_policy
+                _process_run, request, exit_policy, want_capture
             )
         deadline = monotonic() + self.config.timeout_s
         futures: list[tuple[AuthenticationRequest, Future]] = [
@@ -529,13 +548,26 @@ class BatchAuthenticator:
         and ``thread``.  Thread/serial responses carry no piggyback and
         pass through untouched.
         """
-        if response.metrics_delta is None and not response.worker_traces:
+        if (
+            response.metrics_delta is None
+            and not response.worker_traces
+            and not response.capture_payloads
+        ):
             return response
         if response.metrics_delta is not None and metrics_enabled():
             get_registry().merge(response.metrics_delta)
         for trace_document in response.worker_traces:
             emit_trace(PipelineTrace.from_dict(trace_document))
-        return replace(response, metrics_delta=None, worker_traces=())
+        store = get_capture_store()
+        if store is not None:
+            for payload in response.capture_payloads:
+                store.record(payload)
+        return replace(
+            response,
+            metrics_delta=None,
+            worker_traces=(),
+            capture_payloads=(),
+        )
 
     def _timeout_response(
         self, request: AuthenticationRequest
@@ -568,7 +600,24 @@ class BatchAuthenticator:
         metrics = pipeline_metrics()
         ledger = get_audit_ledger()
         sentinel = get_security_sentinel()
+        store = get_capture_store()
+        bundle_hash = (
+            store.ensure_bundle(self.bundle) if store is not None else None
+        )
         for request, response in zip(requests, responses):
+            if store is not None:
+                # The worker recorded the pipeline-level capture (or
+                # shipped it home); the parent owns the bundle and the
+                # serving context, so it annotates — and stashes the
+                # bundle content-addressed so the capture directory is
+                # self-contained for offline replay.
+                store.annotate(
+                    response.request_id,
+                    bundle_hash=bundle_hash,
+                    degradation=response.degradation,
+                    tenant=request.tenant,
+                    backend=self.config.backend,
+                )
             if metrics is not None:
                 metrics.serve_requests.labels(
                     outcome=response.status,

@@ -116,6 +116,13 @@ class AuthenticationResponse:
             beep.  Mutually exclusive with ``degradation`` by
             construction: degraded retries run the non-streaming
             pipeline, so a response never carries both.
+        capture_payloads: Capture piggyback used by the ``process``
+            backend when the parent has a
+            :class:`~repro.obs.CaptureStore` installed: the
+            :class:`~repro.obs.RequestCapture` objects recorded in the
+            worker while serving this request.  Recorded into the
+            parent's store, then stripped — mirroring
+            ``metrics_delta``/``worker_traces``.
     """
 
     request_id: str
@@ -129,6 +136,7 @@ class AuthenticationResponse:
     shed_reason: str | None = None
     beeps_used: int | None = None
     early_exit: bool = False
+    capture_payloads: tuple = ()
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

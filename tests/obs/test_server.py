@@ -71,9 +71,18 @@ class TestRouting:
         assert content_type == PROMETHEUS_CONTENT_TYPE
         assert 'echoimage_serve_requests_total{status="ok"} 3' in body
 
-    def test_healthz(self, server):
-        status, _, body = fetch(server.url("/healthz"))
-        assert (status, body) == (200, "ok\n")
+    def test_healthz_serves_liveness_and_environment(self, server):
+        status, content_type, body = fetch(server.url("/healthz"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["started_at"] > 0
+        assert doc["uptime_seconds"] >= 0
+        # The environment fingerprint rides along for fleet inventory.
+        for key in ("python", "numpy", "platform", "machine"):
+            assert key in doc["environment"]
 
     def test_traces_serves_flight_recorder(self, server):
         status, content_type, body = fetch(server.url("/traces"))
@@ -494,6 +503,98 @@ class TestAlertsEndpoint:
             writer.join(timeout=10)
         assert len(results) == 24
         assert set(results) == {200}
+
+
+class TestCaptureEndpoint:
+    @staticmethod
+    def _capture(request_id, **overrides):
+        from repro.obs import RequestCapture
+
+        fields = dict(
+            request_id=request_id,
+            kind="authenticate",
+            stage_digests={"features": "abcd"},
+            decision={"label": "user-1", "accepted": True},
+        )
+        fields.update(overrides)
+        return RequestCapture(**fields)
+
+    @pytest.fixture()
+    def capturing_server(self, telemetry):
+        from repro.obs import CaptureStore
+
+        registry, recorder, _ = telemetry
+        store = CaptureStore(max_captures=8)
+        for i in range(3):
+            store.record(self._capture(f"req-{i}"))
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder,
+            capture_store=store,
+        ) as running:
+            yield running, store
+
+    def test_capture_index_is_newest_first(self, capturing_server):
+        server, _ = capturing_server
+        status, content_type, body = fetch(server.url("/capture"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["kind"] == "capture_index"
+        assert [row["request_id"] for row in doc["captures"]] == [
+            "req-2", "req-1", "req-0"
+        ]
+
+    def test_capture_by_request_id(self, capturing_server):
+        server, _ = capturing_server
+        doc = json.loads(
+            fetch(server.url("/capture?request_id=req-1"))[2]
+        )
+        assert doc["kind"] == "request_capture"
+        assert doc["request_id"] == "req-1"
+        assert doc["stage_digests"] == {"features": "abcd"}
+        assert doc["decision"]["accepted"] is True
+
+    def test_capture_unknown_request_id_is_404(self, capturing_server):
+        server, _ = capturing_server
+        status, _, body = fetch(server.url("/capture?request_id=nope"))
+        assert status == 404
+        doc = json.loads(body)
+        assert doc["request_id"] == "nope"
+
+    def test_capture_404_without_store(self, server):
+        from repro.obs import set_capture_store
+
+        # The fixture server has no store; make sure no process-wide
+        # one leaks in from another test either.
+        previous = set_capture_store(None)
+        try:
+            status, content_type, body = fetch(server.url("/capture"))
+        finally:
+            set_capture_store(previous)
+        assert status == 404
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert "no capture store" in doc["error"]
+        assert "set_capture_store" in doc["hint"]
+
+    def test_capture_follows_the_process_default_store(self, telemetry):
+        from repro.obs import CaptureStore, set_capture_store
+
+        registry, recorder, _ = telemetry
+        store = CaptureStore(max_captures=4)
+        store.record(self._capture("req-global"))
+        with ObservabilityServer(
+            port=0, registry=registry, recorder=recorder
+        ) as server:
+            previous = set_capture_store(store)
+            try:
+                doc = json.loads(fetch(server.url("/capture"))[2])
+            finally:
+                set_capture_store(previous)
+        assert [row["request_id"] for row in doc["captures"]] == [
+            "req-global"
+        ]
 
 
 class TestSLOEndpointConcurrency:
